@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation sweep over the design choices DESIGN.md calls out:
+ * SLM family, model depth, PPM exclusion, tracelet window length,
+ * sliding windows, and shared-method attribution. Each configuration
+ * is scored (total missing+added, worst case) over a fixed subset of
+ * the behaviorally-resolved benchmarks; the default configuration
+ * (PPM-C, depth 2, tracelets of 7 -- the paper's choices) should be
+ * at or near the best.
+ */
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "corpus/benchmarks.h"
+#include "eval/application_distance.h"
+#include "eval/ground_truth.h"
+#include "rock/pipeline.h"
+#include "toyc/compiler.h"
+
+namespace {
+
+using namespace rock;
+
+struct Ablation {
+    std::string name;
+    std::function<void(core::RockConfig&)> apply;
+};
+
+} // namespace
+
+int
+main()
+{
+    const char* names[] = {"echoparams", "tinyserver", "gperf",
+                           "CGridListCtrlEx", "ShowTraf"};
+
+    std::vector<Ablation> ablations = {
+        {"default (ppm-c, depth 2, len 7)", [](core::RockConfig&) {}},
+        {"slm: katz backoff",
+         [](core::RockConfig& c) { c.slm.kind = slm::ModelKind::Katz; }},
+        {"slm: laplace n-gram",
+         [](core::RockConfig& c) {
+             c.slm.kind = slm::ModelKind::NGram;
+         }},
+        {"slm depth 1",
+         [](core::RockConfig& c) { c.slm.depth = 1; }},
+        {"slm depth 3",
+         [](core::RockConfig& c) { c.slm.depth = 3; }},
+        {"ppm exclusion on",
+         [](core::RockConfig& c) { c.slm.exclusion = true; }},
+        {"tracelet len 3",
+         [](core::RockConfig& c) { c.symexec.tracelet_len = 3; }},
+        {"tracelet len 11",
+         [](core::RockConfig& c) { c.symexec.tracelet_len = 11; }},
+        {"sliding windows",
+         [](core::RockConfig& c) { c.symexec.sliding_windows = true; }},
+        {"no shared-method attribution",
+         [](core::RockConfig& c) {
+             c.symexec.attribute_shared_methods_to_all = false;
+         }},
+        {"sampled word set",
+         [](core::RockConfig& c) {
+             c.words.strategy = divergence::WordSetStrategy::Sampled;
+         }},
+    };
+
+    std::printf("Design-choice ablations "
+                "(total worst-case missing+added over %zu "
+                "benchmarks)\n\n",
+                std::size(names));
+
+    double default_total = 0.0;
+    for (const auto& ablation : ablations) {
+        double total = 0.0;
+        for (const char* name : names) {
+            corpus::BenchmarkSpec spec =
+                corpus::benchmark_by_name(name);
+            toyc::CompileResult compiled = toyc::compile(
+                spec.program.program, spec.program.options);
+            core::RockConfig config;
+            ablation.apply(config);
+            core::ReconstructionResult result =
+                core::reconstruct(compiled.image, config);
+            eval::GroundTruth gt =
+                eval::ground_truth_from_debug(compiled.debug);
+            eval::AppDistance d =
+                eval::application_distance_worst(result, gt);
+            total += d.avg_missing + d.avg_added;
+        }
+        if (default_total == 0.0)
+            default_total = total;
+        std::printf("  %-34s %8.3f%s\n", ablation.name.c_str(), total,
+                    total <= default_total + 1e-9 ? "" : "  (worse)");
+    }
+    std::printf("\nlower is better; the paper's configuration is the "
+                "reference.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates the paper's k-parent CFI trade-off claim (Section 6.4):
+ * assigning several parents to each type trades false negatives
+ * (missing types -- lost legal targets) for false positives (added
+ * types -- superfluous targets). Sweeping k must drive missing
+ * monotonically down and added monotonically up.
+ */
+#include <cstdio>
+
+#include "corpus/benchmarks.h"
+#include "eval/application_distance.h"
+#include "eval/ground_truth.h"
+#include "rock/pipeline.h"
+#include "rock/relaxed.h"
+#include "toyc/compiler.h"
+
+int
+main()
+{
+    using namespace rock;
+
+    const char* names[] = {"Analyzer", "Smoothing", "tinyserver",
+                           "CGridListCtrlEx"};
+    std::printf("k-parent CFI trade-off (Section 6.4)\n");
+    std::printf("%-16s |", "benchmark");
+    for (int k = 1; k <= 4; ++k)
+        std::printf("   k=%d miss/add   |", k);
+    std::printf("\n");
+
+    bool monotone = true;
+    for (const char* name : names) {
+        corpus::BenchmarkSpec spec = corpus::benchmark_by_name(name);
+        toyc::CompileResult compiled = toyc::compile(
+            spec.program.program, spec.program.options);
+        core::ReconstructionResult result =
+            core::reconstruct(compiled.image);
+        eval::GroundTruth gt =
+            eval::ground_truth_from_debug(compiled.debug);
+
+        std::printf("%-16s |", name);
+        double prev_missing = 1e18;
+        double prev_added = -1.0;
+        for (int k = 1; k <= 4; ++k) {
+            core::Hierarchy h = core::relaxed_hierarchy(result, k);
+            eval::AppDistance d = eval::application_distance(h, gt);
+            std::printf("   %5.2f/%-6.2f   |", d.avg_missing,
+                        d.avg_added);
+            if (d.avg_missing > prev_missing + 1e-9 ||
+                d.avg_added < prev_added - 1e-9) {
+                monotone = false;
+            }
+            prev_missing = d.avg_missing;
+            prev_added = d.avg_added;
+        }
+        std::printf("\n");
+    }
+    std::printf("\n%s\n",
+                monotone
+                    ? "OK: missing monotonically falls, added "
+                      "monotonically grows with k"
+                    : "MISMATCH: non-monotone trade-off");
+    return monotone ? 0 : 1;
+}

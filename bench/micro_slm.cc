@@ -1,0 +1,99 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for SLM training, querying, and
+ * divergence computation -- the inner loops of the pipeline.
+ */
+#include <benchmark/benchmark.h>
+
+#include "divergence/metrics.h"
+#include "divergence/word_set.h"
+#include "slm/model.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace rock;
+
+std::vector<std::vector<int>>
+random_sequences(int count, int len, int alphabet, std::uint64_t seed)
+{
+    support::Rng rng(seed);
+    std::vector<std::vector<int>> out;
+    for (int i = 0; i < count; ++i) {
+        std::vector<int> seq;
+        for (int k = 0; k < len; ++k)
+            seq.push_back(static_cast<int>(rng.index(
+                static_cast<std::size_t>(alphabet))));
+        out.push_back(std::move(seq));
+    }
+    return out;
+}
+
+void
+BM_SlmTrain(benchmark::State& state)
+{
+    const int alphabet = 32;
+    auto seqs = random_sequences(static_cast<int>(state.range(0)), 7,
+                                 alphabet, 1);
+    slm::ModelConfig config;
+    config.kind = static_cast<slm::ModelKind>(state.range(1));
+    for (auto _ : state) {
+        auto model = slm::make_model(config, alphabet);
+        for (const auto& seq : seqs)
+            model->train(seq);
+        benchmark::DoNotOptimize(model);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(seqs.size()));
+}
+BENCHMARK(BM_SlmTrain)
+    ->Args({64, 0})
+    ->Args({512, 0})
+    ->Args({64, 1})
+    ->Args({64, 2});
+
+void
+BM_SlmSequenceProb(benchmark::State& state)
+{
+    const int alphabet = 32;
+    auto train = random_sequences(256, 7, alphabet, 1);
+    auto query = random_sequences(64, 7, alphabet, 2);
+    slm::ModelConfig config;
+    config.kind = static_cast<slm::ModelKind>(state.range(0));
+    auto model = slm::train_model(config, alphabet, train);
+    for (auto _ : state) {
+        double total = 0.0;
+        for (const auto& seq : query)
+            total += model->sequence_log_prob(seq);
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(query.size()));
+}
+BENCHMARK(BM_SlmSequenceProb)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_KlDivergence(benchmark::State& state)
+{
+    const int alphabet = 32;
+    auto sa = random_sequences(static_cast<int>(state.range(0)), 7,
+                               alphabet, 1);
+    auto sb = random_sequences(static_cast<int>(state.range(0)), 7,
+                               alphabet, 2);
+    slm::ModelConfig config;
+    auto a = slm::train_model(config, alphabet, sa);
+    auto b = slm::train_model(config, alphabet, sb);
+    divergence::WordSetConfig words_config;
+    auto words =
+        divergence::build_word_set(words_config, sa, sb, nullptr,
+                                   alphabet);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            divergence::kl_divergence(*a, *b, words));
+    }
+}
+BENCHMARK(BM_KlDivergence)->Arg(32)->Arg(128)->Arg(512);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+#include "analysis/analyze.h"
+
+#include <functional>
+#include <thread>
+
+#include "support/log.h"
+
+namespace rock::analysis {
+
+namespace {
+
+/**
+ * Run @p body(i) for every function index, on config.threads workers.
+ * Each index writes only its own output slot, so the merge is
+ * deterministic regardless of the thread count.
+ */
+void
+parallel_for(std::size_t count, int threads,
+             const std::function<void(std::size_t)>& body)
+{
+    if (threads <= 1 || count < 2) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    std::size_t num_workers = std::min<std::size_t>(
+        static_cast<std::size_t>(threads), count);
+    std::vector<std::thread> workers;
+    workers.reserve(num_workers);
+    for (std::size_t w = 0; w < num_workers; ++w) {
+        workers.emplace_back([&, w] {
+            for (std::size_t i = w; i < count; i += num_workers)
+                body(i);
+        });
+    }
+    for (auto& worker : workers)
+        worker.join();
+}
+
+} // namespace
+
+AnalysisResult
+analyze(const bir::BinaryImage& image, const SymExecConfig& config)
+{
+    AnalysisResult result;
+    result.vtables = scan_vtables(image);
+
+    SymbolicExecutor exec(image, result.vtables, config);
+
+    // `this`-callee seed: every function referenced from a vtable.
+    std::set<std::uint32_t> this_callees;
+    for (const auto& vt : result.vtables) {
+        for (std::uint32_t fn : vt.slots)
+            this_callees.insert(fn);
+    }
+
+    const std::size_t num_functions = image.functions.size();
+
+    // ---- Phase A: find ctor/dtor-like functions ------------------------
+    // A function is ctor-like when, executed with its first argument
+    // modeled as an object, that object ends up with a vtable address
+    // stored at offset 0.
+    std::vector<FunctionAnalysis> phase_a(num_functions);
+    parallel_for(num_functions, config.threads, [&](std::size_t i) {
+        phase_a[i] = exec.run(image.functions[i], this_callees, true);
+    });
+    for (std::size_t i = 0; i < num_functions; ++i) {
+        for (const auto& ev : phase_a[i].evidence) {
+            if (!ev.from_this_param)
+                continue;
+            auto primary = ev.vptr_stores.find(0);
+            if (primary != ev.vptr_stores.end()) {
+                result.ctor_types[image.functions[i].addr] =
+                    primary->second;
+                break;
+            }
+        }
+    }
+    phase_a.clear();
+
+    // ---- Phase B: final tracelets + evidence ---------------------------
+    std::set<std::uint32_t> full_callees = this_callees;
+    for (const auto& [fn, vt] : result.ctor_types)
+        full_callees.insert(fn);
+
+    std::vector<FunctionAnalysis> phase_b(num_functions);
+    parallel_for(num_functions, config.threads, [&](std::size_t i) {
+        bool arg0_is_object =
+            full_callees.count(image.functions[i].addr) != 0;
+        phase_b[i] = exec.run(image.functions[i], full_callees,
+                              arg0_is_object);
+    });
+    for (std::size_t i = 0; i < num_functions; ++i) {
+        FunctionAnalysis& fa = phase_b[i];
+        result.total_paths += fa.paths;
+        for (auto& [type, tracelets] : fa.tracelets) {
+            auto& out = result.type_tracelets[type];
+            out.insert(out.end(), tracelets.begin(), tracelets.end());
+        }
+        for (auto& ev : fa.evidence)
+            result.evidence.push_back(std::move(ev));
+    }
+
+    ROCK_LOG_INFO << "analyze: " << result.vtables.size() << " vtables, "
+                  << result.type_tracelets.size() << " typed, "
+                  << result.evidence.size() << " evidence records, "
+                  << result.total_paths << " paths";
+    return result;
+}
+
+} // namespace rock::analysis

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Whole-image behavioral analysis driver.
+ *
+ * Runs the two-phase pipeline over every function of a stripped image:
+ *
+ *  Phase A discovers constructor/destructor-like functions (functions
+ *  that store a vtable address into their first argument) by executing
+ *  every function with arg0 modeled as an object.
+ *
+ *  Phase B re-executes with the full `this`-callee set (vtable members
+ *  + ctor-like functions) to classify argument-passing events
+ *  correctly, and collects the final tracelets and construction
+ *  evidence.
+ *
+ * Both phases are strictly intra-procedural and embarrassingly
+ * parallel across functions (paper Section 3.2 scalability argument).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/event.h"
+#include "analysis/symexec.h"
+#include "analysis/vtable_scan.h"
+#include "bir/image.h"
+
+namespace rock::analysis {
+
+/** Combined output of the behavioral analysis over one image. */
+struct AnalysisResult {
+    /** Discovered binary types. */
+    std::vector<VTableInfo> vtables;
+    /** TT(t): tracelets per type, keyed by vtable address. */
+    std::map<std::uint32_t, std::vector<Tracelet>> type_tracelets;
+    /** Construction evidence pooled over all functions. */
+    std::vector<ObjectEvidence> evidence;
+    /**
+     * Ctor-like functions: address -> primary vtable they install at
+     * object offset 0.
+     */
+    std::map<std::uint32_t, std::uint32_t> ctor_types;
+    /** Total completed symbolic paths (diagnostics). */
+    long total_paths = 0;
+};
+
+/** Analyze @p image: discover vtables, extract tracelets + evidence. */
+AnalysisResult analyze(const bir::BinaryImage& image,
+                       const SymExecConfig& config = {});
+
+} // namespace rock::analysis

@@ -1,0 +1,89 @@
+#include "analysis/event.h"
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace rock::analysis {
+
+std::string
+to_string(const Event& event)
+{
+    using support::format;
+    switch (event.kind) {
+      case EventKind::VirtCall:
+        if (event.aux != 0)
+            return format("C(%u@%u)", event.index, event.aux);
+        return format("C(%u)", event.index);
+      case EventKind::ReadField:
+        return format("R(%u)", event.index);
+      case EventKind::WriteField:
+        return format("W(%u)", event.index);
+      case EventKind::PassedThis:
+        return "this";
+      case EventKind::PassedArg:
+        return format("Arg(%u)", event.index);
+      case EventKind::Returned:
+        return "ret";
+      case EventKind::CallDirect:
+        return format("call(0x%x)", event.index);
+    }
+    return "?";
+}
+
+std::string
+to_string(const Tracelet& tracelet)
+{
+    std::vector<std::string> parts;
+    parts.reserve(tracelet.size());
+    for (const auto& event : tracelet)
+        parts.push_back(to_string(event));
+    return support::join(parts, ";");
+}
+
+int
+Alphabet::intern(const Event& event)
+{
+    auto [it, inserted] =
+        ids_.emplace(event, static_cast<int>(events_.size()));
+    if (inserted)
+        events_.push_back(event);
+    return it->second;
+}
+
+int
+Alphabet::lookup(const Event& event) const
+{
+    auto it = ids_.find(event);
+    return it == ids_.end() ? -1 : it->second;
+}
+
+const Event&
+Alphabet::event(int symbol) const
+{
+    ROCK_ASSERT(symbol >= 0 &&
+                symbol < static_cast<int>(events_.size()),
+                "symbol out of range");
+    return events_[static_cast<std::size_t>(symbol)];
+}
+
+std::vector<int>
+Alphabet::intern(const Tracelet& tracelet)
+{
+    std::vector<int> out;
+    out.reserve(tracelet.size());
+    for (const auto& event : tracelet)
+        out.push_back(intern(event));
+    return out;
+}
+
+std::vector<int>
+Alphabet::lookup(const Tracelet& tracelet) const
+{
+    std::vector<int> out;
+    out.reserve(tracelet.size());
+    for (const auto& event : tracelet)
+        out.push_back(lookup(event));
+    return out;
+}
+
+} // namespace rock::analysis

@@ -1,0 +1,107 @@
+#include "bir/image.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace rock::bir {
+
+bool
+BinaryImage::in_code(std::uint32_t addr) const
+{
+    return addr >= code_base && addr < code_base + code.size();
+}
+
+bool
+BinaryImage::in_data(std::uint32_t addr) const
+{
+    return addr >= data_base && addr < data_base + data.size();
+}
+
+std::optional<std::uint32_t>
+BinaryImage::read_data_word(std::uint32_t addr) const
+{
+    if (addr < data_base)
+        return std::nullopt;
+    std::size_t off = addr - data_base;
+    if (off + kWordSize > data.size())
+        return std::nullopt;
+    return static_cast<std::uint32_t>(data[off]) |
+           (static_cast<std::uint32_t>(data[off + 1]) << 8) |
+           (static_cast<std::uint32_t>(data[off + 2]) << 16) |
+           (static_cast<std::uint32_t>(data[off + 3]) << 24);
+}
+
+bool
+BinaryImage::is_function_start(std::uint32_t addr) const
+{
+    if (addr == kAllocStub || addr == kPurecallStub)
+        return true;
+    return function_at(addr) != nullptr;
+}
+
+const FunctionEntry*
+BinaryImage::function_at(std::uint32_t addr) const
+{
+    auto it = std::lower_bound(
+        functions.begin(), functions.end(), addr,
+        [](const FunctionEntry& fn, std::uint32_t a) { return fn.addr < a; });
+    if (it != functions.end() && it->addr == addr)
+        return &*it;
+    return nullptr;
+}
+
+std::vector<Instr>
+BinaryImage::decode_function(const FunctionEntry& fn) const
+{
+    ROCK_ASSERT(in_code(fn.addr), "function outside code section");
+    std::vector<Instr> out;
+    std::size_t off = fn.addr - code_base;
+    std::size_t end = off + fn.size;
+    ROCK_ASSERT(end <= code.size(), "function extends past code section");
+    while (off < end) {
+        auto instr = decode(code, off);
+        if (!instr)
+            support::fatal("undecodable instruction at " +
+                           support::hex(code_base + off));
+        out.push_back(*instr);
+        off += kInstrSize;
+    }
+    return out;
+}
+
+std::string
+BinaryImage::name_of(std::uint32_t addr) const
+{
+    if (addr == kAllocStub)
+        return "operator_new";
+    if (addr == kPurecallStub)
+        return "_purecall";
+    auto it = symbols.find(addr);
+    if (it != symbols.end())
+        return it->second;
+    return support::format("sub_%x", addr);
+}
+
+std::string
+BinaryImage::disassemble() const
+{
+    std::ostringstream out;
+    for (const auto& fn : functions) {
+        out << name_of(fn.addr) << ":  ; " << support::hex(fn.addr)
+            << "\n";
+        std::uint32_t addr = fn.addr;
+        for (const auto& instr : decode_function(fn)) {
+            out << "  " << support::hex(addr) << "  "
+                << to_string(instr) << "\n";
+            addr += kInstrSize;
+        }
+    }
+    out << "; data section @ " << support::hex(data_base) << ", "
+        << data.size() << " bytes\n";
+    return out.str();
+}
+
+} // namespace rock::bir

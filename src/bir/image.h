@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The binary image: what a stripped executable looks like to Rock.
+ *
+ * A BinaryImage models the parts of a linked executable the paper's
+ * analyses consume:
+ *
+ *  - a code section of raw VM32 bytes,
+ *  - a data section of raw bytes holding vtables (arrays of code
+ *    addresses) and, when not stripped, RTTI records,
+ *  - a function table (start address + size). Function-boundary
+ *    identification in real binaries is an orthogonal, solved problem
+ *    (e.g. ByteWeight); we assume boundaries are known, as the paper's
+ *    underlying framework [21] does,
+ *  - the addresses of runtime stubs every MSVC-like binary imports:
+ *    the allocator (operator new) and the pure-virtual-call trap
+ *    (_purecall). These are recognizable from the import table of a
+ *    real binary, so the analyzer may rely on them,
+ *  - an *optional* symbol table and RTTI flag. Stripped images carry
+ *    neither; the analysis layer must never read them. They exist so
+ *    tests can compare against non-stripped builds.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bir/isa.h"
+
+namespace rock::bir {
+
+/** Default base address of the code section. */
+inline constexpr std::uint32_t kCodeBase = 0x1000;
+
+/** Default base address of the data section. */
+inline constexpr std::uint32_t kDataBase = 0x100000;
+
+/** Address of the imported allocator stub (operator new). */
+inline constexpr std::uint32_t kAllocStub = 0x400;
+
+/** Address of the imported pure-virtual-call trap (_purecall). */
+inline constexpr std::uint32_t kPurecallStub = 0x408;
+
+/** Magic word tagging an RTTI record in the data section. */
+inline constexpr std::uint32_t kRttiMagic = 0x49545452; // "RTTI"
+
+/** A function boundary entry. */
+struct FunctionEntry {
+    std::uint32_t addr = 0;
+    std::uint32_t size = 0; ///< in bytes
+
+    bool operator==(const FunctionEntry&) const = default;
+};
+
+/** A linked (possibly stripped) VM32 executable. */
+class BinaryImage {
+  public:
+    std::vector<std::uint8_t> code;
+    std::vector<std::uint8_t> data;
+    std::uint32_t code_base = kCodeBase;
+    std::uint32_t data_base = kDataBase;
+
+    /** Known function boundaries, sorted by address. */
+    std::vector<FunctionEntry> functions;
+
+    /** Symbol table; empty when the binary is stripped. */
+    std::map<std::uint32_t, std::string> symbols;
+
+    /** Whether RTTI records were retained in the data section. */
+    bool has_rtti = false;
+
+    /** @return true when @p addr falls inside the code section. */
+    bool in_code(std::uint32_t addr) const;
+
+    /** @return true when @p addr falls inside the data section. */
+    bool in_data(std::uint32_t addr) const;
+
+    /**
+     * Read a 32-bit little-endian word from the data section.
+     * @return std::nullopt when @p addr is out of range/unaligned.
+     */
+    std::optional<std::uint32_t> read_data_word(std::uint32_t addr) const;
+
+    /**
+     * @return true when @p addr is the start of a known function, or an
+     *         imported stub (allocator / purecall).
+     */
+    bool is_function_start(std::uint32_t addr) const;
+
+    /** Find the function entry starting at exactly @p addr. */
+    const FunctionEntry* function_at(std::uint32_t addr) const;
+
+    /** Decode the body of @p fn into instructions. */
+    std::vector<Instr> decode_function(const FunctionEntry& fn) const;
+
+    /** Symbol at @p addr, or a synthetic sub_XXXX-style name. */
+    std::string name_of(std::uint32_t addr) const;
+
+    /** Full-image disassembly listing (for debugging / examples). */
+    std::string disassemble() const;
+};
+
+} // namespace rock::bir

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The VM32 instruction set.
+ *
+ * VM32 is the synthetic 32-bit ISA this reproduction compiles to and
+ * analyzes. It stands in for the paper's x86/MSVC binaries: it has just
+ * enough surface to express the artifacts Rock's analyses consume --
+ * vtable-pointer stores, field loads/stores, direct and indirect calls,
+ * argument passing, and control flow.
+ *
+ * Every instruction is encoded in exactly 8 bytes:
+ *
+ *   byte 0      opcode
+ *   byte 1..3   register / small operands (a, b, c)
+ *   byte 4..7   32-bit little-endian immediate
+ *
+ * The fixed width keeps decoding trivial while still forcing the
+ * analysis layer to work from raw bytes, exactly like a disassembler
+ * built on capstone would.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rock::bir {
+
+/** Number of general-purpose registers (r0..r15). */
+inline constexpr int kNumRegs = 16;
+
+/** Size of one encoded instruction in bytes. */
+inline constexpr std::uint32_t kInstrSize = 8;
+
+/** Size of one pointer/slot in the data section. */
+inline constexpr std::uint32_t kWordSize = 4;
+
+/** VM32 opcodes. */
+enum class Op : std::uint8_t {
+    Nop = 0,
+    /** a = imm. Used for constants, vtable addresses, function addrs. */
+    MovImm,
+    /** a = b. */
+    MovReg,
+    /** a = mem[b + imm]. */
+    Load,
+    /** mem[a + imm] = b. */
+    Store,
+    /** a = b + imm (signed). Pointer adjustment, arithmetic. */
+    AddImm,
+    /** Direct call to code address imm. */
+    Call,
+    /** Indirect call to the address held in register a. */
+    CallInd,
+    /** Outgoing argument slot a = register b. */
+    SetArg,
+    /** a = incoming argument slot b. */
+    GetArg,
+    /** a = return value of the most recent call. */
+    GetRet,
+    /** Return the value in register a. */
+    RetVal,
+    /** Return with no value. */
+    Ret,
+    /** Unconditional jump to code address imm. */
+    Jmp,
+    /** Jump to code address imm when register a is non-zero. */
+    Jnz,
+    /** Jump to code address imm when register a is zero. */
+    Jz,
+};
+
+/** A decoded VM32 instruction. */
+struct Instr {
+    Op op = Op::Nop;
+    std::uint8_t a = 0;
+    std::uint8_t b = 0;
+    std::uint8_t c = 0;
+    std::uint32_t imm = 0;
+
+    bool operator==(const Instr&) const = default;
+};
+
+/** Encode @p instr into 8 bytes appended to @p out. */
+void encode(const Instr& instr, std::vector<std::uint8_t>& out);
+
+/**
+ * Decode one instruction from @p bytes at @p offset.
+ *
+ * @return std::nullopt when fewer than 8 bytes remain or the opcode
+ *         byte is not a valid Op.
+ */
+std::optional<Instr> decode(const std::vector<std::uint8_t>& bytes,
+                            std::size_t offset);
+
+/** Human-readable mnemonic for @p op. */
+std::string op_name(Op op);
+
+/** Disassemble @p instr (no address column). */
+std::string to_string(const Instr& instr);
+
+} // namespace rock::bir

@@ -1,0 +1,163 @@
+#include "bir/serialize.h"
+
+#include <fstream>
+
+#include "support/error.h"
+
+namespace rock::bir {
+
+using support::fatal;
+
+namespace {
+
+void
+put_u32(std::vector<std::uint8_t>& out, std::uint32_t value)
+{
+    out.push_back(static_cast<std::uint8_t>(value & 0xff));
+    out.push_back(static_cast<std::uint8_t>((value >> 8) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((value >> 16) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((value >> 24) & 0xff));
+}
+
+class Reader {
+  public:
+    explicit Reader(const std::vector<std::uint8_t>& bytes)
+        : bytes_(bytes) {}
+
+    std::uint32_t
+    u32()
+    {
+        if (pos_ + 4 > bytes_.size())
+            fatal("truncated VMI image");
+        std::uint32_t value =
+            static_cast<std::uint32_t>(bytes_[pos_]) |
+            (static_cast<std::uint32_t>(bytes_[pos_ + 1]) << 8) |
+            (static_cast<std::uint32_t>(bytes_[pos_ + 2]) << 16) |
+            (static_cast<std::uint32_t>(bytes_[pos_ + 3]) << 24);
+        pos_ += 4;
+        return value;
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (pos_ >= bytes_.size())
+            fatal("truncated VMI image");
+        return bytes_[pos_++];
+    }
+
+    std::vector<std::uint8_t>
+    blob(std::size_t size)
+    {
+        if (pos_ + size > bytes_.size())
+            fatal("truncated VMI image");
+        std::vector<std::uint8_t> out(bytes_.begin() +
+                                          static_cast<long>(pos_),
+                                      bytes_.begin() +
+                                          static_cast<long>(pos_ +
+                                                            size));
+        pos_ += size;
+        return out;
+    }
+
+    std::string
+    str(std::size_t size)
+    {
+        auto bytes = blob(size);
+        return std::string(bytes.begin(), bytes.end());
+    }
+
+    bool done() const { return pos_ == bytes_.size(); }
+
+  private:
+    const std::vector<std::uint8_t>& bytes_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::vector<std::uint8_t>
+save_image(const BinaryImage& image)
+{
+    std::vector<std::uint8_t> out;
+    put_u32(out, kImageMagic);
+    put_u32(out, image.code_base);
+    put_u32(out, image.data_base);
+    put_u32(out, static_cast<std::uint32_t>(image.code.size()));
+    out.insert(out.end(), image.code.begin(), image.code.end());
+    put_u32(out, static_cast<std::uint32_t>(image.data.size()));
+    out.insert(out.end(), image.data.begin(), image.data.end());
+    put_u32(out, static_cast<std::uint32_t>(image.functions.size()));
+    for (const auto& fn : image.functions) {
+        put_u32(out, fn.addr);
+        put_u32(out, fn.size);
+    }
+    out.push_back(image.has_rtti ? 1 : 0);
+    put_u32(out, static_cast<std::uint32_t>(image.symbols.size()));
+    for (const auto& [addr, name] : image.symbols) {
+        put_u32(out, addr);
+        put_u32(out, static_cast<std::uint32_t>(name.size()));
+        out.insert(out.end(), name.begin(), name.end());
+    }
+    return out;
+}
+
+BinaryImage
+load_image(const std::vector<std::uint8_t>& bytes)
+{
+    Reader reader(bytes);
+    if (reader.u32() != kImageMagic)
+        fatal("not a VMI image (bad magic)");
+    BinaryImage image;
+    image.code_base = reader.u32();
+    image.data_base = reader.u32();
+    image.code = reader.blob(reader.u32());
+    image.data = reader.blob(reader.u32());
+    std::uint32_t n_functions = reader.u32();
+    for (std::uint32_t i = 0; i < n_functions; ++i) {
+        FunctionEntry fn;
+        fn.addr = reader.u32();
+        fn.size = reader.u32();
+        if (!image.in_code(fn.addr) ||
+            fn.addr + fn.size > image.code_base + image.code.size()) {
+            fatal("VMI image: function outside code section");
+        }
+        image.functions.push_back(fn);
+    }
+    image.has_rtti = reader.u8() != 0;
+    std::uint32_t n_symbols = reader.u32();
+    for (std::uint32_t i = 0; i < n_symbols; ++i) {
+        std::uint32_t addr = reader.u32();
+        image.symbols[addr] = reader.str(reader.u32());
+    }
+    if (!reader.done())
+        fatal("VMI image: trailing bytes");
+    return image;
+}
+
+void
+write_image_file(const BinaryImage& image, const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open '" + path + "' for writing");
+    auto bytes = save_image(image);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<long>(bytes.size()));
+    if (!out)
+        fatal("write to '" + path + "' failed");
+}
+
+BinaryImage
+read_image_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '" + path + "'");
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    return load_image(bytes);
+}
+
+} // namespace rock::bir

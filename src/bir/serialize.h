@@ -1,0 +1,44 @@
+/**
+ * @file
+ * On-disk format for BinaryImages ("VMI1").
+ *
+ * Lets the command-line tools pass binaries between compile, dump,
+ * and reconstruction steps, exactly like object files would:
+ *
+ *   [magic "VMI1"] [code_base] [data_base]
+ *   [code_size] [code bytes]
+ *   [data_size] [data bytes]
+ *   [n_functions] { [addr] [size] }*
+ *   [has_rtti: u8]
+ *   [n_symbols] { [addr] [name_len] [name bytes] }*
+ *
+ * All integers are 32-bit little-endian. load_image() validates
+ * structure and raises support::FatalError on malformed input.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bir/image.h"
+
+namespace rock::bir {
+
+/** Magic header word of the VMI1 format. */
+inline constexpr std::uint32_t kImageMagic = 0x31494d56; // "VMI1"
+
+/** Serialize @p image into a byte buffer. */
+std::vector<std::uint8_t> save_image(const BinaryImage& image);
+
+/** Parse an image from @p bytes. Fatal on malformed input. */
+BinaryImage load_image(const std::vector<std::uint8_t>& bytes);
+
+/** Write @p image to @p path. Fatal on I/O failure. */
+void write_image_file(const BinaryImage& image,
+                      const std::string& path);
+
+/** Read an image from @p path. Fatal on I/O or format failure. */
+BinaryImage read_image_file(const std::string& path);
+
+} // namespace rock::bir

@@ -1,0 +1,499 @@
+#include "corpus/benchmarks.h"
+
+#include "corpus/builder.h"
+#include "support/error.h"
+
+namespace rock::corpus {
+
+using toyc::CompileOptions;
+
+namespace {
+
+/**
+ * A clean tree: binary-heap shaped, every child introduces
+ * @p child_methods new virtual methods, constructor cues intact, so
+ * the structural analysis alone resolves it (paper Section 5.2 rule
+ * 3). Class i's parent is class (i-1)/2.
+ */
+void
+clean_tree(ProgramBuilder& b, const std::string& prefix, int total,
+           int child_methods = 1)
+{
+    for (int i = 0; i < total; ++i) {
+        std::string name = prefix + std::to_string(i);
+        std::vector<std::string> methods;
+        if (i == 0) {
+            methods = {"op_" + name, "go_" + name};
+        } else {
+            for (int m = 0; m < child_methods; ++m) {
+                methods.push_back("op" + std::to_string(m) + "_" +
+                                  name);
+            }
+        }
+        std::vector<std::string> parents;
+        if (i > 0)
+            parents = {prefix + std::to_string((i - 1) / 2)};
+        b.cls(name, parents, methods, {}, 1 + i % 3);
+        b.motif(name, methods);
+    }
+}
+
+/**
+ * A star of structurally equivalent types: the root declares three
+ * virtual methods; every child overrides two of them (the third stays
+ * shared -- the family fingerprint) and adds nothing, so all member
+ * vtables have identical sizes; constructor cues are inlined away.
+ * Structure admits (k+1)^k hierarchies; behavior must disambiguate.
+ *
+ * @param twin_mod when > 0, children reuse behavioral motifs modulo
+ *        this value, creating behavioral twins the SLM cannot
+ *        separate (the noise driving Analyzer/Smoothing errors).
+ */
+void
+star_family(ProgramBuilder& b, const std::string& prefix, int children,
+            CompileOptions& opts, int twin_mod = 0)
+{
+    std::string root = prefix + "R";
+    std::string a = "base_" + prefix;
+    std::string m = "mid_" + prefix;
+    std::string x = "ext_" + prefix;
+    b.cls(root, {}, {a, m, x}, {}, 1);
+    b.motif(root, {a, m});
+    for (int i = 0; i < children; ++i) {
+        std::string name = prefix + std::to_string(i);
+        int v = twin_mod > 0 ? i % twin_mod : i;
+        // Twins share their field layout too: identical tag offsets
+        // leave the SLM with (almost) nothing to separate them by.
+        b.cls(name, {root}, {}, {m, x}, 1 + v);
+        opts.force_inline_parent_ctor.insert(name);
+        std::vector<std::string> motif{x};
+        for (int k = 0; k <= v % 3; ++k)
+            motif.push_back(m);
+        if (v & 1)
+            motif.push_back(x);
+        if (v & 4)
+            motif.push_back(a);
+        if (v & 8)
+            motif.push_back(x);
+        b.motif(name, motif);
+    }
+}
+
+/**
+ * A tree whose root gets separated from its children: every child
+ * overrides *all* inherited methods (no shared vtable entries, paper
+ * Section 5.1 caveat) and its parent-constructor call is inlined
+ * (no rule-3 evidence). The binary shows the root and each child as
+ * unrelated singleton families; every child subtree is lost from the
+ * root's successor set (the tinyxml error mode).
+ */
+void
+split_tree(ProgramBuilder& b, const std::string& prefix, int children,
+           CompileOptions& opts)
+{
+    std::string root = prefix + "R";
+    std::string p = "p_" + prefix;
+    std::string q = "q_" + prefix;
+    b.cls(root, {}, {p, q}, {}, 1);
+    b.motif(root, {p, q});
+    for (int i = 0; i < children; ++i) {
+        std::string name = prefix + std::to_string(i);
+        b.cls(name, {root}, {"own_" + name}, {p, q}, 1 + i % 4);
+        opts.force_inline_parent_ctor.insert(name);
+        b.motif(name, {"own_" + name});
+    }
+}
+
+/**
+ * Two concrete siblings under an abstract base that the optimizer
+ * removes from the binary (the CGridListCtrlEx / Fig. 9 situation).
+ * The siblings inherit concrete implementations from the base, so
+ * they share vtable entries and form one two-member family whose
+ * ground truth is two separate roots.
+ */
+void
+spliced_pair(ProgramBuilder& b, const std::string& prefix)
+{
+    std::string base = prefix + "Base";
+    std::string h = "h_" + prefix;
+    std::string u = "u_" + prefix;
+    std::string v = "v_" + prefix;
+    b.cls(base, {}, {h, u, v}, {}, 1);
+    b.pure(base, h);
+    b.motif(base, {u, v});
+    std::string left = prefix + "L";
+    std::string right = prefix + "Rt";
+    b.cls(left, {base}, {"own_" + left}, {h}, 1);
+    b.motif(left, {h, "own_" + left});
+    b.cls(right, {base}, {"own_" + right}, {h}, 2);
+    b.motif(right, {"own_" + right, h});
+}
+
+/**
+ * A small tree prepared to receive a folded singleton: the root has
+ * 2 slots (one real method + one noise method), children jump to 4
+ * slots. A singleton with 3 slots whose noise method folds with the
+ * root's can then only attach under the root (rule 1 excludes the
+ * children), keeping the benchmark structurally resolvable while
+ * contaminating the root's successor set (the AntispyComplete error
+ * mode).
+ */
+void
+fold_target_tree(ProgramBuilder& b, const std::string& prefix,
+                 int children, int noise_id)
+{
+    std::string root = prefix + "R";
+    b.cls(root, {}, {"op_" + root}, {}, 1);
+    b.noise_method(root, "noise_" + prefix, noise_id);
+    b.motif(root, {"op_" + root});
+    for (int i = 0; i < children; ++i) {
+        std::string name = prefix + std::to_string(i);
+        b.cls(name, {root},
+              {"op0_" + name, "op1_" + name}, {}, 1 + i % 3);
+        b.motif(name, {"op0_" + name, "op1_" + name});
+    }
+}
+
+/** The singleton folded into @p prefix's fold_target_tree. */
+void
+folded_singleton(ProgramBuilder& b, const std::string& prefix,
+                 const std::string& name, int noise_id)
+{
+    b.cls(name, {}, {"alpha_" + name, "beta_" + name}, {}, 1);
+    b.noise_method(name, "noise2_" + prefix, noise_id);
+    b.motif(name, {"alpha_" + name, "beta_" + name});
+}
+
+/** Shared wrapper: build the CorpusProgram from a builder. */
+CorpusProgram
+finish(ProgramBuilder& b, const std::string& name, CompileOptions opts)
+{
+    b.standard_scenarios(2);
+    CorpusProgram program;
+    program.name = name;
+    program.program = b.build();
+    program.options = std::move(opts);
+    return program;
+}
+
+// --------------------------------------------------------------------
+// Structurally resolvable benchmarks (above the line in Table 2)
+// --------------------------------------------------------------------
+
+CorpusProgram
+bench_antispy()
+{
+    // 3 types: A <- B (cue-resolved) plus an unrelated singleton C
+    // folded into A's family; C can only sit under A. 1 added type.
+    ProgramBuilder b("AntispyComplete");
+    CompileOptions opts;
+    fold_target_tree(b, "A", 1, 100);
+    folded_singleton(b, "A", "Spy", 100);
+    return finish(b, "AntispyComplete", opts);
+}
+
+CorpusProgram
+bench_bafprp()
+{
+    // 23 types: a clean 15-type tree plus a split tree whose root
+    // loses its 7 children: 7 missing over 23 = 0.30.
+    ProgramBuilder b("bafprp");
+    CompileOptions opts;
+    clean_tree(b, "T", 15);
+    split_tree(b, "S", 7, opts);
+    return finish(b, "bafprp", opts);
+}
+
+CorpusProgram
+bench_cppcheck()
+{
+    ProgramBuilder b("cppcheck");
+    CompileOptions opts;
+    clean_tree(b, "T", 3);
+    clean_tree(b, "U", 3);
+    return finish(b, "cppcheck", opts);
+}
+
+CorpusProgram
+bench_midilib()
+{
+    ProgramBuilder b("MidiLib");
+    CompileOptions opts;
+    clean_tree(b, "T", 8);
+    clean_tree(b, "U", 7);
+    clean_tree(b, "V", 5);
+    return finish(b, "MidiLib", opts);
+}
+
+CorpusProgram
+bench_patl()
+{
+    ProgramBuilder b("patl");
+    CompileOptions opts;
+    clean_tree(b, "T", 2);
+    clean_tree(b, "U", 2);
+    return finish(b, "patl", opts);
+}
+
+CorpusProgram
+bench_pop3()
+{
+    ProgramBuilder b("pop3");
+    CompileOptions opts;
+    clean_tree(b, "T", 2);
+    return finish(b, "pop3", opts);
+}
+
+CorpusProgram
+bench_smtp()
+{
+    ProgramBuilder b("smtp");
+    CompileOptions opts;
+    clean_tree(b, "S", 2);
+    return finish(b, "smtp", opts);
+}
+
+CorpusProgram
+bench_tinyxml()
+{
+    // 9 types: one tree, every child overrides everything -> the
+    // root is placed in a separate family and loses all 8 children:
+    // 8 missing over 9 = 0.89 (the paper's worst missing score).
+    ProgramBuilder b("tinyxml");
+    CompileOptions opts;
+    split_tree(b, "X", 8, opts);
+    return finish(b, "tinyxml", opts);
+}
+
+CorpusProgram
+bench_tinyxmlstl()
+{
+    // 15 types: a 10-type split tree (9 missing -> 0.6) plus a
+    // fold-target tree with one folded singleton (added types).
+    ProgramBuilder b("tinyxmlSTL");
+    CompileOptions opts;
+    split_tree(b, "X", 9, opts);
+    fold_target_tree(b, "F", 3, 101);
+    folded_singleton(b, "F", "Stl", 101);
+    return finish(b, "tinyxmlSTL", opts);
+}
+
+CorpusProgram
+bench_yafe()
+{
+    // 15 types: three fold-target trees each receiving one folded
+    // singleton: 3 added over 15 = 0.2.
+    ProgramBuilder b("yafe");
+    CompileOptions opts;
+    fold_target_tree(b, "A", 2, 110);
+    folded_singleton(b, "A", "Fe1", 110);
+    fold_target_tree(b, "B", 2, 111);
+    folded_singleton(b, "B", "Fe2", 111);
+    fold_target_tree(b, "C", 2, 112);
+    folded_singleton(b, "C", "Fe3", 112);
+    clean_tree(b, "T", 3);
+    return finish(b, "yafe", opts);
+}
+
+// --------------------------------------------------------------------
+// Structurally unresolvable benchmarks (below the line)
+// --------------------------------------------------------------------
+
+CorpusProgram
+bench_analyzer()
+{
+    // 24 types: two 8-member equivalent stars with behavioral twins
+    // (SLM errors expected), a split tree losing 5 children
+    // (0.21 missing), and a clean pair.
+    ProgramBuilder b("Analyzer");
+    CompileOptions opts;
+    star_family(b, "P", 7, opts, /*twin_mod=*/3);
+    star_family(b, "Q", 7, opts, /*twin_mod=*/3);
+    split_tree(b, "S", 5, opts);
+    clean_tree(b, "T", 2);
+    return finish(b, "Analyzer", opts);
+}
+
+CorpusProgram
+bench_cgridlistctrlex()
+{
+    // 28 types: four clean cue-resolved trees plus two sibling pairs
+    // whose abstract parents are optimized out (Fig. 9 splicing).
+    ProgramBuilder b("CGridListCtrlEx");
+    CompileOptions opts;
+    clean_tree(b, "T", 8);
+    clean_tree(b, "U", 7);
+    clean_tree(b, "V", 5);
+    clean_tree(b, "W", 4);
+    spliced_pair(b, "Edit");
+    spliced_pair(b, "Dlg");
+    return finish(b, "CGridListCtrlEx", opts);
+}
+
+CorpusProgram
+bench_echoparams()
+{
+    // Reuse the motivating-example program (4 structurally
+    // equivalent types; 64 structurally co-optimal hierarchies).
+    CorpusProgram program = echoparams_program();
+    program.name = "echoparams";
+    return program;
+}
+
+CorpusProgram
+bench_gperf()
+{
+    // 10 types: a 7-member star with fully distinct behaviors (the
+    // SLM resolves it) plus a clean 3-type tree.
+    ProgramBuilder b("gperf");
+    CompileOptions opts;
+    star_family(b, "G", 6, opts, /*twin_mod=*/0);
+    clean_tree(b, "T", 3);
+    return finish(b, "gperf", opts);
+}
+
+CorpusProgram
+bench_libctemplate()
+{
+    // 36 types: a split tree losing 9 children (0.25 missing), three
+    // spliced pairs, a small distinct star, two clean trees.
+    ProgramBuilder b("libctemplate");
+    CompileOptions opts;
+    split_tree(b, "S", 9, opts);
+    spliced_pair(b, "Tmpl");
+    spliced_pair(b, "Dict");
+    spliced_pair(b, "Mod");
+    star_family(b, "L", 3, opts, /*twin_mod=*/0);
+    clean_tree(b, "T", 8);
+    clean_tree(b, "U", 8);
+    return finish(b, "libctemplate", opts);
+}
+
+CorpusProgram
+bench_showtraf()
+{
+    // 25 types: clean trees, one split pair (0.04 missing), two
+    // spliced pairs resolved behaviorally.
+    ProgramBuilder b("ShowTraf");
+    CompileOptions opts;
+    clean_tree(b, "T", 7);
+    clean_tree(b, "U", 6);
+    clean_tree(b, "V", 4);
+    clean_tree(b, "W", 2);
+    split_tree(b, "S", 1, opts);
+    spliced_pair(b, "Cap");
+    spliced_pair(b, "Flt");
+    return finish(b, "ShowTraf", opts);
+}
+
+CorpusProgram
+bench_smoothing()
+{
+    // 31 types: two 10-member twin stars, a split tree losing 6
+    // children (0.19 missing), and a clean 4-type tree.
+    ProgramBuilder b("Smoothing");
+    CompileOptions opts;
+    star_family(b, "P", 9, opts, /*twin_mod=*/4);
+    star_family(b, "Q", 9, opts, /*twin_mod=*/4);
+    split_tree(b, "S", 6, opts);
+    clean_tree(b, "T", 4);
+    return finish(b, "Smoothing", opts);
+}
+
+CorpusProgram
+bench_tdunittest()
+{
+    // 2 types: two unrelated equal-sized roots merged into one
+    // family by a folded method. Without SLMs each is a possible
+    // successor of the other (added 1.0); the single-root heuristic
+    // plus ranking keeps one direction (added 0.5).
+    ProgramBuilder b("td_unittest");
+    CompileOptions opts;
+    b.cls("Runner", {}, {"run_case", "report"}, {}, 1);
+    b.noise_method("Runner", "noise_td", 120);
+    b.motif("Runner", {"run_case", "report"});
+    b.cls("Fixture", {}, {"setup", "teardown"}, {}, 1);
+    b.noise_method("Fixture", "noise_td2", 120);
+    b.motif("Fixture", {"setup", "setup", "teardown"});
+    return finish(b, "td_unittest", opts);
+}
+
+CorpusProgram
+bench_tinyserver()
+{
+    // 4 types: an echoparams-like star where one sibling's behavior
+    // extends another's, so the SLM nests it under the sibling
+    // (1 added over 4 = 0.25) while structure alone admits the full
+    // 64 hierarchies (added 2.25).
+    ProgramBuilder b("tinyserver");
+    CompileOptions opts;
+    std::string root = "Conn";
+    b.cls(root, {}, {"open", "send", "close"}, {}, 1);
+    b.motif(root, {"open", "send"});
+    const char* names[3] = {"TcpConn", "UdpConn", "SslConn"};
+    const int fields[3] = {1, 2, 1}; // SslConn mirrors TcpConn
+    for (int i = 0; i < 3; ++i) {
+        b.cls(names[i], {root}, {}, {"send", "close"}, fields[i]);
+        opts.force_inline_parent_ctor.insert(names[i]);
+    }
+    b.motif("TcpConn", {"send", "close"});
+    b.motif("UdpConn", {"close", "open", "close"});
+    // SslConn behaves like TcpConn plus a handshake retry: its
+    // closest model is TcpConn, not Conn.
+    b.motif("SslConn", {"send", "close", "send", "close"});
+    return finish(b, "tinyserver", opts);
+}
+
+} // namespace
+
+std::vector<BenchmarkSpec>
+table2_benchmarks()
+{
+    std::vector<BenchmarkSpec> specs;
+    auto add = [&specs](CorpusProgram program, int types,
+                        bool resolvable, PaperRow paper) {
+        BenchmarkSpec spec;
+        spec.name = program.name;
+        spec.paper_types = types;
+        spec.paper_resolvable = resolvable;
+        spec.paper = paper;
+        spec.program = std::move(program);
+        specs.push_back(std::move(spec));
+    };
+
+    // Above the line: structural analysis suffices.
+    add(bench_antispy(), 3, true, {0.0, 0.33, 0.0, 0.33});
+    add(bench_bafprp(), 23, true, {0.3, 0.0, 0.3, 0.0});
+    add(bench_cppcheck(), 6, true, {0.0, 0.0, 0.0, 0.0});
+    add(bench_midilib(), 20, true, {0.0, 0.0, 0.0, 0.0});
+    add(bench_patl(), 4, true, {0.0, 0.0, 0.0, 0.0});
+    add(bench_pop3(), 2, true, {0.0, 0.0, 0.0, 0.0});
+    add(bench_smtp(), 2, true, {0.0, 0.0, 0.0, 0.0});
+    add(bench_tinyxml(), 9, true, {0.89, 0.0, 0.89, 0.0});
+    add(bench_tinyxmlstl(), 15, true, {0.6, 0.27, 0.6, 0.27});
+    add(bench_yafe(), 15, true, {0.0, 0.2, 0.0, 0.2});
+
+    // Below the line: behavioral ranking needed.
+    add(bench_analyzer(), 24, false, {0.21, 6.79, 0.25, 1.38});
+    add(bench_cgridlistctrlex(), 28, false, {0.0, 0.46, 0.07, 0.07});
+    add(bench_echoparams(), 4, false, {0.0, 2.25, 0.0, 0.0});
+    add(bench_gperf(), 10, false, {0.0, 3.8, 0.0, 0.5});
+    add(bench_libctemplate(), 36, false, {0.25, 0.33, 0.25, 0.11});
+    add(bench_showtraf(), 25, false, {0.04, 0.4, 0.04, 0.08});
+    add(bench_smoothing(), 31, false, {0.19, 7.9, 0.23, 1.1});
+    add(bench_tdunittest(), 2, false, {0.0, 1.0, 0.0, 0.5});
+    add(bench_tinyserver(), 4, false, {0.0, 2.25, 0.0, 0.25});
+    return specs;
+}
+
+BenchmarkSpec
+benchmark_by_name(const std::string& name)
+{
+    for (auto& spec : table2_benchmarks()) {
+        if (spec.name == name)
+            return spec;
+    }
+    support::fatal("unknown benchmark '" + name + "'");
+}
+
+} // namespace rock::corpus

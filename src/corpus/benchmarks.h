@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The 19 Table-2 benchmarks.
+ *
+ * The paper evaluates Rock on 19 stripped MSVC binaries built from
+ * open-source projects. Those binaries (and the MSVC toolchain) are
+ * not available here, so each benchmark is a synthetic toyc program
+ * engineered to reproduce the *published structure* of its row: the
+ * number of binary types, whether structure alone resolves the
+ * hierarchy, and the ambiguity class the paper describes per
+ * benchmark (family splits from fully-overriding subclasses, family
+ * merges from identical-COMDAT folding, structurally equivalent type
+ * sets, abstract parents optimized out). DESIGN.md Section 2
+ * documents the substitution; EXPERIMENTS.md reports paper-vs-
+ * measured numbers per row.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/examples.h"
+
+namespace rock::corpus {
+
+/** Numbers published in the paper's Table 2. */
+struct PaperRow {
+    double missing_nostat = 0.0;
+    double added_nostat = 0.0;
+    double missing_slm = 0.0;
+    double added_slm = 0.0;
+};
+
+/** One benchmark: program + published reference data. */
+struct BenchmarkSpec {
+    std::string name;
+    /** "num of types" column. */
+    int paper_types = 0;
+    /** Above the line in Table 2 (structural analysis suffices). */
+    bool paper_resolvable = false;
+    PaperRow paper;
+    CorpusProgram program;
+};
+
+/** All 19 benchmarks, in Table-2 order (resolvable first). */
+std::vector<BenchmarkSpec> table2_benchmarks();
+
+/** Lookup by name; fatal when unknown. */
+BenchmarkSpec benchmark_by_name(const std::string& name);
+
+} // namespace rock::corpus

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Terse construction of toyc programs for examples, tests and the
+ * benchmark corpus.
+ *
+ * The central behavioral idea mirrors the paper's Hypothesis 4.1: a
+ * derived type inherits its ancestors' behaviors and adds its own.
+ * ProgramBuilder therefore associates a *motif* (a short statement
+ * pattern over the class's methods) with every class, and
+ * add_scenario() emits a usage function whose body is the
+ * concatenation of all inherited motifs plus the class's own -- so
+ * tracelets of a child observably contain the tracelets of its
+ * parents.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "toyc/ast.h"
+
+namespace rock::corpus {
+
+/**
+ * Append a body pattern unique to integer @p id (the id encoded as a
+ * read/write sequence over flattened field @p field), guaranteeing the
+ * enclosing method does not fold with any other tagged method.
+ */
+void distinct_tag(std::vector<toyc::Stmt>& body, int id, int field = 0);
+
+/** Fluent builder over toyc::Program. */
+class ProgramBuilder {
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    /**
+     * Declare a class.
+     *
+     * @param name        class name
+     * @param parents     direct bases (empty = root)
+     * @param new_methods names of virtual methods introduced here
+     * @param overrides   names of inherited methods overridden here
+     * @param num_fields  own data fields
+     */
+    ProgramBuilder& cls(const std::string& name,
+                        std::vector<std::string> parents = {},
+                        std::vector<std::string> new_methods = {},
+                        std::vector<std::string> overrides = {},
+                        int num_fields = 1);
+
+    /** Mark @p method of @p name pure virtual (makes the class
+     *  abstract). */
+    ProgramBuilder& pure(const std::string& name,
+                         const std::string& method);
+
+    /** Append statements to the body of @p cls::@p method. */
+    ProgramBuilder& method_body(const std::string& cls,
+                                const std::string& method,
+                                std::vector<toyc::Stmt> body);
+
+    /** Append statements to @p cls's constructor body. */
+    ProgramBuilder& ctor_body(const std::string& cls,
+                              std::vector<toyc::Stmt> body);
+
+    /**
+     * Set the class's behavioral motif: method names called (in
+     * order) on instances by every scenario of this class and of its
+     * descendants.
+     */
+    ProgramBuilder& motif(const std::string& cls,
+                          std::vector<std::string> methods);
+
+    /**
+     * Emit a scenario (usage function) named use_<cls><suffix> that
+     * allocates an instance of @p cls and plays the motifs of all its
+     * ancestors (root first) followed by its own, then any @p extra
+     * statements on variable "obj".
+     */
+    ProgramBuilder& add_scenario(const std::string& cls,
+                                 std::vector<toyc::Stmt> extra = {},
+                                 const std::string& suffix = "");
+
+    /** Add a raw usage function. */
+    ProgramBuilder& usage(toyc::UsageFunc fn);
+
+    /**
+     * Emit @p per_class scenarios for every concrete class declared
+     * so far (abstract classes are skipped). Scenario k appends k
+     * extra calls of the class's last motif method, so repeated
+     * scenarios do not fold into one function.
+     */
+    ProgramBuilder& standard_scenarios(int per_class = 2);
+
+    /**
+     * Add a method whose body depends only on @p noise_id: two
+     * classes given the same noise_id (and the same object layout
+     * prefix) produce byte-identical functions that the linker folds,
+     * placing one pointer into both vtables -- the paper's error
+     * source 1. The method is appended to the vtable.
+     */
+    ProgramBuilder& noise_method(const std::string& cls,
+                                 const std::string& method,
+                                 int noise_id);
+
+    /** Finish and return the program. */
+    toyc::Program build();
+
+    /** Access the program under construction. */
+    toyc::Program& program() { return prog_; }
+
+  private:
+    toyc::ClassDecl& find(const std::string& name);
+    /** Motifs of @p cls's ancestor chain, root first, then its own. */
+    std::vector<std::string> full_behavior(const std::string& cls) const;
+
+    toyc::Program prog_;
+    std::vector<std::pair<std::string, std::vector<std::string>>>
+        motifs_;
+    int scenario_count_ = 0;
+    int tag_count_ = 0;
+};
+
+} // namespace rock::corpus

@@ -1,0 +1,232 @@
+#include "corpus/examples.h"
+
+#include "corpus/builder.h"
+
+namespace rock::corpus {
+
+using toyc::Stmt;
+using toyc::UsageFunc;
+
+namespace {
+
+/** Usage function: allocate @p cls and call @p methods in order. */
+UsageFunc
+driver(const std::string& name, const std::string& cls,
+       const std::vector<std::string>& methods)
+{
+    UsageFunc fn;
+    fn.name = name;
+    fn.body.push_back(Stmt::new_object("obj", cls));
+    for (const auto& m : methods)
+        fn.body.push_back(Stmt::virt_call("obj", m));
+    return fn;
+}
+
+} // namespace
+
+CorpusProgram
+streams_program()
+{
+    ProgramBuilder b("streams");
+    b.cls("Stream", {}, {"send"});
+    b.cls("ConfirmableStream", {"Stream"}, {"confirm"});
+    b.cls("FlushableStream", {"Stream"}, {"flush", "close"});
+
+    // The useX drivers of paper Fig. 3 (usage as seen in Fig. 5/7).
+    b.usage(driver("useStream", "Stream", {"send", "send", "send"}));
+    b.usage(driver("useConfirmableStream", "ConfirmableStream",
+                   {"send", "confirm", "send", "confirm", "send",
+                    "confirm"}));
+    b.usage(driver("useFlushableStream", "FlushableStream",
+                   {"send", "send", "send", "flush", "close"}));
+    // A couple of extra call sites so the models have more than a
+    // single observation per type.
+    b.usage(driver("useStream2", "Stream", {"send", "send", "send"}));
+    b.usage(driver("useConfirmableStream2", "ConfirmableStream",
+                   {"send", "confirm", "send", "confirm"}));
+    b.usage(driver("useFlushableStream2", "FlushableStream",
+                   {"send", "send", "flush", "close"}));
+
+    CorpusProgram result;
+    result.name = "streams";
+    result.program = b.build();
+    // Parent-constructor calls are inlined away: reproducing the
+    // paper's setting where structure alone cannot pick
+    // FlushableStream's parent.
+    result.options.parent_ctor_calls = false;
+    return result;
+}
+
+CorpusProgram
+datasources_program()
+{
+    ProgramBuilder b("datasources");
+    // Note the differing vtable sizes of the two middle classes:
+    // stripped binaries identify methods only by slot index, so two
+    // siblings whose distinguishing methods land on the same slot are
+    // behaviorally indistinguishable. Internal sources add two
+    // methods (localPath, refresh), external sources one
+    // (verifyCredentials), keeping the branches separable -- and
+    // letting structural rule 1 forbid External deriving from
+    // Internal outright.
+    b.cls("DataSource", {}, {"connect", "read"}, {}, 1);
+    b.cls("InternalDataSource", {"DataSource"},
+          {"localPath", "refresh"}, {}, 1);
+    b.cls("ExternalDataSource", {"DataSource"},
+          {"verifyCredentials"}, {}, 2);
+    b.cls("CachedInternalSource", {"InternalDataSource"}, {"evict"},
+          {}, 1);
+    b.cls("FileInternalSource", {"InternalDataSource"}, {"stat"}, {},
+          2);
+    b.cls("HttpExternalSource", {"ExternalDataSource"}, {"redirect"},
+          {}, 1);
+    b.cls("FtpExternalSource", {"ExternalDataSource"}, {"passive"},
+          {}, 2);
+
+    // Internal reads (paper Fig. 1, readInternal): the base pattern
+    // plus a refresh of the local mirror.
+    for (const char* cls :
+         {"InternalDataSource", "CachedInternalSource",
+          "FileInternalSource"}) {
+        b.usage(driver(std::string("readInternal_") + cls, cls,
+                       {"connect", "read", "refresh"}));
+        b.usage(driver(std::string("readInternalAgain_") + cls, cls,
+                       {"connect", "read", "refresh", "read"}));
+    }
+    // External reads (readExternal): the base pattern plus credential
+    // verification.
+    for (const char* cls :
+         {"ExternalDataSource", "HttpExternalSource",
+          "FtpExternalSource"}) {
+        b.usage(driver(std::string("readExternal_") + cls, cls,
+                       {"connect", "read", "verifyCredentials"}));
+        b.usage(driver(std::string("readExternalAgain_") + cls, cls,
+                       {"connect", "read", "verifyCredentials",
+                        "verifyCredentials"}));
+    }
+    // Base usage.
+    b.usage(driver("probe_DataSource", "DataSource",
+                   {"connect", "read"}));
+    b.usage(driver("probe_DataSource2", "DataSource",
+                   {"connect", "read", "read"}));
+    // Subtype-specific touches that keep the leaves distinguishable.
+    b.usage(driver("cache_sweep", "CachedInternalSource",
+                   {"connect", "read", "refresh", "evict"}));
+    b.usage(driver("file_stat", "FileInternalSource",
+                   {"connect", "read", "refresh", "stat"}));
+    b.usage(driver("http_redirect", "HttpExternalSource",
+                   {"connect", "read", "verifyCredentials",
+                    "redirect"}));
+    b.usage(driver("ftp_passive", "FtpExternalSource",
+                   {"connect", "read", "verifyCredentials",
+                    "passive"}));
+
+    CorpusProgram result;
+    result.name = "datasources";
+    result.program = b.build();
+    result.options.parent_ctor_calls = false;
+    return result;
+}
+
+CorpusProgram
+echoparams_program()
+{
+    // Four structurally equivalent types: identical slot counts, a
+    // shared inherited implementation (m0), no constructor cues --
+    // 4^3 = 64 structurally co-optimal hierarchies (Section 6.4).
+    ProgramBuilder b("echoparams");
+    b.cls("Handler", {}, {"m0", "m1", "m2"});
+    b.cls("EchoText", {"Handler"}, {}, {"m1", "m2"});
+    b.cls("EchoHex", {"Handler"}, {}, {"m1", "m2"}, 2);
+    b.cls("EchoJson", {"Handler"}, {}, {"m1", "m2"}, 3);
+
+    b.usage(driver("run_base", "Handler", {"m0", "m1"}));
+    b.usage(driver("run_base2", "Handler", {"m0", "m1"}));
+    b.usage(driver("run_text", "EchoText", {"m0", "m1", "m2"}));
+    b.usage(driver("run_text2", "EchoText", {"m0", "m1", "m2", "m2"}));
+    b.usage(driver("run_hex", "EchoHex", {"m0", "m1", "m2", "m0"}));
+    b.usage(driver("run_hex2", "EchoHex", {"m0", "m1", "m2", "m0",
+                                           "m2"}));
+    b.usage(driver("run_json", "EchoJson", {"m0", "m1", "m1", "m2"}));
+    b.usage(driver("run_json2", "EchoJson", {"m0", "m1", "m1", "m2",
+                                             "m2"}));
+
+    CorpusProgram result;
+    result.name = "echoparams";
+    result.program = b.build();
+    result.options.parent_ctor_calls = false;
+    return result;
+}
+
+CorpusProgram
+cgrid_program()
+{
+    ProgramBuilder b("cgrid");
+    // Abstract MFC-like bases: optimized out of the binary.
+    b.cls("CEdit", {}, {"onEdit", "setText", "getText"});
+    b.pure("CEdit", "onEdit");
+    b.cls("CDialog", {}, {"onInit", "doModal", "onClose"});
+    b.pure("CDialog", "onInit");
+
+    // Each pair inherits a concrete implementation from its abstract
+    // base, so the two siblings share vtable entries and land in one
+    // family even though the base vanished.
+    b.cls("CGridEditorComboBoxEdit", {"CEdit"}, {"dropDown"},
+          {"onEdit"});
+    b.cls("CGridEditorText", {"CEdit"}, {"selectAll"}, {"onEdit"});
+    b.cls("CAboutDlg", {"CDialog"}, {"showVersion"}, {"onInit"});
+    b.cls("CGridListCtrlExDlg", {"CDialog"}, {"populate"},
+          {"onInit"});
+
+    b.usage(driver("edit_combo", "CGridEditorComboBoxEdit",
+                   {"setText", "onEdit", "dropDown", "getText"}));
+    b.usage(driver("edit_combo2", "CGridEditorComboBoxEdit",
+                   {"setText", "onEdit", "dropDown"}));
+    b.usage(driver("edit_text", "CGridEditorText",
+                   {"setText", "onEdit", "selectAll", "getText"}));
+    b.usage(driver("edit_text2", "CGridEditorText",
+                   {"setText", "onEdit", "getText"}));
+    b.usage(driver("about", "CAboutDlg",
+                   {"onInit", "showVersion", "doModal", "onClose"}));
+    b.usage(driver("main_dlg", "CGridListCtrlExDlg",
+                   {"onInit", "populate", "doModal", "onClose"}));
+    b.usage(driver("main_dlg2", "CGridListCtrlExDlg",
+                   {"onInit", "populate", "populate", "doModal",
+                    "onClose"}));
+
+    CorpusProgram result;
+    result.name = "cgrid";
+    result.program = b.build();
+    result.options.parent_ctor_calls = false;
+    result.options.omit_abstract_classes = true;
+    return result;
+}
+
+CorpusProgram
+multiple_inheritance_program()
+{
+    ProgramBuilder b("mi");
+    b.cls("Serializable", {}, {"serialize", "deserialize"});
+    b.cls("Observable", {}, {"attach", "notify"});
+    b.cls("Model", {"Serializable", "Observable"}, {"update"},
+          {"serialize", "notify"});
+    b.cls("Snapshot", {"Serializable"}, {"freeze"});
+
+    b.usage(driver("save", "Serializable",
+                   {"serialize", "deserialize"}));
+    b.usage(driver("watch", "Observable", {"attach", "notify"}));
+    b.usage(driver("edit_model", "Model",
+                   {"serialize", "attach", "update", "notify"}));
+    b.usage(driver("snapshot", "Snapshot",
+                   {"serialize", "freeze", "deserialize"}));
+
+    CorpusProgram result;
+    result.name = "mi";
+    result.program = b.build();
+    // Keep the structural cues: multiple-inheritance detection reads
+    // the parent-constructor calls.
+    result.options.parent_ctor_calls = true;
+    return result;
+}
+
+} // namespace rock::corpus

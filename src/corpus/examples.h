@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The paper's motivating programs, rebuilt in toyc.
+ *
+ *  - streams_program(): Figs. 3-8 -- Stream / ConfirmableStream /
+ *    FlushableStream, where structure alone cannot decide
+ *    FlushableStream's parent;
+ *  - datasources_program(): Figs. 1-2 -- the internal/external data
+ *    source CFI scenario;
+ *  - echoparams_program(): the Section 6.4 case of four structurally
+ *    equivalent types (64 structurally co-optimal hierarchies);
+ *  - cgrid_program(): the Fig. 9 CGridListCtrlEx situation -- two
+ *    pairs of types whose abstract parents (CEdit / CDialog) are
+ *    optimized out of the binary;
+ *  - multiple_inheritance_program(): Section 5.3.
+ */
+#pragma once
+
+#include <string>
+
+#include "toyc/ast.h"
+#include "toyc/compiler.h"
+
+namespace rock::corpus {
+
+/** A program together with the options it is meant to be built with. */
+struct CorpusProgram {
+    std::string name;
+    toyc::Program program;
+    toyc::CompileOptions options;
+};
+
+CorpusProgram streams_program();
+CorpusProgram datasources_program();
+CorpusProgram echoparams_program();
+CorpusProgram cgrid_program();
+CorpusProgram multiple_inheritance_program();
+
+} // namespace rock::corpus

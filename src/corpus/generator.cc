@@ -1,0 +1,240 @@
+#include "corpus/generator.h"
+
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace rock::corpus {
+
+using support::Rng;
+using toyc::ClassDecl;
+using toyc::MethodDecl;
+using toyc::Program;
+using toyc::Stmt;
+using toyc::UsageFunc;
+
+namespace {
+
+/** Book-keeping for one generated class. */
+struct GenClass {
+    int index = 0;
+    int parent = -1; ///< primary base, -1 for roots
+    int mi_parent = -1; ///< secondary base (multiple inheritance)
+    int tree = 0;    ///< root this class descends from
+    int depth = 0;
+    int children = 0;
+    std::vector<std::string> methods; ///< all callable methods
+    std::vector<std::string> motif;   ///< own behavioral motif
+};
+
+/**
+ * Append a body that is unique to (class @p cls, method @p m): the
+ * integer id is encoded as a read/write pattern, so no two generated
+ * method bodies are byte-identical unless noise injection makes them
+ * so.
+ */
+void
+distinct_tag(std::vector<Stmt>& body, int id)
+{
+    body.push_back(Stmt::write_field("this", 0));
+    int bits = id + 1;
+    while (bits > 0) {
+        if (bits & 1)
+            body.push_back(Stmt::read_field("this", 0));
+        else
+            body.push_back(Stmt::write_field("this", 0));
+        bits >>= 1;
+    }
+}
+
+} // namespace
+
+Program
+generate_program(const GeneratorSpec& spec)
+{
+    support::check(spec.num_classes >= spec.num_trees,
+                   "num_classes must cover the requested trees");
+    support::check(spec.num_trees >= 1, "need at least one tree");
+    Rng rng(spec.seed);
+    Program prog;
+    prog.name = "generated_" + std::to_string(spec.seed);
+
+    std::vector<GenClass> gens;
+    int method_counter = 0;
+    int tag_counter = 0;
+
+    auto class_name = [](int idx) { return "K" + std::to_string(idx); };
+
+    // ---- hierarchy shape -------------------------------------------------
+    for (int i = 0; i < spec.num_classes; ++i) {
+        GenClass gen;
+        gen.index = i;
+        if (i >= spec.num_trees) {
+            // Attach to a random eligible existing class.
+            std::vector<int> eligible;
+            for (const auto& other : gens) {
+                if (other.depth < spec.max_depth &&
+                    other.children < spec.max_children) {
+                    eligible.push_back(other.index);
+                }
+            }
+            if (eligible.empty())
+                eligible.push_back(static_cast<int>(rng.index(gens.size())));
+            gen.parent = eligible[rng.index(eligible.size())];
+            gen.depth = gens[static_cast<std::size_t>(gen.parent)].depth + 1;
+            gen.tree = gens[static_cast<std::size_t>(gen.parent)].tree;
+            gens[static_cast<std::size_t>(gen.parent)].children += 1;
+            // Multiple inheritance: add a base from another tree
+            // (never the same tree, so no diamond/cycle can form).
+            if (rng.chance(spec.mi_prob)) {
+                std::vector<int> others;
+                for (const auto& other : gens) {
+                    if (other.tree != gen.tree)
+                        others.push_back(other.index);
+                }
+                if (!others.empty())
+                    gen.mi_parent = others[rng.index(others.size())];
+            }
+        } else {
+            gen.tree = i;
+        }
+        gens.push_back(gen);
+    }
+
+    // ---- class declarations ----------------------------------------------
+    for (auto& gen : gens) {
+        ClassDecl decl;
+        decl.name = class_name(gen.index);
+        decl.num_fields = 1 + static_cast<int>(rng.index(2));
+
+        std::vector<std::string> inherited;
+        if (gen.parent >= 0) {
+            decl.parents.push_back(class_name(gen.parent));
+            inherited = gens[static_cast<std::size_t>(gen.parent)].methods;
+        }
+        if (gen.mi_parent >= 0) {
+            decl.parents.push_back(class_name(gen.mi_parent));
+            const auto& extra =
+                gens[static_cast<std::size_t>(gen.mi_parent)].methods;
+            inherited.insert(inherited.end(), extra.begin(),
+                             extra.end());
+        }
+        gen.methods = inherited;
+
+        auto add_method = [&](const std::string& name, bool fresh) {
+            MethodDecl method;
+            method.name = name;
+            distinct_tag(method.body, tag_counter++);
+            // Occasionally call an inherited method on `this`.
+            if (!inherited.empty() && rng.chance(0.3)) {
+                method.body.push_back(Stmt::virt_call(
+                    "this", inherited[rng.index(inherited.size())]));
+            }
+            decl.methods.push_back(std::move(method));
+            if (fresh)
+                gen.methods.push_back(name);
+        };
+
+        if (gen.parent < 0) {
+            for (int m = 0; m < spec.root_methods; ++m)
+                add_method("m" + std::to_string(method_counter++), true);
+        } else {
+            // Never override *all* inherited methods: a shared entry
+            // must survive as the family fingerprint (Section 5.1).
+            if (inherited.size() > 1 && rng.chance(spec.override_prob)) {
+                add_method(inherited[rng.index(inherited.size() - 1) + 1],
+                           false);
+            }
+            if (rng.chance(spec.new_method_prob))
+                add_method("m" + std::to_string(method_counter++), true);
+        }
+
+        // Own motif: 1-3 calls biased toward this class's additions.
+        std::size_t motif_len = 1 + rng.index(3);
+        for (std::size_t k = 0; k < motif_len; ++k) {
+            const auto& pool = gen.methods;
+            ROCK_ASSERT(!pool.empty(), "class without methods");
+            // Bias: prefer the newest methods.
+            std::size_t pick =
+                rng.chance(0.6) && pool.size() > inherited.size()
+                    ? inherited.size() +
+                          rng.index(pool.size() - inherited.size())
+                    : rng.index(pool.size());
+            gen.motif.push_back(pool[pick]);
+        }
+        prog.classes.push_back(std::move(decl));
+    }
+
+    // ---- fold-noise injection --------------------------------------------
+    // Give `fold_noise_pairs` random cross-tree class pairs one extra
+    // byte-identical method each; after identical-function folding the
+    // two vtables share a pointer and the families merge.
+    for (int p = 0; p < spec.fold_noise_pairs; ++p) {
+        int a = static_cast<int>(rng.index(gens.size()));
+        int b = static_cast<int>(rng.index(gens.size()));
+        if (a == b)
+            continue;
+        std::string name = "shim" + std::to_string(p);
+        for (int idx : {a, b}) {
+            MethodDecl method;
+            method.name = name;
+            method.body.push_back(Stmt::write_field("this", 0));
+            prog.classes[static_cast<std::size_t>(idx)].methods.push_back(
+                std::move(method));
+            gens[static_cast<std::size_t>(idx)].methods.push_back(name);
+        }
+    }
+
+    // ---- scenarios ---------------------------------------------------------
+    for (const auto& gen : gens) {
+        // Behavior = ancestor motifs root-first, then own.
+        std::vector<std::string> behavior;
+        {
+            std::vector<int> chain;
+            for (int cur = gen.index; cur >= 0;
+                 cur = gens[static_cast<std::size_t>(cur)].parent) {
+                chain.insert(chain.begin(), cur);
+            }
+            for (int cur : chain) {
+                const auto& motif =
+                    gens[static_cast<std::size_t>(cur)].motif;
+                behavior.insert(behavior.end(), motif.begin(),
+                                motif.end());
+            }
+        }
+        for (int s = 0; s < spec.scenarios_per_class; ++s) {
+            UsageFunc fn;
+            fn.name = "use_" + class_name(gen.index) + "_" +
+                      std::to_string(s);
+            fn.body.push_back(
+                Stmt::new_object("obj", class_name(gen.index)));
+            for (const auto& method : behavior)
+                fn.body.push_back(Stmt::virt_call("obj", method));
+            // Scenario-specific variation.
+            for (std::size_t extra = rng.index(3); extra > 0; --extra) {
+                fn.body.push_back(Stmt::virt_call(
+                    "obj", gen.methods[rng.index(gen.methods.size())]));
+            }
+            if (spec.control_flow && rng.chance(0.4)) {
+                std::vector<Stmt> then_body{Stmt::virt_call(
+                    "obj", gen.methods[rng.index(gen.methods.size())])};
+                std::vector<Stmt> else_body{
+                    Stmt::read_field("obj", 0)};
+                fn.body.push_back(Stmt::branch(std::move(then_body),
+                                               std::move(else_body)));
+            }
+            if (spec.control_flow && rng.chance(0.25)) {
+                std::vector<Stmt> loop_body{Stmt::virt_call(
+                    "obj", gen.methods[rng.index(gen.methods.size())])};
+                fn.body.push_back(Stmt::loop(std::move(loop_body)));
+            }
+            prog.usages.push_back(std::move(fn));
+        }
+    }
+
+    return prog;
+}
+
+} // namespace rock::corpus

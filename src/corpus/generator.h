@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Seeded random toyc program generation.
+ *
+ * Drives the property/integration tests and the scalability
+ * benchmark: a reproducible family of programs with known ground
+ * truth, tunable hierarchy shape, behavioral richness, and injected
+ * compiler noise (identical methods that fold across unrelated
+ * trees).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "toyc/ast.h"
+
+namespace rock::corpus {
+
+/** Shape and noise knobs for generate_program(). */
+struct GeneratorSpec {
+    /** Total classes to generate (>= num_trees). */
+    int num_classes = 12;
+    /** Number of independent inheritance trees. */
+    int num_trees = 2;
+    /** Maximum tree depth (root = depth 0). */
+    int max_depth = 3;
+    /** Maximum direct children per class. */
+    int max_children = 4;
+    /** New virtual methods per root. */
+    int root_methods = 2;
+    /** Probability a derived class introduces a new virtual method. */
+    double new_method_prob = 0.7;
+    /** Probability a derived class overrides one inherited method. */
+    double override_prob = 0.5;
+    /** Usage functions per class. */
+    int scenarios_per_class = 2;
+    /** Inject pairs of byte-identical methods across distinct trees
+     *  (identical-COMDAT folding noise; paper error source 1). */
+    int fold_noise_pairs = 0;
+    /** Probability a derived class additionally inherits from a
+     *  class in another tree (multiple inheritance, Section 5.3). */
+    double mi_prob = 0.0;
+    /** Wrap some scenario statements in opaque branches/loops. */
+    bool control_flow = true;
+    /** RNG seed; same seed -> same program. */
+    std::uint64_t seed = 1;
+};
+
+/** Generate a program from @p spec (deterministic in the seed). */
+toyc::Program generate_program(const GeneratorSpec& spec);
+
+} // namespace rock::corpus

@@ -1,0 +1,114 @@
+#include "divergence/metrics.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace rock::divergence {
+
+MetricKind
+metric_from_name(const std::string& name)
+{
+    if (name == "kl")
+        return MetricKind::KL;
+    if (name == "kl-reversed")
+        return MetricKind::KLReversed;
+    if (name == "js")
+        return MetricKind::JSDivergence;
+    if (name == "js-distance")
+        return MetricKind::JSDistance;
+    support::fatal("unknown metric '" + name + "'");
+}
+
+std::string
+metric_name(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::KL: return "kl";
+      case MetricKind::KLReversed: return "kl-reversed";
+      case MetricKind::JSDivergence: return "js";
+      case MetricKind::JSDistance: return "js-distance";
+    }
+    return "?";
+}
+
+std::vector<double>
+word_distribution(const slm::LanguageModel& model, const WordSet& words)
+{
+    support::check(!words.empty(),
+                   "divergence over an empty word set");
+    std::vector<double> dist;
+    dist.reserve(words.size());
+    double total = 0.0;
+    for (const auto& word : words) {
+        double p = model.sequence_prob(word);
+        ROCK_ASSERT(p > 0.0, "non-positive word probability");
+        dist.push_back(p);
+        total += p;
+    }
+    ROCK_ASSERT(total > 0.0, "degenerate word distribution");
+    for (double& p : dist)
+        p /= total;
+    return dist;
+}
+
+double
+kl_between(const std::vector<double>& p, const std::vector<double>& q)
+{
+    ROCK_ASSERT(p.size() == q.size(), "distribution size mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        if (p[i] <= 0.0)
+            continue;
+        ROCK_ASSERT(q[i] > 0.0, "KL against zero mass");
+        sum += p[i] * std::log(p[i] / q[i]);
+    }
+    // Guard tiny negative results from floating-point noise.
+    return sum < 0.0 ? 0.0 : sum;
+}
+
+double
+kl_divergence(const slm::LanguageModel& a, const slm::LanguageModel& b,
+              const WordSet& words)
+{
+    return kl_between(word_distribution(a, words),
+                      word_distribution(b, words));
+}
+
+double
+js_divergence(const slm::LanguageModel& a, const slm::LanguageModel& b,
+              const WordSet& words)
+{
+    std::vector<double> pa = word_distribution(a, words);
+    std::vector<double> pb = word_distribution(b, words);
+    std::vector<double> mid(pa.size());
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        mid[i] = 0.5 * (pa[i] + pb[i]);
+    return 0.5 * kl_between(pa, mid) + 0.5 * kl_between(pb, mid);
+}
+
+double
+js_distance(const slm::LanguageModel& a, const slm::LanguageModel& b,
+            const WordSet& words)
+{
+    return std::sqrt(js_divergence(a, b, words));
+}
+
+double
+pair_distance(MetricKind kind, const slm::LanguageModel& parent,
+              const slm::LanguageModel& child, const WordSet& words)
+{
+    switch (kind) {
+      case MetricKind::KL:
+        return kl_divergence(parent, child, words);
+      case MetricKind::KLReversed:
+        return kl_divergence(child, parent, words);
+      case MetricKind::JSDivergence:
+        return js_divergence(parent, child, words);
+      case MetricKind::JSDistance:
+        return js_distance(parent, child, words);
+    }
+    support::panic("unknown metric kind");
+}
+
+} // namespace rock::divergence

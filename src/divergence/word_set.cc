@@ -1,0 +1,93 @@
+#include "divergence/word_set.h"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.h"
+
+namespace rock::divergence {
+
+std::vector<int>
+sample_word(const slm::LanguageModel& model, int len, support::Rng& rng)
+{
+    std::vector<int> word;
+    word.reserve(static_cast<std::size_t>(len));
+    const int n = model.alphabet_size();
+    for (int i = 0; i < len; ++i) {
+        // Roulette-wheel over the conditional distribution. PPM
+        // without exclusion is slightly sub-normalized, so normalize
+        // explicitly.
+        std::vector<double> probs(static_cast<std::size_t>(n));
+        double total = 0.0;
+        for (int sym = 0; sym < n; ++sym) {
+            probs[static_cast<std::size_t>(sym)] =
+                model.prob(sym, word);
+            total += probs[static_cast<std::size_t>(sym)];
+        }
+        ROCK_ASSERT(total > 0.0, "degenerate sampling distribution");
+        double pick = rng.real() * total;
+        int chosen = n - 1;
+        for (int sym = 0; sym < n; ++sym) {
+            pick -= probs[static_cast<std::size_t>(sym)];
+            if (pick <= 0.0) {
+                chosen = sym;
+                break;
+            }
+        }
+        word.push_back(chosen);
+    }
+    return word;
+}
+
+WordSet
+build_word_set(const WordSetConfig& config,
+               const std::vector<std::vector<int>>& seqs_a,
+               const std::vector<std::vector<int>>& seqs_b,
+               const slm::LanguageModel* sampler, int alphabet_size)
+{
+    switch (config.strategy) {
+      case WordSetStrategy::ObservedUnion: {
+        std::set<std::vector<int>> unique;
+        for (const auto& seq : seqs_a) {
+            if (!seq.empty())
+                unique.insert(seq);
+        }
+        for (const auto& seq : seqs_b) {
+            if (!seq.empty())
+                unique.insert(seq);
+        }
+        return WordSet(unique.begin(), unique.end());
+      }
+      case WordSetStrategy::Exhaustive: {
+        support::check(alphabet_size > 0, "empty alphabet");
+        WordSet words;
+        // All words of length 1..exhaustive_len, lexicographic.
+        WordSet frontier{{}};
+        for (int len = 1; len <= config.exhaustive_len; ++len) {
+            WordSet next;
+            for (const auto& prefix : frontier) {
+                for (int sym = 0; sym < alphabet_size; ++sym) {
+                    auto word = prefix;
+                    word.push_back(sym);
+                    next.push_back(word);
+                }
+            }
+            words.insert(words.end(), next.begin(), next.end());
+            frontier = std::move(next);
+        }
+        return words;
+      }
+      case WordSetStrategy::Sampled: {
+        support::check(sampler != nullptr,
+                       "Sampled strategy requires a sampler model");
+        support::Rng rng(config.seed);
+        std::set<std::vector<int>> unique;
+        for (int i = 0; i < config.sample_count; ++i)
+            unique.insert(sample_word(*sampler, config.sample_len, rng));
+        return WordSet(unique.begin(), unique.end());
+      }
+    }
+    support::panic("unknown word-set strategy");
+}
+
+} // namespace rock::divergence

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Word sets over which model divergences are evaluated.
+ *
+ * The Kullback-Leibler divergence of the paper (Section 4.2.1) is
+ * "measured over a set of words W". Three strategies are provided:
+ *
+ *  - ObservedUnion (default): W is the deduplicated union of the
+ *    tracelets observed for the two types being compared. Popular
+ *    behaviors weigh more through the model probabilities themselves.
+ *  - Exhaustive: all words over the alphabet up to a small length;
+ *    exact but exponential, for small alphabets and tests.
+ *  - Sampled: words sampled from the first model's distribution
+ *    (a Monte-Carlo estimator of DKL).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "slm/model.h"
+#include "support/rng.h"
+
+namespace rock::divergence {
+
+/** Word-set construction strategies. */
+enum class WordSetStrategy { ObservedUnion, Exhaustive, Sampled };
+
+/** Parameters for build_word_set(). */
+struct WordSetConfig {
+    WordSetStrategy strategy = WordSetStrategy::ObservedUnion;
+    /** Exhaustive: maximum word length (words of length 1..len). */
+    int exhaustive_len = 3;
+    /** Sampled: number of words drawn. */
+    int sample_count = 256;
+    /** Sampled: length of each drawn word. */
+    int sample_len = 7;
+    /** Sampled: RNG seed (deterministic by default). */
+    std::uint64_t seed = 7;
+};
+
+/** A set of words (symbol sequences). */
+using WordSet = std::vector<std::vector<int>>;
+
+/**
+ * Build the evaluation word set for a type pair.
+ *
+ * @param config    strategy selection
+ * @param seqs_a    observed symbol sequences of the first type
+ * @param seqs_b    observed symbol sequences of the second type
+ * @param sampler   model sampled from under the Sampled strategy
+ *                  (typically the first type's model)
+ * @param alphabet_size  alphabet cardinality for Exhaustive
+ */
+WordSet build_word_set(const WordSetConfig& config,
+                       const std::vector<std::vector<int>>& seqs_a,
+                       const std::vector<std::vector<int>>& seqs_b,
+                       const slm::LanguageModel* sampler,
+                       int alphabet_size);
+
+/** Draw one word of @p len from @p model (roulette per symbol). */
+std::vector<int> sample_word(const slm::LanguageModel& model, int len,
+                             support::Rng& rng);
+
+} // namespace rock::divergence

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The paper's application distance (Section 6.3).
+ *
+ * For each type t, compare the set of types derived from t according
+ * to the ground truth, successors_GT(t), with the set derived from t
+ * in the evaluated hierarchy, successors_h(t):
+ *
+ *   missing(t) = |successors_GT(t) \ successors_h(t)|   (lost targets)
+ *   added(t)   = |successors_h(t) \ successors_GT(t)|   (extra payload)
+ *
+ * The reported score is the per-type average of each, exactly as
+ * Table 2 of the paper reports them.
+ *
+ * The "without SLMs" setting has no way to prioritize possible
+ * parents, so a type counts as a successor of *each* of its possible
+ * parents: successors_noSLM(t) is everything that can reach t through
+ * the structural possible-parent relation.
+ */
+#pragma once
+
+#include "eval/ground_truth.h"
+#include "rock/pipeline.h"
+#include "structural/structural.h"
+
+namespace rock::eval {
+
+/** Averaged application distance. */
+struct AppDistance {
+    double avg_missing = 0.0;
+    double avg_added = 0.0;
+    int num_types = 0;
+    /** Types with at least one missing / added entry. */
+    int types_with_missing = 0;
+    int types_with_added = 0;
+};
+
+/** Score an explicit hierarchy against @p gt. */
+AppDistance application_distance(const core::Hierarchy& hierarchy,
+                                 const GroundTruth& gt);
+
+/**
+ * Score the structural-only setting (the "Without SLMs" columns):
+ * successor sets are computed from possible-parent reachability.
+ */
+AppDistance
+application_distance_structural(const structural::StructuralResult& sr,
+                                const GroundTruth& gt);
+
+/**
+ * Worst-case score over the surviving co-optimal alternatives of a
+ * reconstruction (the paper reports the least precise hierarchy when
+ * ties survive the majority vote).
+ */
+AppDistance
+application_distance_worst(const core::ReconstructionResult& result,
+                           const GroundTruth& gt);
+
+} // namespace rock::eval

@@ -1,0 +1,67 @@
+#include "eval/forest_metrics.h"
+
+#include <algorithm>
+
+namespace rock::eval {
+
+ForestMetrics
+forest_metrics(const core::Hierarchy& hierarchy, const GroundTruth& gt)
+{
+    ForestMetrics m;
+    m.num_types = static_cast<int>(gt.types.size());
+    if (m.num_types == 0)
+        return m;
+
+    int correct = 0;
+    int recon_edges = 0;
+    int gt_edges = 0;
+    int matched = 0;
+    for (std::uint32_t t : gt.types) {
+        auto expected_it = gt.parent.find(t);
+        std::uint32_t expected =
+            expected_it == gt.parent.end() ? 0 : expected_it->second;
+        bool expected_root = expected_it == gt.parent.end();
+
+        int node = hierarchy.index_of(t);
+        std::uint32_t actual = 0;
+        bool actual_root = true;
+        if (node >= 0) {
+            int p = hierarchy.parent(node);
+            // Skip synthetic intermediates: walk up until a GT type
+            // or a root is found.
+            while (p >= 0 &&
+                   !std::binary_search(gt.types.begin(), gt.types.end(),
+                                       hierarchy.type_at(p))) {
+                p = hierarchy.parent(p);
+            }
+            if (p >= 0) {
+                actual = hierarchy.type_at(p);
+                actual_root = false;
+            }
+        }
+
+        if (!expected_root)
+            ++gt_edges;
+        if (!actual_root)
+            ++recon_edges;
+        if (expected_root == actual_root &&
+            (expected_root || expected == actual)) {
+            ++correct;
+            if (!expected_root)
+                ++matched;
+        }
+    }
+    m.parent_accuracy =
+        static_cast<double>(correct) / static_cast<double>(m.num_types);
+    m.edge_precision =
+        recon_edges == 0 ? 1.0
+                         : static_cast<double>(matched) /
+                               static_cast<double>(recon_edges);
+    m.edge_recall = gt_edges == 0
+                        ? 1.0
+                        : static_cast<double>(matched) /
+                              static_cast<double>(gt_edges);
+    return m;
+}
+
+} // namespace rock::eval

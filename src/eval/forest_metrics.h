@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Direct forest-vs-forest metrics, complementing the application
+ * distance: per-type parent accuracy and edge precision/recall.
+ */
+#pragma once
+
+#include "eval/ground_truth.h"
+#include "rock/hierarchy.h"
+
+namespace rock::eval {
+
+/** Edge-level comparison of a reconstruction with the ground truth. */
+struct ForestMetrics {
+    /** Fraction of GT types whose reconstructed primary parent matches
+     *  the GT parent (matching "is a root" counts as correct). */
+    double parent_accuracy = 0.0;
+    /** Of the reconstructed parent edges, the fraction present in GT. */
+    double edge_precision = 0.0;
+    /** Of the GT parent edges, the fraction reconstructed. */
+    double edge_recall = 0.0;
+    int num_types = 0;
+};
+
+/** Compute edge-level metrics of @p hierarchy against @p gt. */
+ForestMetrics forest_metrics(const core::Hierarchy& hierarchy,
+                             const GroundTruth& gt);
+
+} // namespace rock::eval

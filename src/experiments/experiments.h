@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Programmatic experiment runner: every table and figure of the
+ * paper's evaluation, as structured data plus a Markdown report.
+ *
+ * EXPERIMENTS.md in the repository root is the committed output of
+ * rockbench (tools/rockbench.cc), which calls experiments_markdown().
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/benchmarks.h"
+#include "eval/application_distance.h"
+
+namespace rock::experiments {
+
+/** One measured Table-2 row next to the paper's numbers. */
+struct Table2Row {
+    corpus::BenchmarkSpec spec;
+    int measured_types = 0;
+    bool measured_resolvable = false;
+    eval::AppDistance without_slm;
+    eval::AppDistance with_slm;
+};
+
+/** Run all 19 benchmarks (the expensive part, ~20 s). */
+std::vector<Table2Row> run_table2();
+
+/** Results of the echoparams case study. */
+struct EchoparamsCase {
+    std::size_t structural_hierarchies = 0; ///< paper: 64
+    eval::AppDistance without_slm;          ///< paper: 0 / 2.25
+    eval::AppDistance with_slm;             ///< paper: 0 / 0
+};
+
+EchoparamsCase run_echoparams_case();
+
+/** Results of the Fig. 9 splicing case study. */
+struct SplicingCase {
+    int gt_roots = 0;        ///< pairs appear as separate roots
+    int spliced_pairs = 0;   ///< pairs rejoined by the reconstruction
+    eval::AppDistance distance;
+};
+
+SplicingCase run_splicing_case();
+
+/** One metric's total score in the "Other Metrics" ablation. */
+struct MetricScore {
+    std::string metric;
+    double total_missing_plus_added = 0.0;
+};
+
+/** Run the metric ablation over the fast behavioral benchmarks. */
+std::vector<MetricScore> run_metric_comparison();
+
+/** One point of the scalability sweep. */
+struct ScalePoint {
+    int classes = 0;
+    std::size_t functions = 0;
+    long paths = 0;
+    double analyze_ms = 0.0;
+};
+
+std::vector<ScalePoint> run_scalability();
+
+/** One k of the CFI trade-off sweep (averaged over benchmarks). */
+struct TradeoffPoint {
+    int k = 0;
+    double avg_missing = 0.0;
+    double avg_added = 0.0;
+};
+
+std::vector<TradeoffPoint> run_cfi_tradeoff();
+
+/**
+ * Run everything and render the full Markdown report
+ * (paper-vs-measured for every table and figure).
+ */
+std::string experiments_markdown();
+
+} // namespace rock::experiments

@@ -1,0 +1,27 @@
+#include "graph/digraph.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace rock::graph {
+
+void
+Digraph::add_edge(int src, int dst, double weight)
+{
+    ROCK_ASSERT(src >= 0 && src < num_nodes_, "edge src out of range");
+    ROCK_ASSERT(dst >= 0 && dst < num_nodes_, "edge dst out of range");
+    ROCK_ASSERT(src != dst, "self-loop");
+    edges_.push_back(Edge{src, dst, weight});
+}
+
+double
+Digraph::total_abs_weight() const
+{
+    double total = 0.0;
+    for (const auto& edge : edges_)
+        total += std::fabs(edge.weight);
+    return total;
+}
+
+} // namespace rock::graph

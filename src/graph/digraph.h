@@ -1,0 +1,39 @@
+/**
+ * @file
+ * A small weighted directed multigraph.
+ */
+#pragma once
+
+#include <vector>
+
+namespace rock::graph {
+
+/** One weighted directed edge. */
+struct Edge {
+    int src = 0;
+    int dst = 0;
+    double weight = 0.0;
+
+    bool operator==(const Edge&) const = default;
+};
+
+/** Weighted directed multigraph with a fixed node count. */
+class Digraph {
+  public:
+    explicit Digraph(int num_nodes) : num_nodes_(num_nodes) {}
+
+    /** Add an edge src -> dst of weight @p weight. */
+    void add_edge(int src, int dst, double weight);
+
+    int num_nodes() const { return num_nodes_; }
+    const std::vector<Edge>& edges() const { return edges_; }
+
+    /** Sum of absolute edge weights (used to size root penalties). */
+    double total_abs_weight() const;
+
+  private:
+    int num_nodes_;
+    std::vector<Edge> edges_;
+};
+
+} // namespace rock::graph

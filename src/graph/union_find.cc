@@ -1,0 +1,61 @@
+#include "graph/union_find.h"
+
+#include <map>
+
+#include "support/error.h"
+
+namespace rock::graph {
+
+int
+UnionFind::find(int x)
+{
+    ROCK_ASSERT(x >= 0 &&
+                x < static_cast<int>(parent_.size()),
+                "node out of range");
+    int root = x;
+    while (parent_[static_cast<std::size_t>(root)] != root)
+        root = parent_[static_cast<std::size_t>(root)];
+    while (parent_[static_cast<std::size_t>(x)] != root) {
+        int next = parent_[static_cast<std::size_t>(x)];
+        parent_[static_cast<std::size_t>(x)] = root;
+        x = next;
+    }
+    return root;
+}
+
+bool
+UnionFind::unite(int x, int y)
+{
+    int rx = find(x);
+    int ry = find(y);
+    if (rx == ry)
+        return false;
+    if (size_[static_cast<std::size_t>(rx)] <
+        size_[static_cast<std::size_t>(ry)]) {
+        std::swap(rx, ry);
+    }
+    parent_[static_cast<std::size_t>(ry)] = rx;
+    size_[static_cast<std::size_t>(rx)] +=
+        size_[static_cast<std::size_t>(ry)];
+    return true;
+}
+
+std::vector<int>
+connected_components(int n,
+                     const std::vector<std::pair<int, int>>& edges)
+{
+    UnionFind uf(n);
+    for (const auto& [a, b] : edges)
+        uf.unite(a, b);
+    std::vector<int> labels(static_cast<std::size_t>(n), -1);
+    std::map<int, int> seen;
+    for (int i = 0; i < n; ++i) {
+        int root = uf.find(i);
+        auto [it, inserted] =
+            seen.emplace(root, static_cast<int>(seen.size()));
+        labels[static_cast<std::size_t>(i)] = it->second;
+    }
+    return labels;
+}
+
+} // namespace rock::graph

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Disjoint-set union and undirected connected components.
+ */
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace rock::graph {
+
+/** Union-find with path compression and union by size. */
+class UnionFind {
+  public:
+    explicit UnionFind(int n) : parent_(n), size_(n, 1)
+    {
+        for (int i = 0; i < n; ++i)
+            parent_[static_cast<std::size_t>(i)] = i;
+    }
+
+    /** Representative of @p x. */
+    int find(int x);
+
+    /** Merge the sets of @p x and @p y; returns false when already
+     *  merged. */
+    bool unite(int x, int y);
+
+    /** Whether @p x and @p y share a set. */
+    bool same(int x, int y) { return find(x) == find(y); }
+
+  private:
+    std::vector<int> parent_;
+    std::vector<int> size_;
+};
+
+/**
+ * Component labels (0-based, dense, ordered by first occurrence) for
+ * @p n nodes under @p edges.
+ */
+std::vector<int>
+connected_components(int n,
+                     const std::vector<std::pair<int, int>>& edges);
+
+} // namespace rock::graph

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Type prediction for unknown objects (paper Section 6.3, following
+ * Katz et al. [21], "Estimating Types in Binaries Using Predictive
+ * Modeling").
+ *
+ * The paper's applicative scenario: a reverse engineer meets a
+ * virtual call on an object whose type is not statically known (a
+ * function parameter, say). The per-type SLMs trained during
+ * reconstruction can *classify* the object: rank every binary type
+ * by how well its model explains the object's observed tracelets.
+ * Combined with the reconstructed hierarchy, that yields the full
+ * set of possible dispatch targets (the predicted type plus its
+ * successors).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/event.h"
+#include "rock/pipeline.h"
+
+namespace rock::core {
+
+/** One ranked candidate type for an unknown object. */
+struct TypePrediction {
+    /** Candidate binary type. */
+    std::uint32_t vtable_addr = 0;
+    /** Mean per-symbol log-likelihood of the tracelets under the
+     *  type's model (higher = more likely). */
+    double score = 0.0;
+};
+
+/**
+ * Rank all binary types of @p result by how well their models
+ * explain @p tracelets (best first). Events never seen during
+ * reconstruction contribute a uniform-probability penalty.
+ *
+ * @return one prediction per type, sorted descending by score;
+ *         empty when @p tracelets carries no events.
+ */
+std::vector<TypePrediction>
+classify_tracelets(const ReconstructionResult& result,
+                   const std::vector<analysis::Tracelet>& tracelets);
+
+/**
+ * Convenience for the Section 6.3 scenario: extract the tracelets of
+ * @p function's first-argument object from @p image (assuming it is
+ * an object of unknown type) and classify them. Returns an empty
+ * ranking when the function produces no events on that object.
+ */
+std::vector<TypePrediction>
+classify_function_receiver(const ReconstructionResult& result,
+                           const bir::BinaryImage& image,
+                           std::uint32_t function_addr,
+                           const analysis::SymExecConfig& config = {});
+
+} // namespace rock::core

@@ -1,0 +1,228 @@
+#include "rock/pipeline.h"
+
+#include <algorithm>
+
+#include "graph/digraph.h"
+#include "support/error.h"
+#include "support/log.h"
+
+namespace rock::core {
+
+namespace {
+
+/**
+ * Iterative majority-vote filtering over co-optimal forests
+ * (paper Section 4.2.2, "Handling Multiple Arborescences").
+ */
+void
+majority_filter(std::vector<graph::Arborescence>& forests)
+{
+    if (forests.size() <= 1)
+        return;
+    bool changed = true;
+    while (changed && forests.size() > 1) {
+        changed = false;
+        std::size_t positions = forests.front().parent.size();
+        for (std::size_t m = 0; m < positions && !changed; ++m) {
+            std::map<int, int> votes;
+            for (const auto& f : forests)
+                votes[f.parent[m]] += 1;
+            for (const auto& [parent, count] : votes) {
+                if (2 * count <=
+                    static_cast<int>(forests.size())) {
+                    continue;
+                }
+                // Strict majority for `parent`; drop dissenters.
+                if (count < static_cast<int>(forests.size())) {
+                    std::vector<graph::Arborescence> kept;
+                    for (auto& f : forests) {
+                        if (f.parent[m] == parent)
+                            kept.push_back(std::move(f));
+                    }
+                    forests = std::move(kept);
+                    changed = true;
+                }
+                break;
+            }
+        }
+    }
+}
+
+} // namespace
+
+Hierarchy
+ReconstructionResult::hierarchy_with(const std::vector<int>& pick) const
+{
+    ROCK_ASSERT(pick.size() == families.size(),
+                "one pick per family required");
+    Hierarchy h(structural.types);
+    for (std::size_t f = 0; f < families.size(); ++f) {
+        const FamilyResult& fam = families[f];
+        int choice = pick[f];
+        ROCK_ASSERT(choice >= 0 &&
+                    choice < static_cast<int>(fam.alternatives.size()),
+                    "alternative pick out of range");
+        const auto& parents =
+            fam.alternatives[static_cast<std::size_t>(choice)];
+        for (std::size_t m = 0; m < fam.members.size(); ++m)
+            h.set_parent(fam.members[m], parents[m]);
+    }
+    // Multiple inheritance: a secondary vtable's parent is an extra
+    // parent of its primary type.
+    for (const auto& [sec, prim] : structural.secondary_of) {
+        int p = h.parent(sec);
+        if (p >= 0 && p != prim)
+            h.add_extra_parent(prim, p);
+    }
+    return h;
+}
+
+ReconstructionResult
+reconstruct(const bir::BinaryImage& image, const RockConfig& config)
+{
+    ReconstructionResult result;
+    result.analysis = analysis::analyze(image, config.symexec);
+    result.structural = structural::structural_analysis(
+        result.analysis.vtables, result.analysis.evidence,
+        result.analysis.ctor_types);
+
+    const auto& types = result.structural.types;
+    const int n = static_cast<int>(types.size());
+
+    // ---- Train one SLM per binary type ---------------------------------
+    analysis::Alphabet& alphabet = result.alphabet;
+    auto& seqs = result.type_sequences;
+    seqs.assign(static_cast<std::size_t>(n), {});
+    for (int t = 0; t < n; ++t) {
+        auto it = result.analysis.type_tracelets.find(
+            types[static_cast<std::size_t>(t)]);
+        if (it == result.analysis.type_tracelets.end())
+            continue;
+        for (const auto& tracelet : it->second)
+            seqs[static_cast<std::size_t>(t)].push_back(
+                alphabet.intern(tracelet));
+    }
+    const int alphabet_size = std::max(1, alphabet.size());
+    auto& models = result.models;
+    models.reserve(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+        models.push_back(slm::train_model(
+            config.slm, alphabet_size,
+            seqs[static_cast<std::size_t>(t)]));
+    }
+
+    // ---- Pairwise distances on feasible edges --------------------------
+    auto edge_distance = [&](int p, int c) {
+        auto key = std::make_pair(p, c);
+        auto cached = result.distances.find(key);
+        if (cached != result.distances.end())
+            return cached->second;
+        divergence::WordSet words = divergence::build_word_set(
+            config.words, seqs[static_cast<std::size_t>(p)],
+            seqs[static_cast<std::size_t>(c)],
+            models[static_cast<std::size_t>(p)].get(), alphabet_size);
+        double d = 0.0;
+        if (!words.empty()) {
+            d = divergence::pair_distance(
+                config.metric, *models[static_cast<std::size_t>(p)],
+                *models[static_cast<std::size_t>(c)], words);
+        }
+        result.distances.emplace(key, d);
+        return d;
+    };
+
+    // ---- Per-family arborescences ---------------------------------------
+    const int num_families = result.structural.num_families();
+    for (int f = 0; f < num_families; ++f) {
+        FamilyResult fam;
+        fam.family_id = f;
+        fam.members = result.structural.family_members(f);
+        const int m = static_cast<int>(fam.members.size());
+
+        if (m == 1) {
+            fam.alternatives.push_back({-1});
+            result.families.push_back(std::move(fam));
+            continue;
+        }
+
+        std::map<int, int> local; // global type index -> member pos
+        for (int i = 0; i < m; ++i)
+            local[fam.members[static_cast<std::size_t>(i)]] = i;
+
+        // Structural ambiguity: is there more than one zero-weight
+        // spanning forest over the feasible edges alone?
+        graph::Digraph skeleton(m);
+        for (int i = 0; i < m; ++i) {
+            int child = fam.members[static_cast<std::size_t>(i)];
+            for (int p : result.structural
+                             .possible_parents[static_cast<std::size_t>(
+                                 child)]) {
+                skeleton.add_edge(local.at(p), i, 0.0);
+            }
+        }
+        {
+            // Zero-weight landscapes are the enumerator's worst case;
+            // a modest budget suffices to detect a second forest and
+            // errs toward "ambiguous" on truncation, never the
+            // reverse (the seed guarantees one result).
+            graph::EnumerateConfig probe;
+            probe.epsilon = 0.0;
+            probe.max_results = 2;
+            probe.max_steps = 200000;
+            fam.structurally_ambiguous =
+                graph::enumerate_min_forests(skeleton, probe).size() >
+                1;
+        }
+        if (fam.structurally_ambiguous)
+            ++result.ambiguous_families;
+
+        // Behaviorally weighted graph. Edges fixed by rule-3
+        // constructor evidence are structural certainties: they cost
+        // nothing, so the optimizer can never prefer re-rooting a
+        // chain over honoring them.
+        graph::Digraph weighted(m);
+        for (int i = 0; i < m; ++i) {
+            int child = fam.members[static_cast<std::size_t>(i)];
+            auto forced = result.structural.forced_parents.find(child);
+            for (int p : result.structural
+                             .possible_parents[static_cast<std::size_t>(
+                                 child)]) {
+                bool is_forced =
+                    forced != result.structural.forced_parents.end() &&
+                    forced->second == p;
+                weighted.add_edge(local.at(p), i,
+                                  is_forced ? 0.0
+                                            : edge_distance(p, child));
+            }
+        }
+        graph::EnumerateConfig ties;
+        ties.epsilon = config.tie_epsilon;
+        ties.max_results = config.max_alternatives;
+        auto forests = graph::enumerate_min_forests(weighted, ties);
+        majority_filter(forests);
+        ROCK_ASSERT(!forests.empty(), "no forest survived filtering");
+
+        for (const auto& forest : forests) {
+            std::vector<int> parents(static_cast<std::size_t>(m), -1);
+            for (int i = 0; i < m; ++i) {
+                int lp = forest.parent[static_cast<std::size_t>(i)];
+                if (lp >= 0) {
+                    parents[static_cast<std::size_t>(i)] =
+                        fam.members[static_cast<std::size_t>(lp)];
+                }
+            }
+            fam.alternatives.push_back(std::move(parents));
+        }
+        result.families.push_back(std::move(fam));
+    }
+
+    std::vector<int> first(result.families.size(), 0);
+    result.hierarchy = result.hierarchy_with(first);
+
+    ROCK_LOG_INFO << "reconstruct: " << n << " types, " << num_families
+                  << " families (" << result.ambiguous_families
+                  << " behaviorally resolved)";
+    return result;
+}
+
+} // namespace rock::core

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The Rock reconstruction pipeline -- the paper's primary
+ * contribution, end to end:
+ *
+ *   stripped image
+ *     -> vtable discovery + tracelet extraction      (analysis)
+ *     -> family clustering + parent elimination      (structural)
+ *     -> per-type SLM training                       (slm)
+ *     -> pairwise DKL weights on feasible edges      (divergence)
+ *     -> per-family minimum spanning arborescence    (graph)
+ *     -> majority-vote tie filtering                 (Section 4.2.2)
+ *     -> Hierarchy (+ co-optimal alternatives)
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "bir/image.h"
+#include "divergence/metrics.h"
+#include "graph/enumerate.h"
+#include "rock/hierarchy.h"
+#include "slm/model.h"
+#include "structural/structural.h"
+
+namespace rock::core {
+
+/** End-to-end configuration of a reconstruction. */
+struct RockConfig {
+    /** Tracelet extraction bounds. */
+    analysis::SymExecConfig symexec;
+    /** SLM family/depth (paper: PPM-C, depth 2). */
+    slm::ModelConfig slm;
+    /** Pairwise metric (paper: DKL(parent || child)). */
+    divergence::MetricKind metric = divergence::MetricKind::KL;
+    /** Word set the metric integrates over. */
+    divergence::WordSetConfig words;
+    /** Slack under which two forests count as equally minimal. */
+    double tie_epsilon = 1e-6;
+    /** Cap on enumerated co-optimal forests per family. */
+    int max_alternatives = 64;
+    /** Merge secondary-vtable parents into primary types (MI). */
+    bool handle_multiple_inheritance = true;
+};
+
+/** Per-family reconstruction detail. */
+struct FamilyResult {
+    int family_id = 0;
+    /** Members as indices into StructuralResult::types. */
+    std::vector<int> members;
+    /**
+     * Surviving co-optimal parent assignments after majority voting;
+     * each entry maps member position -> parent type index (or -1).
+     * alternatives[0] is the selected one.
+     */
+    std::vector<std::vector<int>> alternatives;
+    /** More than one hierarchy was structurally possible. */
+    bool structurally_ambiguous = false;
+};
+
+/** Everything a reconstruction produces. */
+struct ReconstructionResult {
+    /** Selected most-likely hierarchy. */
+    Hierarchy hierarchy;
+    /** Per-family details (for worst-case evaluation). */
+    std::vector<FamilyResult> families;
+    /** Structural facts (families, possible/forced parents). */
+    structural::StructuralResult structural;
+    /** Raw behavioral analysis output. */
+    analysis::AnalysisResult analysis;
+    /** Pairwise edge weights actually computed:
+     *  (parent idx, child idx) -> distance. */
+    std::map<std::pair<int, int>, double> distances;
+    /** Families that needed the behavioral ranking. */
+    int ambiguous_families = 0;
+
+    /** The shared event alphabet of all trained models. */
+    analysis::Alphabet alphabet;
+    /** Training symbol sequences per type (indexed like
+     *  structural.types). */
+    std::vector<std::vector<std::vector<int>>> type_sequences;
+    /** The trained per-type SLMs (indexed like structural.types);
+     *  kept so callers can classify new tracelets
+     *  (rock/classify.h). */
+    std::vector<std::unique_ptr<slm::LanguageModel>> models;
+
+    /** Build the hierarchy selecting alternative @p pick[f] for each
+     *  family f (used by worst-case evaluation). */
+    Hierarchy hierarchy_with(const std::vector<int>& pick) const;
+};
+
+/** Run the full pipeline on @p image. */
+ReconstructionResult reconstruct(const bir::BinaryImage& image,
+                                 const RockConfig& config = {});
+
+} // namespace rock::core

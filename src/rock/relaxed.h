@@ -1,0 +1,32 @@
+/**
+ * @file
+ * k-parent relaxation of a reconstruction (paper Section 6.4,
+ * "Applying Control Flow Integrity"): errors in the constructed
+ * hierarchy can cause CFI false negatives, but "we can trade off
+ * false negatives for false positives by assigning several parents to
+ * each type. Our algorithm supports this at the cost of increased
+ * computational complexity (while still polynomial)."
+ *
+ * relaxed_hierarchy() keeps the arborescence parent of every type and
+ * additionally attaches its next-best feasible parents (by the
+ * behavioral distance already computed during reconstruction), up to
+ * k parents per type. Successor sets, and therefore CFI target sets,
+ * grow monotonically with k: missing types (false negatives) can only
+ * shrink, added types (false positives) can only grow.
+ */
+#pragma once
+
+#include "rock/hierarchy.h"
+#include "rock/pipeline.h"
+
+namespace rock::core {
+
+/**
+ * Build the k-parent hierarchy of @p result.
+ *
+ * @param k maximum number of parents per type (k = 1 reproduces
+ *          result.hierarchy). Must be >= 1.
+ */
+Hierarchy relaxed_hierarchy(const ReconstructionResult& result, int k);
+
+} // namespace rock::core

@@ -1,0 +1,65 @@
+#include "slm/context_trie.h"
+
+namespace rock::slm {
+
+void
+ContextTrie::add_sequence(const std::vector<int>& seq)
+{
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        int symbol = seq[i];
+        // Update the root (order 0) and every context of length
+        // 1..depth ending just before position i.
+        Node* node = &root_;
+        node->counts[symbol] += 1;
+        node->total += 1;
+        for (int k = 1; k <= depth_ && k <= static_cast<int>(i); ++k) {
+            int ctx_symbol = seq[i - static_cast<std::size_t>(k)];
+            auto& child = node->children[ctx_symbol];
+            if (!child)
+                child = std::make_unique<Node>();
+            node = child.get();
+            node->counts[symbol] += 1;
+            node->total += 1;
+        }
+    }
+}
+
+void
+ContextTrie::context_chain(const std::vector<int>& context,
+                           std::vector<const Node*>& chain) const
+{
+    chain.push_back(&root_);
+    const Node* node = &root_;
+    int limit = std::min<int>(depth_, static_cast<int>(context.size()));
+    for (int k = 1; k <= limit; ++k) {
+        int ctx_symbol = context[context.size() - static_cast<std::size_t>(k)];
+        auto it = node->children.find(ctx_symbol);
+        if (it == node->children.end())
+            break;
+        node = it->second.get();
+        chain.push_back(node);
+    }
+}
+
+std::vector<std::map<int, long>>
+ContextTrie::count_of_counts() const
+{
+    std::vector<std::map<int, long>> result(
+        static_cast<std::size_t>(depth_) + 1);
+    auto walk = [&](auto&& self, const Node& node, int order) -> void {
+        for (const auto& [symbol, count] : node.counts) {
+            (void)symbol;
+            result[static_cast<std::size_t>(order)][count] += 1;
+        }
+        if (order < depth_) {
+            for (const auto& [symbol, child] : node.children) {
+                (void)symbol;
+                self(self, *child, order + 1);
+            }
+        }
+    };
+    walk(walk, root_, 0);
+    return result;
+}
+
+} // namespace rock::slm

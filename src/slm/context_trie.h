@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Suffix-context trie with next-symbol counts.
+ *
+ * The trie stores, for every context s of length 0..D seen in
+ * training, the count of each symbol that followed s. Children are
+ * keyed by the *most recent* context symbol first, so looking up a
+ * context walks backwards through the history.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace rock::slm {
+
+/** Count trie over contexts up to a fixed depth. */
+class ContextTrie {
+  public:
+    struct Node {
+        /** next symbol -> occurrence count */
+        std::map<int, int> counts;
+        /** sum of counts */
+        long total = 0;
+        /** context extension: previous symbol -> deeper node */
+        std::map<int, std::unique_ptr<Node>> children;
+    };
+
+    explicit ContextTrie(int depth) : depth_(depth) {}
+
+    /** Record all context/successor pairs of @p seq. */
+    void add_sequence(const std::vector<int>& seq);
+
+    /**
+     * Deepest stored node for the trailing context of @p context,
+     * bounded by the trie depth; the path found is appended to
+     * @p chain from shallowest (root) to deepest.
+     */
+    void context_chain(const std::vector<int>& context,
+                       std::vector<const Node*>& chain) const;
+
+    const Node& root() const { return root_; }
+    int depth() const { return depth_; }
+
+    /** Count-of-counts per context order (for Good-Turing). */
+    std::vector<std::map<int, long>> count_of_counts() const;
+
+  private:
+    int depth_;
+    Node root_;
+};
+
+} // namespace rock::slm

@@ -1,0 +1,96 @@
+#include "slm/katz.h"
+
+#include "support/error.h"
+
+namespace rock::slm {
+
+void
+KatzModel::train(const std::vector<int>& seq)
+{
+    for (int symbol : seq) {
+        ROCK_ASSERT(symbol >= 0 && symbol < alphabet_size_,
+                    "symbol outside alphabet");
+    }
+    trie_.add_sequence(seq);
+    coc_valid_ = false;
+}
+
+double
+KatzModel::discount(int order, int r) const
+{
+    if (r > threshold_)
+        return 1.0;
+    const auto& table = coc_[static_cast<std::size_t>(order)];
+    auto nr = table.find(r);
+    auto nr1 = table.find(r + 1);
+    if (nr == table.end() || nr1 == table.end() || nr->second == 0)
+        return 1.0;
+    double r_star = static_cast<double>(r + 1) *
+                    static_cast<double>(nr1->second) /
+                    static_cast<double>(nr->second);
+    double d = r_star / static_cast<double>(r);
+    // Keep the discount sane: it must remove mass, not add it, and
+    // must not zero out observed events.
+    if (d <= 0.0 || d >= 1.0)
+        return 1.0;
+    return d;
+}
+
+double
+KatzModel::prob_at(const std::vector<const ContextTrie::Node*>& chain,
+                   std::size_t level, int symbol) const
+{
+    if (level >= chain.size()) {
+        // Below order 0: uniform.
+        return 1.0 / static_cast<double>(alphabet_size_);
+    }
+    const ContextTrie::Node& node = *chain[level];
+    // chain is deepest-first; the node's trie order is its distance
+    // from the root end of the chain.
+    int order = static_cast<int>(chain.size() - 1 - level);
+
+    auto found = node.counts.find(symbol);
+    if (found != node.counts.end()) {
+        double d = discount(order, found->second);
+        return d * static_cast<double>(found->second) /
+               static_cast<double>(node.total);
+    }
+
+    // Leftover mass after discounting the seen successors.
+    double seen_mass = 0.0;
+    double lower_seen = 0.0;
+    for (const auto& [sym, count] : node.counts) {
+        seen_mass += discount(order, count) *
+                     static_cast<double>(count) /
+                     static_cast<double>(node.total);
+        lower_seen += prob_at(chain, level + 1, sym);
+    }
+    double leftover = 1.0 - seen_mass;
+    if (leftover <= 0.0)
+        leftover = 1e-12;
+    double lower_unseen = 1.0 - lower_seen;
+    if (lower_unseen <= 1e-12)
+        lower_unseen = 1e-12;
+    double alpha = leftover / lower_unseen;
+    return alpha * prob_at(chain, level + 1, symbol);
+}
+
+double
+KatzModel::prob(int symbol, const std::vector<int>& context) const
+{
+    ROCK_ASSERT(symbol >= 0 && symbol < alphabet_size_,
+                "symbol outside alphabet");
+    if (!coc_valid_) {
+        coc_ = trie_.count_of_counts();
+        coc_valid_ = true;
+    }
+    std::vector<const ContextTrie::Node*> chain;
+    trie_.context_chain(context, chain);
+    // Evaluate from the deepest matched context; prob_at walks toward
+    // the root on back-off, so reverse the chain (deepest first).
+    std::vector<const ContextTrie::Node*> reversed(chain.rbegin(),
+                                                   chain.rend());
+    return prob_at(reversed, 0, symbol);
+}
+
+} // namespace rock::slm

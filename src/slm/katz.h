@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Katz back-off model with Good-Turing discounting.
+ *
+ * The paper (Section 3.1) notes the Katz back-off model as an
+ * alternative to PPM-C. Counts r at or below a threshold are
+ * discounted to r* = (r+1) N_{r+1} / N_r using per-order
+ * count-of-count statistics; the freed probability mass is
+ * redistributed over unseen successors proportionally to the
+ * next-shorter-context model.
+ */
+#pragma once
+
+#include "slm/context_trie.h"
+#include "slm/model.h"
+
+namespace rock::slm {
+
+/** Katz back-off model. */
+class KatzModel final : public LanguageModel {
+  public:
+    KatzModel(int alphabet_size, int depth, int threshold)
+        : trie_(depth), alphabet_size_(alphabet_size),
+          threshold_(threshold) {}
+
+    void train(const std::vector<int>& seq) override;
+    double prob(int symbol,
+                const std::vector<int>& context) const override;
+    int alphabet_size() const override { return alphabet_size_; }
+
+  private:
+    /** Discount factor d_r for a raw count @p r at @p order. */
+    double discount(int order, int r) const;
+
+    /** Probability using the chain suffix starting at @p level. */
+    double prob_at(const std::vector<const ContextTrie::Node*>& chain,
+                   std::size_t level, int symbol) const;
+
+    ContextTrie trie_;
+    int alphabet_size_;
+    int threshold_;
+    /** Count-of-counts per order; rebuilt lazily after training. */
+    mutable std::vector<std::map<int, long>> coc_;
+    mutable bool coc_valid_ = false;
+};
+
+} // namespace rock::slm

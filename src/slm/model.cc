@@ -1,0 +1,64 @@
+#include "slm/model.h"
+
+#include <cmath>
+
+#include "slm/katz.h"
+#include "slm/ngram.h"
+#include "slm/ppm.h"
+#include "support/error.h"
+
+namespace rock::slm {
+
+double
+LanguageModel::sequence_log_prob(const std::vector<int>& seq) const
+{
+    double log_p = 0.0;
+    std::vector<int> context;
+    context.reserve(seq.size());
+    for (int symbol : seq) {
+        double p = prob(symbol, context);
+        ROCK_ASSERT(p > 0.0, "model returned non-positive probability");
+        log_p += std::log(p);
+        context.push_back(symbol);
+    }
+    return log_p;
+}
+
+double
+LanguageModel::sequence_prob(const std::vector<int>& seq) const
+{
+    return std::exp(sequence_log_prob(seq));
+}
+
+std::unique_ptr<LanguageModel>
+make_model(const ModelConfig& config, int alphabet_size)
+{
+    support::check(alphabet_size > 0,
+                   "model requires a non-empty alphabet");
+    support::check(config.depth >= 0, "model depth must be >= 0");
+    switch (config.kind) {
+      case ModelKind::PpmC:
+        return std::make_unique<PpmModel>(alphabet_size, config.depth,
+                                          config.exclusion,
+                                          config.escape);
+      case ModelKind::Katz:
+        return std::make_unique<KatzModel>(alphabet_size, config.depth,
+                                           config.katz_threshold);
+      case ModelKind::NGram:
+        return std::make_unique<NGramModel>(
+            alphabet_size, config.depth, config.laplace_alpha);
+    }
+    support::panic("unknown model kind");
+}
+
+std::unique_ptr<LanguageModel>
+train_model(const ModelConfig& config, int alphabet_size,
+            const std::vector<std::vector<int>>& sequences)
+{
+    auto model = make_model(config, alphabet_size);
+    for (const auto& seq : sequences)
+        model->train(seq);
+    return model;
+}
+
+} // namespace rock::slm

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Statistical language models over tracelet symbols.
+ *
+ * Paper Section 3.1: a model Pr trained on sequences over a finite
+ * alphabet assigns Pr(sigma | s) to any symbol given a past, and
+ * Pr(x_1..x_T) = prod_i Pr(x_i | x_1..x_{i-1}).
+ *
+ * Three interchangeable families are provided:
+ *  - PPM-C variable-order n-gram with escape/backoff (the paper's
+ *    choice),
+ *  - Katz back-off with Good-Turing discounting (the paper's named
+ *    alternative),
+ *  - fixed-order Laplace-smoothed n-gram (baseline).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rock::slm {
+
+/** Model families. */
+enum class ModelKind { PpmC, Katz, NGram };
+
+/**
+ * PPM escape estimation methods. The paper uses method C; A and D
+ * are the classic alternatives (Cleary/Witten 1984, Howard 1993):
+ *  - A: escape count 1            -> P(esc) = 1/(n+1)
+ *  - C: escape count q (distinct) -> P(esc) = q/(n+q)
+ *  - D: discount 1/2 per distinct -> P(esc) = q/(2n)
+ */
+enum class EscapeMethod { A, C, D };
+
+/** Configuration shared by all model families. */
+struct ModelConfig {
+    ModelKind kind = ModelKind::PpmC;
+    /** Maximum context length D (the paper's figures use depth 2). */
+    int depth = 2;
+    /** PPM: escape estimation method (paper: C). */
+    EscapeMethod escape = EscapeMethod::C;
+    /** PPM: apply exclusions when backing off. */
+    bool exclusion = false;
+    /** NGram: Laplace smoothing constant. */
+    double laplace_alpha = 1.0;
+    /** Katz: counts below this threshold are Good-Turing discounted. */
+    int katz_threshold = 5;
+};
+
+/** Common interface of all trained sequence models. */
+class LanguageModel {
+  public:
+    virtual ~LanguageModel() = default;
+
+    /** Add one training sequence (one tracelet). */
+    virtual void train(const std::vector<int>& seq) = 0;
+
+    /**
+     * Conditional probability P(symbol | context). The model uses at
+     * most its configured depth of trailing context. Always positive.
+     */
+    virtual double prob(int symbol,
+                        const std::vector<int>& context) const = 0;
+
+    /** Alphabet size the model was constructed for. */
+    virtual int alphabet_size() const = 0;
+
+    /** Natural log-probability of a whole sequence. */
+    double sequence_log_prob(const std::vector<int>& seq) const;
+
+    /** Probability of a whole sequence. */
+    double sequence_prob(const std::vector<int>& seq) const;
+};
+
+/** Construct an untrained model of the configured family. */
+std::unique_ptr<LanguageModel> make_model(const ModelConfig& config,
+                                          int alphabet_size);
+
+/** Convenience: construct and train on @p sequences. */
+std::unique_ptr<LanguageModel>
+train_model(const ModelConfig& config, int alphabet_size,
+            const std::vector<std::vector<int>>& sequences);
+
+} // namespace rock::slm

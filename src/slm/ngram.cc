@@ -1,0 +1,34 @@
+#include "slm/ngram.h"
+
+#include "support/error.h"
+
+namespace rock::slm {
+
+void
+NGramModel::train(const std::vector<int>& seq)
+{
+    for (int symbol : seq) {
+        ROCK_ASSERT(symbol >= 0 && symbol < alphabet_size_,
+                    "symbol outside alphabet");
+    }
+    trie_.add_sequence(seq);
+}
+
+double
+NGramModel::prob(int symbol, const std::vector<int>& context) const
+{
+    ROCK_ASSERT(symbol >= 0 && symbol < alphabet_size_,
+                "symbol outside alphabet");
+    std::vector<const ContextTrie::Node*> chain;
+    trie_.context_chain(context, chain);
+    const ContextTrie::Node& node = *chain.back();
+    long count = 0;
+    auto found = node.counts.find(symbol);
+    if (found != node.counts.end())
+        count = found->second;
+    return (static_cast<double>(count) + alpha_) /
+           (static_cast<double>(node.total) +
+            alpha_ * static_cast<double>(alphabet_size_));
+}
+
+} // namespace rock::slm

@@ -1,0 +1,109 @@
+#include "slm/ppm.h"
+
+#include <set>
+
+#include "support/error.h"
+
+namespace rock::slm {
+
+void
+PpmModel::train(const std::vector<int>& seq)
+{
+    for (int symbol : seq) {
+        ROCK_ASSERT(symbol >= 0 && symbol < alphabet_size_,
+                    "symbol outside alphabet");
+    }
+    trie_.add_sequence(seq);
+}
+
+double
+PpmModel::prob(int symbol, const std::vector<int>& context) const
+{
+    ROCK_ASSERT(symbol >= 0 && symbol < alphabet_size_,
+                "symbol outside alphabet");
+
+    std::vector<const ContextTrie::Node*> chain;
+    trie_.context_chain(context, chain);
+
+    double escape_acc = 1.0;
+    std::set<int> excluded;
+
+    // Walk from the deepest matched context down to order 0.
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        const ContextTrie::Node& node = **it;
+
+        long total = node.total;
+        long distinct = static_cast<long>(node.counts.size());
+        if (exclusion_ && !excluded.empty()) {
+            for (int ex : excluded) {
+                auto found = node.counts.find(ex);
+                if (found != node.counts.end()) {
+                    total -= found->second;
+                    --distinct;
+                }
+            }
+        }
+        if (total <= 0 || distinct <= 0) {
+            // Nothing usable at this order once exclusions apply.
+            continue;
+        }
+
+        // When the context has already seen every symbol still in
+        // play, there is nothing to escape to: drop the escape
+        // reservation so the conditional distribution stays proper.
+        long remaining = alphabet_size_;
+        if (exclusion_)
+            remaining -= static_cast<long>(excluded.size());
+        bool covers = distinct >= remaining;
+
+        auto found = node.counts.find(symbol);
+        bool usable = found != node.counts.end() &&
+                      (!exclusion_ || !excluded.count(symbol));
+
+        // Symbol and escape probabilities per escape method
+        // (Cleary/Witten A, Moffat C, Howard D).
+        double sym_p = 0.0;
+        double esc_p = 0.0;
+        double count = usable ? static_cast<double>(found->second)
+                              : 0.0;
+        double n = static_cast<double>(total);
+        double q = static_cast<double>(distinct);
+        if (covers) {
+            sym_p = count / n;
+            esc_p = 0.0;
+        } else {
+            switch (escape_) {
+              case EscapeMethod::A:
+                sym_p = count / (n + 1.0);
+                esc_p = 1.0 / (n + 1.0);
+                break;
+              case EscapeMethod::C:
+                sym_p = count / (n + q);
+                esc_p = q / (n + q);
+                break;
+              case EscapeMethod::D:
+                sym_p = (2.0 * count - 1.0) / (2.0 * n);
+                esc_p = q / (2.0 * n);
+                break;
+            }
+        }
+        if (usable)
+            return escape_acc * sym_p;
+        escape_acc *= esc_p;
+        if (exclusion_) {
+            for (const auto& [seen, count] : node.counts) {
+                (void)count;
+                excluded.insert(seen);
+            }
+        }
+    }
+
+    // Order -1: uniform over the (non-excluded) alphabet.
+    long remaining = alphabet_size_;
+    if (exclusion_)
+        remaining -= static_cast<long>(excluded.size());
+    ROCK_ASSERT(remaining > 0, "exclusion removed the whole alphabet");
+    return escape_acc / static_cast<double>(remaining);
+}
+
+} // namespace rock::slm

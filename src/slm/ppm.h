@@ -1,0 +1,46 @@
+/**
+ * @file
+ * PPM-C variable-order n-gram model (paper Section 3.1).
+ *
+ * Prediction by partial matching, escape method C: a context with q
+ * distinct successors and n total observations assigns
+ *
+ *   P(sigma | s) = c(sigma) / (n + q)          when sigma followed s,
+ *   P(escape | s) = q / (n + q)                otherwise,
+ *
+ * recursing to the next shorter context on escape and bottoming out in
+ * the uniform distribution over the alphabet. With `exclusion`
+ * enabled, symbols already accounted for at longer contexts are
+ * removed from shorter-context distributions (full PPM-C; conditional
+ * distributions then sum to exactly 1).
+ */
+#pragma once
+
+#include "slm/context_trie.h"
+#include "slm/model.h"
+
+namespace rock::slm {
+
+/** PPM model (escape methods A, C, or D). */
+class PpmModel final : public LanguageModel {
+  public:
+    PpmModel(int alphabet_size, int depth, bool exclusion,
+             EscapeMethod escape = EscapeMethod::C)
+        : trie_(depth), alphabet_size_(alphabet_size),
+          exclusion_(exclusion), escape_(escape) {}
+
+    void train(const std::vector<int>& seq) override;
+    double prob(int symbol,
+                const std::vector<int>& context) const override;
+    int alphabet_size() const override { return alphabet_size_; }
+
+    const ContextTrie& trie() const { return trie_; }
+
+  private:
+    ContextTrie trie_;
+    int alphabet_size_;
+    bool exclusion_;
+    EscapeMethod escape_;
+};
+
+} // namespace rock::slm

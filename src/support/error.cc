@@ -1,0 +1,24 @@
+#include "support/error.h"
+
+namespace rock::support {
+
+void
+fatal(const std::string& msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string& msg)
+{
+    throw PanicError(msg);
+}
+
+void
+check(bool cond, const std::string& msg)
+{
+    if (!cond)
+        fatal(msg);
+}
+
+} // namespace rock::support

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Error-handling primitives for the Rock library.
+ *
+ * Following the gem5 convention:
+ *  - fatal()  -- the condition is the *user's* fault (bad configuration,
+ *                malformed input image); throws rock::support::FatalError
+ *                so library embedders can recover.
+ *  - panic()  -- the condition indicates a bug in Rock itself; throws
+ *                rock::support::PanicError (asserts in debug builds).
+ */
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rock::support {
+
+/** Raised on user-level errors (invalid input, bad configuration). */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string& msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Raised on internal invariant violations (a bug in Rock). */
+class PanicError : public std::logic_error {
+  public:
+    explicit PanicError(const std::string& msg)
+        : std::logic_error(msg) {}
+};
+
+/** Abort the current operation due to a user-level error. */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Abort the current operation due to an internal bug. */
+[[noreturn]] void panic(const std::string& msg);
+
+/** Check a user-level precondition; fatal() with @p msg when violated. */
+void check(bool cond, const std::string& msg);
+
+} // namespace rock::support
+
+/** Internal invariant check. Active in all build types. */
+#define ROCK_ASSERT(cond, msg)                                             \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::rock::support::panic(std::string("assertion failed: ") +     \
+                                   #cond + " -- " + (msg));                \
+        }                                                                  \
+    } while (0)

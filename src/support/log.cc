@@ -1,0 +1,47 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace rock::support {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char*
+level_name(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::Off: return "off";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+log_level()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+log_message(LogLevel level, const std::string& msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(log_level()))
+        return;
+    std::fprintf(stderr, "[rock:%s] %s\n", level_name(level), msg.c_str());
+}
+
+} // namespace rock::support

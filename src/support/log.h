@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal leveled logging for the Rock library.
+ *
+ * Logging is process-global and off by default above Warn so that the
+ * library stays quiet when embedded. Tools (benches, examples) raise the
+ * level explicitly.
+ */
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rock::support {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Set the global log threshold; messages below it are dropped. */
+void set_log_level(LogLevel level);
+
+/** Current global log threshold. */
+LogLevel log_level();
+
+/** Emit a message at @p level (no-op when below the threshold). */
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+/** Stream-style log statement helper; emits on destruction. */
+class LogLine {
+  public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+    ~LogLine() { log_message(level_, out_.str()); }
+
+    LogLine(const LogLine&) = delete;
+    LogLine& operator=(const LogLine&) = delete;
+
+    template <typename T>
+    LogLine&
+    operator<<(const T& value)
+    {
+        out_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream out_;
+};
+
+} // namespace detail
+
+} // namespace rock::support
+
+#define ROCK_LOG_DEBUG ::rock::support::detail::LogLine(::rock::support::LogLevel::Debug)
+#define ROCK_LOG_INFO ::rock::support::detail::LogLine(::rock::support::LogLevel::Info)
+#define ROCK_LOG_WARN ::rock::support::detail::LogLine(::rock::support::LogLevel::Warn)
+#define ROCK_LOG_ERROR ::rock::support::detail::LogLine(::rock::support::LogLevel::Error)

@@ -1,0 +1,61 @@
+#include "support/rng.h"
+
+#include "support/error.h"
+
+namespace rock::support {
+
+std::int64_t
+Rng::uniform(std::int64_t lo, std::int64_t hi)
+{
+    ROCK_ASSERT(lo <= hi, "empty uniform range");
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+std::size_t
+Rng::index(std::size_t n)
+{
+    ROCK_ASSERT(n > 0, "index() over empty range");
+    return static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(n) - 1));
+}
+
+double
+Rng::real()
+{
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+}
+
+bool
+Rng::chance(double p)
+{
+    return real() < p;
+}
+
+std::size_t
+Rng::length(std::size_t lo, std::size_t hi, double p)
+{
+    ROCK_ASSERT(lo <= hi, "empty length range");
+    std::size_t len = lo;
+    while (len < hi && chance(1.0 - p))
+        ++len;
+    return len;
+}
+
+std::size_t
+Rng::weighted(const std::vector<double>& weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    ROCK_ASSERT(total > 0.0, "weighted() requires positive total weight");
+    double pick = real() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        pick -= weights[i];
+        if (pick <= 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace rock::support

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All randomized components of the library (corpus generation, word-set
+ * sampling, property-test inputs) draw from an explicitly seeded Rng so
+ * every experiment is reproducible from its seed alone.
+ */
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rock::support {
+
+/** Seeded pseudo-random generator with convenience distributions. */
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : engine_(seed) {}
+
+    /** Uniform integer in [lo, hi] (inclusive). Requires lo <= hi. */
+    std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform size_t index in [0, n). Requires n > 0. */
+    std::size_t index(std::size_t n);
+
+    /** Uniform real in [0, 1). */
+    double real();
+
+    /** Bernoulli trial with success probability @p p. */
+    bool chance(double p);
+
+    /** Geometric-ish length in [lo, hi]: lo + Geom(p) clamped to hi. */
+    std::size_t length(std::size_t lo, std::size_t hi, double p = 0.35);
+
+    /**
+     * Pick an index in [0, weights.size()) with probability proportional
+     * to weights[i]. Requires a positive total weight.
+     */
+    std::size_t weighted(const std::vector<double>& weights);
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& items)
+    {
+        for (std::size_t i = items.size(); i > 1; --i)
+            std::swap(items[i - 1], items[index(i)]);
+    }
+
+    /** Underlying engine (for std distributions). */
+    std::mt19937_64& engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace rock::support

@@ -1,0 +1,48 @@
+#include "support/str.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace rock::support {
+
+std::string
+hex(std::uint64_t value)
+{
+    std::ostringstream out;
+    out << "0x" << std::hex << value;
+    return out.str();
+}
+
+std::string
+join(const std::vector<std::string>& parts, const std::string& sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+format(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args_copy);
+        return {};
+    }
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return out;
+}
+
+} // namespace rock::support

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Small string formatting helpers shared across the library.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rock::support {
+
+/** Format @p value as 0x-prefixed lowercase hex. */
+std::string hex(std::uint64_t value);
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace rock::support

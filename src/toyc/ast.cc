@@ -1,0 +1,112 @@
+#include "toyc/ast.h"
+
+namespace rock::toyc {
+
+Stmt
+Stmt::new_object(std::string var, std::string cls)
+{
+    Stmt s;
+    s.kind = StmtKind::NewObject;
+    s.var = std::move(var);
+    s.class_name = std::move(cls);
+    return s;
+}
+
+Stmt
+Stmt::virt_call(std::string var, std::string method)
+{
+    Stmt s;
+    s.kind = StmtKind::VirtCall;
+    s.var = std::move(var);
+    s.method = std::move(method);
+    return s;
+}
+
+Stmt
+Stmt::read_field(std::string var, int field)
+{
+    Stmt s;
+    s.kind = StmtKind::ReadField;
+    s.var = std::move(var);
+    s.field = field;
+    return s;
+}
+
+Stmt
+Stmt::write_field(std::string var, int field)
+{
+    Stmt s;
+    s.kind = StmtKind::WriteField;
+    s.var = std::move(var);
+    s.field = field;
+    return s;
+}
+
+Stmt
+Stmt::call_free(std::string callee, std::vector<std::string> args)
+{
+    Stmt s;
+    s.kind = StmtKind::CallFree;
+    s.callee = std::move(callee);
+    s.args = std::move(args);
+    return s;
+}
+
+Stmt
+Stmt::delete_object(std::string var)
+{
+    Stmt s;
+    s.kind = StmtKind::DeleteObject;
+    s.var = std::move(var);
+    return s;
+}
+
+Stmt
+Stmt::return_object(std::string var)
+{
+    Stmt s;
+    s.kind = StmtKind::ReturnObject;
+    s.var = std::move(var);
+    return s;
+}
+
+Stmt
+Stmt::branch(std::vector<Stmt> then_body, std::vector<Stmt> else_body)
+{
+    Stmt s;
+    s.kind = StmtKind::Branch;
+    s.then_body = std::move(then_body);
+    s.else_body = std::move(else_body);
+    return s;
+}
+
+Stmt
+Stmt::loop(std::vector<Stmt> body)
+{
+    Stmt s;
+    s.kind = StmtKind::Loop;
+    s.then_body = std::move(body);
+    return s;
+}
+
+const ClassDecl*
+Program::find_class(const std::string& name) const
+{
+    for (const auto& cls : classes) {
+        if (cls.name == name)
+            return &cls;
+    }
+    return nullptr;
+}
+
+const UsageFunc*
+Program::find_usage(const std::string& name) const
+{
+    for (const auto& fn : usages) {
+        if (fn.name == name)
+            return &fn;
+    }
+    return nullptr;
+}
+
+} // namespace rock::toyc

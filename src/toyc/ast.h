@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The toyc source model: a miniature object-oriented language.
+ *
+ * toyc is the reproduction's stand-in for the C++ sources of the
+ * paper's benchmarks. A Program declares classes (fields, virtual
+ * methods, single or multiple inheritance) and free "usage" functions
+ * that allocate objects and drive them -- exactly the code shapes from
+ * which Rock's behavioral analysis learns (the useX functions of the
+ * paper's Figs. 1, 3 and 5).
+ *
+ * The statement language is deliberately small: it covers every event
+ * kind the paper's Table 1 tracks (virtual calls, field reads/writes,
+ * argument passing, direct calls, returns) plus branches and loops so
+ * the symbolic executor has multiple paths to explore.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rock::toyc {
+
+/** Statement kinds of the toyc body language. */
+enum class StmtKind {
+    /** var = new C;  (allocation followed by construction) */
+    NewObject,
+    /** var->method();  (virtual dispatch) */
+    VirtCall,
+    /** read var->field_index */
+    ReadField,
+    /** write var->field_index */
+    WriteField,
+    /** free_function(args...) passing object variables */
+    CallFree,
+    /** destroy var (direct call to its destructor) */
+    DeleteObject,
+    /** return var from the enclosing function */
+    ReturnObject,
+    /** opaque two-way branch: then_body / else_body */
+    Branch,
+    /** opaque-bound loop over body */
+    Loop,
+};
+
+/** One statement. Unused fields are ignored for a given kind. */
+struct Stmt {
+    StmtKind kind = StmtKind::VirtCall;
+    std::string var;          ///< object variable operated on
+    std::string class_name;   ///< NewObject: class to instantiate
+    std::string method;       ///< VirtCall: method name
+    int field = 0;            ///< Read/WriteField: flattened field index
+    std::string callee;       ///< CallFree: target usage function
+    std::vector<std::string> args; ///< CallFree: object vars to pass
+    std::vector<Stmt> then_body;   ///< Branch: taken side; Loop: body
+    std::vector<Stmt> else_body;   ///< Branch: other side
+
+    // -- convenience constructors ------------------------------------
+    static Stmt new_object(std::string var, std::string cls);
+    static Stmt virt_call(std::string var, std::string method);
+    static Stmt read_field(std::string var, int field);
+    static Stmt write_field(std::string var, int field);
+    static Stmt call_free(std::string callee,
+                          std::vector<std::string> args);
+    static Stmt delete_object(std::string var);
+    static Stmt return_object(std::string var);
+    static Stmt branch(std::vector<Stmt> then_body,
+                       std::vector<Stmt> else_body);
+    static Stmt loop(std::vector<Stmt> body);
+};
+
+/** A virtual method declaration (or override). */
+struct MethodDecl {
+    std::string name;
+    /** Pure virtual: no body; the vtable slot traps to _purecall. */
+    bool pure = false;
+    /** Body statements; objects referenced via the variable "this". */
+    std::vector<Stmt> body;
+};
+
+/** A class declaration. */
+struct ClassDecl {
+    std::string name;
+    /** Direct bases, in declaration order. Empty for roots. */
+    std::vector<std::string> parents;
+    /** Number of data fields declared by this class itself. */
+    int num_fields = 0;
+    /** Virtual methods declared or overridden by this class. */
+    std::vector<MethodDecl> methods;
+    /** Extra constructor statements (beyond vptr stores/base calls). */
+    std::vector<Stmt> ctor_body;
+    /** Extra destructor statements. */
+    std::vector<Stmt> dtor_body;
+};
+
+/** A formal parameter of a usage function. */
+struct Param {
+    std::string var;
+    std::string class_name; ///< static type (not visible in the binary)
+};
+
+/** A free function that exercises objects. */
+struct UsageFunc {
+    std::string name;
+    std::vector<Param> params;
+    std::vector<Stmt> body;
+};
+
+/** A complete toyc translation unit. */
+struct Program {
+    std::string name = "program";
+    std::vector<ClassDecl> classes;
+    std::vector<UsageFunc> usages;
+
+    /** Find a class by name; nullptr when absent. */
+    const ClassDecl* find_class(const std::string& name) const;
+
+    /** Find a usage function by name; nullptr when absent. */
+    const UsageFunc* find_usage(const std::string& name) const;
+};
+
+} // namespace rock::toyc

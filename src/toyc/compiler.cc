@@ -1,0 +1,566 @@
+#include "toyc/compiler.h"
+
+#include "support/error.h"
+
+namespace rock::toyc {
+
+using bir::FuncId;
+using bir::FunctionBuilder;
+using bir::ImageBuilder;
+using bir::VtId;
+using support::fatal;
+
+namespace {
+
+/// Register conventions used by the code generator.
+/// r0, r1       statement-local scratch
+/// r2 .. r7     object variables (at most 6 per function)
+/// r8, r9       vptr-store scratch inside constructor bodies
+/// r10 .. r14   subobject `this` pointers for inlined parent ctors
+constexpr int kFirstVarReg = 2;
+constexpr int kLastVarReg = 7;
+constexpr int kVptrScratchA = 8;
+constexpr int kVptrScratchB = 9;
+constexpr int kFirstInlineThisReg = 10;
+constexpr int kLastInlineThisReg = 14;
+/// Incoming argument slot read for opaque branch/loop conditions.
+constexpr int kOpaqueArgSlot = 9;
+
+class CodeGen {
+  public:
+    CodeGen(const Sema& sema, const CompileOptions& opts)
+        : sema_(sema), opts_(opts) {}
+
+    CompileResult run();
+
+  private:
+    /** Whether @p cls gets a vtable (and ctor/dtor) in the binary. */
+    bool emitted(const std::string& cls) const;
+
+    /** Effective "call parent ctor" cue for @p cls. */
+    bool parent_call_cue(const std::string& cls) const;
+
+    void declare_all();
+    void define_methods();
+    void define_ctors_dtors();
+    void define_usages();
+    void wire_vtables();
+
+    /**
+     * Emit the body of @p cls's constructor with `this` in
+     * @p this_reg: parent construction, vptr stores, user statements.
+     */
+    void emit_ctor_content(FunctionBuilder& fb, const std::string& cls,
+                           int this_reg, int depth);
+
+    /** Destructor counterpart of emit_ctor_content. */
+    void emit_dtor_content(FunctionBuilder& fb, const std::string& cls,
+                           int this_reg, int depth);
+
+    /** Store all of @p cls's branch vptrs into the object. */
+    void emit_vptr_stores(FunctionBuilder& fb, const std::string& cls,
+                          int this_reg);
+
+    /** Lowering context for one statement list. */
+    struct Scope {
+        /// variable -> (register, static class)
+        std::map<std::string, std::pair<int, std::string>> vars;
+        int next_reg = kFirstVarReg;
+    };
+
+    int bind_var(Scope& scope, const std::string& var,
+                 const std::string& cls);
+
+    void lower_stmts(FunctionBuilder& fb, Scope& scope,
+                     const std::vector<Stmt>& body);
+    void lower_stmt(FunctionBuilder& fb, Scope& scope, const Stmt& stmt);
+
+    const Sema& sema_;
+    const CompileOptions& opts_;
+    ImageBuilder builder_;
+
+    /// "Class::method" -> implementation function
+    std::map<std::string, FuncId> method_funcs_;
+    std::map<std::string, FuncId> ctor_funcs_; ///< class -> ctor
+    std::map<std::string, FuncId> dtor_funcs_; ///< class -> dtor
+    std::map<std::string, FuncId> usage_funcs_;
+    /// (class, branch index) -> vtable id
+    std::map<std::pair<std::string, int>, VtId> vtables_;
+};
+
+bool
+CodeGen::emitted(const std::string& cls) const
+{
+    if (opts_.omit_abstract_classes && sema_.layout(cls).abstract)
+        return false;
+    return true;
+}
+
+bool
+CodeGen::parent_call_cue(const std::string& cls) const
+{
+    if (opts_.force_inline_parent_ctor.count(cls))
+        return false;
+    return opts_.parent_ctor_calls;
+}
+
+void
+CodeGen::declare_all()
+{
+    const Program& prog = sema_.program();
+    // Method implementations, per defining class.
+    for (const auto& cls : prog.classes) {
+        for (const auto& method : cls.methods) {
+            if (method.pure)
+                continue;
+            std::string key = cls.name + "::" + method.name;
+            method_funcs_[key] = builder_.declare_function(key);
+        }
+    }
+    // Ctors/dtors and vtables for emitted classes.
+    for (const auto& name : sema_.topo_order()) {
+        if (!emitted(name))
+            continue;
+        ctor_funcs_[name] =
+            builder_.declare_function(name + "::ctor");
+        dtor_funcs_[name] =
+            builder_.declare_function(name + "::dtor");
+        const ClassLayout& lay = sema_.layout(name);
+        for (std::size_t b = 0; b < lay.branches.size(); ++b) {
+            std::string vt_name =
+                b == 0 ? name : name + "::" + lay.branches[b].base;
+            vtables_[{name, static_cast<int>(b)}] = builder_.add_vtable(
+                vt_name, lay.branches[b].slots.size());
+        }
+    }
+    // Usage functions.
+    for (const auto& fn : prog.usages)
+        usage_funcs_[fn.name] = builder_.declare_function(fn.name);
+}
+
+int
+CodeGen::bind_var(Scope& scope, const std::string& var,
+                  const std::string& cls)
+{
+    auto it = scope.vars.find(var);
+    if (it != scope.vars.end()) {
+        it->second.second = cls;
+        return it->second.first;
+    }
+    if (scope.next_reg > kLastVarReg)
+        fatal("too many object variables in one function (max 6)");
+    int reg = scope.next_reg++;
+    scope.vars[var] = {reg, cls};
+    return reg;
+}
+
+void
+CodeGen::emit_vptr_stores(FunctionBuilder& fb, const std::string& cls,
+                          int this_reg)
+{
+    const ClassLayout& lay = sema_.layout(cls);
+    for (std::size_t b = 0; b < lay.branches.size(); ++b) {
+        const auto& branch = lay.branches[b];
+        fb.movi_vtable(kVptrScratchB,
+                       vtables_.at({cls, static_cast<int>(b)}));
+        if (branch.offset == 0) {
+            fb.store(this_reg, 0, kVptrScratchB);
+        } else {
+            fb.add(kVptrScratchA, this_reg,
+                   static_cast<std::int32_t>(branch.offset));
+            fb.store(kVptrScratchA, 0, kVptrScratchB);
+        }
+    }
+}
+
+void
+CodeGen::emit_ctor_content(FunctionBuilder& fb, const std::string& cls,
+                           int this_reg, int depth)
+{
+    const ClassLayout& lay = sema_.layout(cls);
+    const ClassDecl& decl = *lay.decl;
+
+    // 1. construct direct bases, in declaration order
+    std::uint32_t offset = 0;
+    for (const auto& parent : decl.parents) {
+        const ClassLayout& pl = sema_.layout(parent);
+        bool call_cue = emitted(parent) && parent_call_cue(cls);
+        if (call_cue) {
+            if (offset == 0) {
+                fb.setarg(0, this_reg);
+            } else {
+                fb.add(kVptrScratchA, this_reg,
+                       static_cast<std::int32_t>(offset));
+                fb.setarg(0, kVptrScratchA);
+            }
+            fb.call(ctor_funcs_.at(parent));
+        } else {
+            // Inline the parent's construction (also the only choice
+            // when the parent was optimized out of the binary: its
+            // field initialization survives, its vtable does not).
+            int sub_reg = this_reg;
+            if (offset != 0) {
+                int reg = kFirstInlineThisReg + depth;
+                ROCK_ASSERT(reg <= kLastInlineThisReg,
+                            "constructor inlining too deep");
+                fb.add(reg, this_reg,
+                       static_cast<std::int32_t>(offset));
+                sub_reg = reg;
+            }
+            emit_ctor_content(fb, parent, sub_reg, depth + 1);
+        }
+        offset += pl.size;
+    }
+
+    // 2. this class's vptr stores (overwrite any parent vptrs)
+    if (emitted(cls))
+        emit_vptr_stores(fb, cls, this_reg);
+
+    // 3. user constructor statements
+    Scope scope;
+    scope.vars["this"] = {this_reg, cls};
+    lower_stmts(fb, scope, decl.ctor_body);
+}
+
+void
+CodeGen::emit_dtor_content(FunctionBuilder& fb, const std::string& cls,
+                           int this_reg, int depth)
+{
+    const ClassLayout& lay = sema_.layout(cls);
+    const ClassDecl& decl = *lay.decl;
+
+    // 1. revert vptrs to this class's vtables (MSVC resets the vptr on
+    //    destructor entry)
+    if (emitted(cls))
+        emit_vptr_stores(fb, cls, this_reg);
+
+    // 2. user destructor statements
+    Scope scope;
+    scope.vars["this"] = {this_reg, cls};
+    lower_stmts(fb, scope, decl.dtor_body);
+
+    // 3. destroy bases in reverse declaration order
+    std::vector<std::pair<std::string, std::uint32_t>> bases;
+    std::uint32_t offset = 0;
+    for (const auto& parent : decl.parents) {
+        bases.emplace_back(parent, offset);
+        offset += sema_.layout(parent).size;
+    }
+    for (auto it = bases.rbegin(); it != bases.rend(); ++it) {
+        const auto& [parent, poffset] = *it;
+        bool call_cue = emitted(parent) && parent_call_cue(cls);
+        if (call_cue) {
+            if (poffset == 0) {
+                fb.setarg(0, this_reg);
+            } else {
+                fb.add(kVptrScratchA, this_reg,
+                       static_cast<std::int32_t>(poffset));
+                fb.setarg(0, kVptrScratchA);
+            }
+            fb.call(dtor_funcs_.at(parent));
+        } else {
+            int sub_reg = this_reg;
+            if (poffset != 0) {
+                int reg = kFirstInlineThisReg + depth;
+                ROCK_ASSERT(reg <= kLastInlineThisReg,
+                            "destructor inlining too deep");
+                fb.add(reg, this_reg,
+                       static_cast<std::int32_t>(poffset));
+                sub_reg = reg;
+            }
+            emit_dtor_content(fb, parent, sub_reg, depth + 1);
+        }
+    }
+}
+
+void
+CodeGen::lower_stmt(FunctionBuilder& fb, Scope& scope, const Stmt& stmt)
+{
+    auto var_of = [&](const std::string& var)
+        -> const std::pair<int, std::string>& {
+        auto it = scope.vars.find(var);
+        ROCK_ASSERT(it != scope.vars.end(),
+                    "codegen: undefined var (sema should have caught)");
+        return it->second;
+    };
+
+    switch (stmt.kind) {
+      case StmtKind::NewObject: {
+        const ClassLayout& lay = sema_.layout(stmt.class_name);
+        int reg = bind_var(scope, stmt.var, stmt.class_name);
+        fb.movi(0, lay.size);
+        fb.setarg(0, 0);
+        fb.call_addr(bir::kAllocStub);
+        fb.getret(reg);
+        if (opts_.inline_ctors_at_alloc) {
+            emit_ctor_content(fb, stmt.class_name, reg, 0);
+        } else {
+            fb.setarg(0, reg);
+            fb.call(ctor_funcs_.at(stmt.class_name));
+        }
+        break;
+      }
+      case StmtKind::VirtCall: {
+        const auto& [reg, cls] = var_of(stmt.var);
+        const ClassLayout& lay = sema_.layout(cls);
+        auto [branch_idx, slot] = lay.method_slots.at(stmt.method);
+        const auto& branch = lay.branches[branch_idx];
+        if (branch.offset == 0) {
+            fb.load(1, reg, 0);
+            fb.load(1, 1, static_cast<std::int32_t>(
+                              slot * bir::kWordSize));
+            fb.setarg(0, reg);
+            fb.icall(1);
+        } else {
+            fb.add(0, reg, static_cast<std::int32_t>(branch.offset));
+            fb.load(1, 0, 0);
+            fb.load(1, 1, static_cast<std::int32_t>(
+                              slot * bir::kWordSize));
+            fb.setarg(0, 0);
+            fb.icall(1);
+        }
+        break;
+      }
+      case StmtKind::ReadField: {
+        const auto& [reg, cls] = var_of(stmt.var);
+        const ClassLayout& lay = sema_.layout(cls);
+        fb.load(0, reg, static_cast<std::int32_t>(
+                            lay.field_offsets[stmt.field]));
+        break;
+      }
+      case StmtKind::WriteField: {
+        const auto& [reg, cls] = var_of(stmt.var);
+        const ClassLayout& lay = sema_.layout(cls);
+        fb.movi(0, 0x1000u + static_cast<std::uint32_t>(stmt.field));
+        fb.store(reg, static_cast<std::int32_t>(
+                          lay.field_offsets[stmt.field]), 0);
+        break;
+      }
+      case StmtKind::CallFree: {
+        for (std::size_t i = 0; i < stmt.args.size(); ++i) {
+            fb.setarg(static_cast<int>(i), var_of(stmt.args[i]).first);
+        }
+        fb.call(usage_funcs_.at(stmt.callee));
+        break;
+      }
+      case StmtKind::DeleteObject: {
+        const auto& [reg, cls] = var_of(stmt.var);
+        auto it = dtor_funcs_.find(cls);
+        if (it != dtor_funcs_.end()) {
+            fb.setarg(0, reg);
+            fb.call(it->second);
+        }
+        break;
+      }
+      case StmtKind::ReturnObject: {
+        fb.retval(var_of(stmt.var).first);
+        break;
+      }
+      case StmtKind::Branch: {
+        int l_else = fb.new_label();
+        int l_end = fb.new_label();
+        fb.getarg(0, kOpaqueArgSlot);
+        fb.jz(0, l_else);
+        lower_stmts(fb, scope, stmt.then_body);
+        fb.jmp(l_end);
+        fb.bind(l_else);
+        lower_stmts(fb, scope, stmt.else_body);
+        fb.bind(l_end);
+        break;
+      }
+      case StmtKind::Loop: {
+        int l_top = fb.new_label();
+        fb.bind(l_top);
+        lower_stmts(fb, scope, stmt.then_body);
+        fb.getarg(0, kOpaqueArgSlot);
+        fb.jnz(0, l_top);
+        break;
+      }
+    }
+}
+
+void
+CodeGen::lower_stmts(FunctionBuilder& fb, Scope& scope,
+                     const std::vector<Stmt>& body)
+{
+    for (const auto& stmt : body)
+        lower_stmt(fb, scope, stmt);
+}
+
+void
+CodeGen::define_methods()
+{
+    for (const auto& cls : sema_.program().classes) {
+        for (const auto& method : cls.methods) {
+            if (method.pure)
+                continue;
+            FunctionBuilder fb;
+            Scope scope;
+            int this_reg = bind_var(scope, "this", cls.name);
+            fb.getarg(this_reg, 0);
+            lower_stmts(fb, scope, method.body);
+            fb.ret();
+            builder_.define_function(
+                method_funcs_.at(cls.name + "::" + method.name),
+                std::move(fb));
+        }
+    }
+}
+
+void
+CodeGen::define_ctors_dtors()
+{
+    for (const auto& name : sema_.topo_order()) {
+        if (!emitted(name))
+            continue;
+        {
+            FunctionBuilder fb;
+            fb.getarg(kFirstVarReg, 0);
+            emit_ctor_content(fb, name, kFirstVarReg, 0);
+            fb.retval(kFirstVarReg);
+            builder_.define_function(ctor_funcs_.at(name),
+                                     std::move(fb));
+        }
+        {
+            FunctionBuilder fb;
+            fb.getarg(kFirstVarReg, 0);
+            emit_dtor_content(fb, name, kFirstVarReg, 0);
+            fb.ret();
+            builder_.define_function(dtor_funcs_.at(name),
+                                     std::move(fb));
+        }
+    }
+}
+
+void
+CodeGen::define_usages()
+{
+    for (const auto& fn : sema_.program().usages) {
+        FunctionBuilder fb;
+        Scope scope;
+        for (std::size_t i = 0; i < fn.params.size(); ++i) {
+            int reg = bind_var(scope, fn.params[i].var,
+                               fn.params[i].class_name);
+            fb.getarg(reg, static_cast<int>(i));
+        }
+        lower_stmts(fb, scope, fn.body);
+        fb.ret();
+        builder_.define_function(usage_funcs_.at(fn.name),
+                                 std::move(fb));
+    }
+}
+
+void
+CodeGen::wire_vtables()
+{
+    for (const auto& name : sema_.topo_order()) {
+        if (!emitted(name))
+            continue;
+        const ClassLayout& lay = sema_.layout(name);
+        for (std::size_t b = 0; b < lay.branches.size(); ++b) {
+            VtId vt = vtables_.at({name, static_cast<int>(b)});
+            const auto& branch = lay.branches[b];
+            for (std::size_t s = 0; s < branch.slots.size(); ++s) {
+                const VtableSlot& slot = branch.slots[s];
+                if (slot.pure) {
+                    builder_.set_slot_pure(vt, s);
+                } else {
+                    builder_.set_slot(
+                        vt, s,
+                        method_funcs_.at(slot.impl_class + "::" +
+                                         slot.method));
+                }
+            }
+        }
+    }
+}
+
+CompileResult
+CodeGen::run()
+{
+    declare_all();
+    define_methods();
+    define_ctors_dtors();
+    define_usages();
+    wire_vtables();
+
+    // RTTI ancestor chains reflect the post-optimization hierarchy:
+    // only classes that still exist in the binary appear.
+    for (const auto& name : sema_.topo_order()) {
+        if (!emitted(name))
+            continue;
+        const ClassLayout& lay = sema_.layout(name);
+        std::vector<VtId> chain;
+        chain.push_back(vtables_.at({name, 0}));
+        for (const auto& anc : lay.ancestors) {
+            if (emitted(anc))
+                chain.push_back(vtables_.at({anc, 0}));
+        }
+        builder_.set_rtti_chain(vtables_.at({name, 0}), chain);
+        for (std::size_t b = 1; b < lay.branches.size(); ++b) {
+            builder_.set_rtti_chain(
+                vtables_.at({name, static_cast<int>(b)}),
+                {vtables_.at({name, static_cast<int>(b)})});
+        }
+    }
+
+    CompileResult result;
+    if (opts_.fold_identical_functions)
+        result.folded = builder_.fold_identical_functions();
+    result.image = builder_.link(opts_.link);
+
+    // Ground-truth side channel.
+    for (const auto& name : sema_.topo_order()) {
+        if (!emitted(name))
+            continue;
+        const ClassLayout& lay = sema_.layout(name);
+        result.debug.class_to_vtable[name] =
+            builder_.vtable_addr(vtables_.at({name, 0}));
+        TypeDebug td;
+        td.class_name = name;
+        td.vtable_addr = builder_.vtable_addr(vtables_.at({name, 0}));
+        for (const auto& anc : lay.ancestors) {
+            if (emitted(anc)) {
+                td.ancestors.push_back(
+                    builder_.vtable_addr(vtables_.at({anc, 0})));
+            }
+        }
+        result.debug.types.push_back(td);
+        for (std::size_t b = 1; b < lay.branches.size(); ++b) {
+            TypeDebug sec;
+            sec.class_name = name + "::" + lay.branches[b].base;
+            sec.vtable_addr = builder_.vtable_addr(
+                vtables_.at({name, static_cast<int>(b)}));
+            sec.synthetic = true;
+            result.debug.types.push_back(sec);
+        }
+    }
+    for (const auto& [key, id] : method_funcs_)
+        result.debug.func_names[builder_.func_addr(id)] = key;
+    for (const auto& [key, id] : ctor_funcs_)
+        result.debug.func_names[builder_.func_addr(id)] = key + "::ctor";
+    for (const auto& [key, id] : dtor_funcs_)
+        result.debug.func_names[builder_.func_addr(id)] = key + "::dtor";
+    for (const auto& [key, id] : usage_funcs_)
+        result.debug.func_names[builder_.func_addr(id)] = key;
+
+    return result;
+}
+
+} // namespace
+
+CompileResult
+compile(const Sema& sema, const CompileOptions& opts)
+{
+    CodeGen gen(sema, opts);
+    return gen.run();
+}
+
+CompileResult
+compile(const Program& program, const CompileOptions& opts)
+{
+    Sema sema(program);
+    return compile(sema, opts);
+}
+
+} // namespace rock::toyc

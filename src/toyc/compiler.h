@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The toyc -> VM32 compiler.
+ *
+ * compile() lowers a validated Program to a BinaryImage the way an
+ * optimizing C++ compiler would, including the behaviours the paper
+ * identifies as the hard part of the reconstruction problem:
+ *
+ *  - constructors are inlined at allocation sites (so vtable-pointer
+ *    assignments are visible to the intra-procedural analysis, as in
+ *    optimized MSVC output);
+ *  - calls to parent constructors/destructors -- the structural cue of
+ *    paper Section 5.2 rule 3 -- can be kept (default) or inlined away
+ *    globally or per class, reproducing the optimization that defeats
+ *    purely structural tools;
+ *  - abstract classes can be eliminated entirely (no vtable, no ctor),
+ *    splitting source inheritance trees into several binary trees
+ *    (paper Section 4.1 "Optimized Class Hierarchies" and the
+ *    CGridListCtrlEx case of Fig. 9);
+ *  - byte-identical functions are folded (identical-COMDAT folding),
+ *    which can place one pointer into vtables of unrelated classes --
+ *    the paper's error source 1;
+ *  - symbols and RTTI are stripped (default), or retained for
+ *    ground-truth extraction tests.
+ *
+ * Alongside the image, compile() returns a DebugInfo side channel with
+ * the *post-optimization induced binary type hierarchy*: for each
+ * emitted vtable, the source class and the chain of ancestors that
+ * still exist in the binary. Evaluation uses this as ground truth; the
+ * analyses never see it.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bir/builder.h"
+#include "bir/image.h"
+#include "toyc/ast.h"
+#include "toyc/sema.h"
+
+namespace rock::toyc {
+
+/** Compilation switches. Defaults model optimized, stripped MSVC. */
+struct CompileOptions {
+    /**
+     * Inline constructor bodies at allocation sites. When false, a
+     * `new C` lowers to a direct call to the out-of-line constructor
+     * and objects are effectively invisible to an intra-procedural
+     * analysis of the allocating function.
+     */
+    bool inline_ctors_at_alloc = true;
+    /**
+     * Emit explicit calls to parent constructors/destructors from
+     * child constructors/destructors. When false, parent bodies are
+     * inlined, destroying structural rule-3 evidence.
+     */
+    bool parent_ctor_calls = true;
+    /** Classes whose parent-ctor calls are inlined regardless. */
+    std::set<std::string> force_inline_parent_ctor;
+    /** Eliminate vtables/ctors of abstract classes entirely. */
+    bool omit_abstract_classes = true;
+    /** Fold byte-identical functions (identical-COMDAT folding). */
+    bool fold_identical_functions = true;
+    /** Final link step options (stripping, RTTI). */
+    bir::LinkOptions link = {/*strip_symbols=*/true, /*emit_rtti=*/false};
+};
+
+/** Ground-truth record for one emitted vtable. */
+struct TypeDebug {
+    std::string class_name;   ///< source class (or Class::Base for MI)
+    std::uint32_t vtable_addr = 0;
+    /** Secondary vtable of a multiple-inheritance branch. */
+    bool synthetic = false;
+    /**
+     * Primary-vtable addresses of ancestors that exist in the binary,
+     * nearest first. The front element, when present, is the parent in
+     * the induced binary type hierarchy.
+     */
+    std::vector<std::uint32_t> ancestors;
+};
+
+/** Ground-truth side channel produced by compilation. */
+struct DebugInfo {
+    std::vector<TypeDebug> types;
+    /** Source class -> primary vtable address (emitted classes only). */
+    std::map<std::string, std::uint32_t> class_to_vtable;
+    /** Function address -> symbolic name (for diagnostics). */
+    std::map<std::uint32_t, std::string> func_names;
+};
+
+/** Output of compile(). */
+struct CompileResult {
+    bir::BinaryImage image;
+    DebugInfo debug;
+    /** Functions removed by identical-function folding. */
+    std::size_t folded = 0;
+};
+
+/**
+ * Compile @p program with @p opts.
+ *
+ * Throws support::FatalError on semantic errors.
+ */
+CompileResult compile(const Program& program,
+                      const CompileOptions& opts = {});
+
+/** As compile(), reusing an existing semantic analysis. */
+CompileResult compile(const Sema& sema, const CompileOptions& opts = {});
+
+} // namespace rock::toyc

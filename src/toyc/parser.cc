@@ -1,0 +1,515 @@
+#include "toyc/parser.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace rock::toyc {
+
+using support::fatal;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+enum class TokKind {
+    Ident,
+    Number,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Colon,
+    Semicolon,
+    Comma,
+    Dot,
+    End,
+};
+
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;
+    long number = 0;
+    int line = 1;
+    int column = 1;
+};
+
+const char*
+kind_name(TokKind kind)
+{
+    switch (kind) {
+      case TokKind::Ident: return "identifier";
+      case TokKind::Number: return "number";
+      case TokKind::LBrace: return "'{'";
+      case TokKind::RBrace: return "'}'";
+      case TokKind::LParen: return "'('";
+      case TokKind::RParen: return "')'";
+      case TokKind::Colon: return "':'";
+      case TokKind::Semicolon: return "';'";
+      case TokKind::Comma: return "','";
+      case TokKind::Dot: return "'.'";
+      case TokKind::End: return "end of input";
+    }
+    return "?";
+}
+
+class Lexer {
+  public:
+    explicit Lexer(const std::string& source) : src_(source)
+    {
+        advance();
+    }
+
+    const Token& peek() const { return current_; }
+
+    Token
+    next()
+    {
+        Token tok = current_;
+        advance();
+        return tok;
+    }
+
+  private:
+    void
+    advance()
+    {
+        skip_trivia();
+        current_.line = line_;
+        current_.column = column_;
+        if (pos_ >= src_.size()) {
+            current_.kind = TokKind::End;
+            current_.text.clear();
+            return;
+        }
+        char c = src_[pos_];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string ident;
+            while (pos_ < src_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(
+                        src_[pos_])) ||
+                    src_[pos_] == '_')) {
+                ident.push_back(src_[pos_]);
+                consume();
+            }
+            current_.kind = TokKind::Ident;
+            current_.text = std::move(ident);
+            return;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            long value = 0;
+            std::string text;
+            while (pos_ < src_.size() &&
+                   std::isdigit(static_cast<unsigned char>(
+                       src_[pos_]))) {
+                value = value * 10 + (src_[pos_] - '0');
+                text.push_back(src_[pos_]);
+                consume();
+            }
+            current_.kind = TokKind::Number;
+            current_.number = value;
+            current_.text = std::move(text);
+            return;
+        }
+        consume();
+        switch (c) {
+          case '{': current_.kind = TokKind::LBrace; break;
+          case '}': current_.kind = TokKind::RBrace; break;
+          case '(': current_.kind = TokKind::LParen; break;
+          case ')': current_.kind = TokKind::RParen; break;
+          case ':': current_.kind = TokKind::Colon; break;
+          case ';': current_.kind = TokKind::Semicolon; break;
+          case ',': current_.kind = TokKind::Comma; break;
+          case '.': current_.kind = TokKind::Dot; break;
+          default:
+            fatal(support::format(
+                "toyc:%d:%d: unexpected character '%c'", line_,
+                column_ - 1, c));
+        }
+        current_.text = std::string(1, c);
+    }
+
+    void
+    skip_trivia()
+    {
+        while (pos_ < src_.size()) {
+            char c = src_[pos_];
+            if (c == '/' && pos_ + 1 < src_.size() &&
+                src_[pos_ + 1] == '/') {
+                while (pos_ < src_.size() && src_[pos_] != '\n')
+                    consume();
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                consume();
+            } else {
+                break;
+            }
+        }
+    }
+
+    void
+    consume()
+    {
+        if (src_[pos_] == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        ++pos_;
+    }
+
+    const std::string& src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+    Token current_;
+};
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+class Parser {
+  public:
+    explicit Parser(const std::string& source) : lexer_(source) {}
+
+    Program
+    parse(const std::string& name)
+    {
+        Program prog;
+        prog.name = name;
+        while (lexer_.peek().kind != TokKind::End) {
+            if (at_keyword("class")) {
+                prog.classes.push_back(parse_class());
+            } else if (at_keyword("fn")) {
+                prog.usages.push_back(parse_usage());
+            } else {
+                error("expected 'class' or 'fn'");
+            }
+        }
+        return prog;
+    }
+
+  private:
+    [[noreturn]] void
+    error(const std::string& message) const
+    {
+        const Token& tok = lexer_.peek();
+        fatal(support::format(
+            "toyc:%d:%d: %s (found %s%s%s)", tok.line, tok.column,
+            message.c_str(), kind_name(tok.kind),
+            tok.kind == TokKind::Ident ? " " : "",
+            tok.kind == TokKind::Ident ? tok.text.c_str() : ""));
+    }
+
+    bool
+    at_keyword(const char* word) const
+    {
+        return lexer_.peek().kind == TokKind::Ident &&
+               lexer_.peek().text == word;
+    }
+
+    void
+    expect_keyword(const char* word)
+    {
+        if (!at_keyword(word))
+            error(std::string("expected '") + word + "'");
+        lexer_.next();
+    }
+
+    Token
+    expect(TokKind kind, const char* what)
+    {
+        if (lexer_.peek().kind != kind)
+            error(std::string("expected ") + what);
+        return lexer_.next();
+    }
+
+    std::string
+    expect_ident(const char* what)
+    {
+        return expect(TokKind::Ident, what).text;
+    }
+
+    ClassDecl
+    parse_class()
+    {
+        expect_keyword("class");
+        ClassDecl decl;
+        decl.name = expect_ident("class name");
+        decl.num_fields = 0;
+        if (lexer_.peek().kind == TokKind::Colon) {
+            lexer_.next();
+            decl.parents.push_back(expect_ident("base class name"));
+            while (lexer_.peek().kind == TokKind::Comma) {
+                lexer_.next();
+                decl.parents.push_back(
+                    expect_ident("base class name"));
+            }
+        }
+        expect(TokKind::LBrace, "'{'");
+        while (lexer_.peek().kind != TokKind::RBrace) {
+            if (at_keyword("fields")) {
+                lexer_.next();
+                decl.num_fields = static_cast<int>(
+                    expect(TokKind::Number, "field count").number);
+                expect(TokKind::Semicolon, "';'");
+            } else if (at_keyword("virtual") || at_keyword("pure")) {
+                bool pure = at_keyword("pure");
+                lexer_.next();
+                if (pure)
+                    expect_keyword("virtual");
+                MethodDecl method;
+                method.name = expect_ident("method name");
+                method.pure = pure;
+                if (lexer_.peek().kind == TokKind::LBrace) {
+                    if (pure)
+                        error("pure method cannot have a body");
+                    method.body = parse_body();
+                } else {
+                    expect(TokKind::Semicolon, "';' or body");
+                }
+                decl.methods.push_back(std::move(method));
+            } else if (at_keyword("ctor")) {
+                lexer_.next();
+                decl.ctor_body = parse_body();
+            } else if (at_keyword("dtor")) {
+                lexer_.next();
+                decl.dtor_body = parse_body();
+            } else {
+                error("expected class member "
+                      "('fields', 'virtual', 'pure', 'ctor', 'dtor')");
+            }
+        }
+        expect(TokKind::RBrace, "'}'");
+        return decl;
+    }
+
+    UsageFunc
+    parse_usage()
+    {
+        expect_keyword("fn");
+        UsageFunc fn;
+        fn.name = expect_ident("function name");
+        expect(TokKind::LParen, "'('");
+        while (lexer_.peek().kind != TokKind::RParen) {
+            Param param;
+            param.class_name = expect_ident("parameter class");
+            param.var = expect_ident("parameter name");
+            fn.params.push_back(std::move(param));
+            if (lexer_.peek().kind == TokKind::Comma)
+                lexer_.next();
+            else
+                break;
+        }
+        expect(TokKind::RParen, "')'");
+        fn.body = parse_body();
+        return fn;
+    }
+
+    std::vector<Stmt>
+    parse_body()
+    {
+        expect(TokKind::LBrace, "'{'");
+        std::vector<Stmt> body;
+        while (lexer_.peek().kind != TokKind::RBrace)
+            body.push_back(parse_stmt());
+        expect(TokKind::RBrace, "'}'");
+        return body;
+    }
+
+    Stmt
+    parse_stmt()
+    {
+        if (at_keyword("new")) {
+            lexer_.next();
+            std::string cls = expect_ident("class name");
+            std::string var = expect_ident("variable name");
+            expect(TokKind::Semicolon, "';'");
+            return Stmt::new_object(var, cls);
+        }
+        if (at_keyword("delete")) {
+            lexer_.next();
+            std::string var = expect_ident("variable name");
+            expect(TokKind::Semicolon, "';'");
+            return Stmt::delete_object(var);
+        }
+        if (at_keyword("return")) {
+            lexer_.next();
+            std::string var = expect_ident("variable name");
+            expect(TokKind::Semicolon, "';'");
+            return Stmt::return_object(var);
+        }
+        if (at_keyword("read") || at_keyword("write")) {
+            bool is_read = at_keyword("read");
+            lexer_.next();
+            std::string var = expect_ident("variable name");
+            expect(TokKind::Dot, "'.'");
+            int field = static_cast<int>(
+                expect(TokKind::Number, "field index").number);
+            expect(TokKind::Semicolon, "';'");
+            return is_read ? Stmt::read_field(var, field)
+                           : Stmt::write_field(var, field);
+        }
+        if (at_keyword("if")) {
+            lexer_.next();
+            std::vector<Stmt> then_body = parse_body();
+            std::vector<Stmt> else_body;
+            if (at_keyword("else")) {
+                lexer_.next();
+                else_body = parse_body();
+            }
+            return Stmt::branch(std::move(then_body),
+                                std::move(else_body));
+        }
+        if (at_keyword("loop")) {
+            lexer_.next();
+            return Stmt::loop(parse_body());
+        }
+        // Either var.method(); or callee(args...);
+        std::string first = expect_ident("statement");
+        if (lexer_.peek().kind == TokKind::Dot) {
+            lexer_.next();
+            std::string method = expect_ident("method name");
+            expect(TokKind::LParen, "'('");
+            expect(TokKind::RParen, "')'");
+            expect(TokKind::Semicolon, "';'");
+            return Stmt::virt_call(first, method);
+        }
+        expect(TokKind::LParen, "'('");
+        std::vector<std::string> args;
+        while (lexer_.peek().kind != TokKind::RParen) {
+            args.push_back(expect_ident("argument variable"));
+            if (lexer_.peek().kind == TokKind::Comma)
+                lexer_.next();
+            else
+                break;
+        }
+        expect(TokKind::RParen, "')'");
+        expect(TokKind::Semicolon, "';'");
+        return Stmt::call_free(first, std::move(args));
+    }
+
+    Lexer lexer_;
+};
+
+// ---------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------
+
+void
+print_stmts(std::ostringstream& out, const std::vector<Stmt>& body,
+            int indent)
+{
+    std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    for (const auto& stmt : body) {
+        switch (stmt.kind) {
+          case StmtKind::NewObject:
+            out << pad << "new " << stmt.class_name << " " << stmt.var
+                << ";\n";
+            break;
+          case StmtKind::VirtCall:
+            out << pad << stmt.var << "." << stmt.method << "();\n";
+            break;
+          case StmtKind::ReadField:
+            out << pad << "read " << stmt.var << "." << stmt.field
+                << ";\n";
+            break;
+          case StmtKind::WriteField:
+            out << pad << "write " << stmt.var << "." << stmt.field
+                << ";\n";
+            break;
+          case StmtKind::CallFree: {
+            out << pad << stmt.callee << "("
+                << support::join(stmt.args, ", ") << ");\n";
+            break;
+          }
+          case StmtKind::DeleteObject:
+            out << pad << "delete " << stmt.var << ";\n";
+            break;
+          case StmtKind::ReturnObject:
+            out << pad << "return " << stmt.var << ";\n";
+            break;
+          case StmtKind::Branch:
+            out << pad << "if {\n";
+            print_stmts(out, stmt.then_body, indent + 1);
+            out << pad << "}";
+            if (!stmt.else_body.empty()) {
+                out << " else {\n";
+                print_stmts(out, stmt.else_body, indent + 1);
+                out << pad << "}";
+            }
+            out << "\n";
+            break;
+          case StmtKind::Loop:
+            out << pad << "loop {\n";
+            print_stmts(out, stmt.then_body, indent + 1);
+            out << pad << "}\n";
+            break;
+        }
+    }
+}
+
+} // namespace
+
+Program
+parse_program(const std::string& source, const std::string& name)
+{
+    Parser parser(source);
+    return parser.parse(name);
+}
+
+std::string
+to_source(const Program& program)
+{
+    std::ostringstream out;
+    out << "// " << program.name << "\n";
+    for (const auto& cls : program.classes) {
+        out << "class " << cls.name;
+        if (!cls.parents.empty())
+            out << " : " << support::join(cls.parents, ", ");
+        out << " {\n";
+        if (cls.num_fields > 0)
+            out << "  fields " << cls.num_fields << ";\n";
+        for (const auto& method : cls.methods) {
+            out << "  " << (method.pure ? "pure virtual " : "virtual ")
+                << method.name;
+            if (method.body.empty()) {
+                out << ";\n";
+            } else {
+                out << " {\n";
+                print_stmts(out, method.body, 2);
+                out << "  }\n";
+            }
+        }
+        if (!cls.ctor_body.empty()) {
+            out << "  ctor {\n";
+            print_stmts(out, cls.ctor_body, 2);
+            out << "  }\n";
+        }
+        if (!cls.dtor_body.empty()) {
+            out << "  dtor {\n";
+            print_stmts(out, cls.dtor_body, 2);
+            out << "  }\n";
+        }
+        out << "}\n";
+    }
+    for (const auto& fn : program.usages) {
+        out << "fn " << fn.name << "(";
+        for (std::size_t i = 0; i < fn.params.size(); ++i) {
+            if (i > 0)
+                out << ", ";
+            out << fn.params[i].class_name << " " << fn.params[i].var;
+        }
+        out << ") {\n";
+        print_stmts(out, fn.body, 1);
+        out << "}\n";
+    }
+    return out.str();
+}
+
+} // namespace rock::toyc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Textual front-end for toyc.
+ *
+ * Grammar (comments run from "//" to end of line):
+ *
+ *   program    := (class_decl | usage_decl)*
+ *   class_decl := "class" IDENT [":" IDENT ("," IDENT)*] "{" member* "}"
+ *   member     := "fields" NUMBER ";"
+ *              |  ["pure"] "virtual" IDENT (body | ";")
+ *              |  "ctor" body
+ *              |  "dtor" body
+ *   usage_decl := "fn" IDENT "(" [IDENT IDENT ("," IDENT IDENT)*] ")" body
+ *   body       := "{" stmt* "}"
+ *   stmt       := "new" IDENT IDENT ";"          -- new Class var;
+ *              |  "delete" IDENT ";"
+ *              |  "return" IDENT ";"
+ *              |  "read" IDENT "." NUMBER ";"
+ *              |  "write" IDENT "." NUMBER ";"
+ *              |  "if" body ["else" body]
+ *              |  "loop" body
+ *              |  IDENT "." IDENT "(" ")" ";"    -- virtual call
+ *              |  IDENT "(" [IDENT ("," IDENT)*] ")" ";"  -- free call
+ *
+ * Example:
+ * @code
+ *   class Stream { fields 1; virtual send; }
+ *   class Confirmable : Stream { virtual confirm; }
+ *   fn useStream() { new Stream s; s.send(); s.send(); }
+ * @endcode
+ *
+ * Parse errors raise support::FatalError with line:column positions.
+ */
+#pragma once
+
+#include <string>
+
+#include "toyc/ast.h"
+
+namespace rock::toyc {
+
+/** Parse @p source into a Program named @p name. */
+Program parse_program(const std::string& source,
+                      const std::string& name = "parsed");
+
+/**
+ * Render @p program as parseable source text. parse_program() of the
+ * output reproduces the program (round-trip property).
+ */
+std::string to_source(const Program& program);
+
+} // namespace rock::toyc

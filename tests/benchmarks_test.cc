@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests over the 19 Table-2 benchmark programs: sizes, resolvability
+ * split, and the headline property (SLMs drastically reduce added
+ * types at a small missing cost).
+ */
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "corpus/benchmarks.h"
+#include "eval/application_distance.h"
+#include "eval/ground_truth.h"
+#include "rock/pipeline.h"
+#include "toyc/compiler.h"
+
+namespace {
+
+using namespace rock;
+
+struct BenchRun {
+    corpus::BenchmarkSpec spec;
+    eval::GroundTruth gt;
+    core::ReconstructionResult result;
+    eval::AppDistance without_slm;
+    eval::AppDistance with_slm;
+};
+
+BenchRun
+run_benchmark(corpus::BenchmarkSpec spec)
+{
+    BenchRun r{std::move(spec), {}, {}, {}, {}};
+    toyc::CompileResult compiled =
+        toyc::compile(r.spec.program.program, r.spec.program.options);
+    r.result = core::reconstruct(compiled.image);
+    r.gt = eval::ground_truth_from_debug(compiled.debug);
+    r.without_slm = eval::application_distance_structural(
+        r.result.structural, r.gt);
+    r.with_slm = eval::application_distance_worst(r.result, r.gt);
+    return r;
+}
+
+class Table2 : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Table2, MatchesPaperShape)
+{
+    BenchRun r = run_benchmark(corpus::benchmark_by_name(GetParam()));
+
+    // Type counts match the paper's "num of types" column.
+    EXPECT_EQ(static_cast<int>(r.gt.types.size()), r.spec.paper_types);
+
+    // Resolvability matches the table's above/below-line split.
+    EXPECT_EQ(r.result.ambiguous_families == 0,
+              r.spec.paper_resolvable);
+
+    // SLMs never increase the added-type count, and for the
+    // behavioral benchmarks they reduce it strictly (the paper's
+    // "drastic decrease").
+    EXPECT_LE(r.with_slm.avg_added, r.without_slm.avg_added + 1e-9);
+    if (!r.spec.paper_resolvable && r.spec.paper.added_nostat > 0.5) {
+        EXPECT_LE(r.with_slm.avg_added,
+                  0.5 * r.without_slm.avg_added + 1e-9);
+    }
+
+    // Missing may only grow slightly (the paper's stated trade-off).
+    EXPECT_LE(r.with_slm.avg_missing,
+              r.without_slm.avg_missing + 0.25);
+
+    // Stay in the neighbourhood of the published numbers.
+    EXPECT_NEAR(r.without_slm.avg_missing,
+                r.spec.paper.missing_nostat, 0.25);
+    EXPECT_NEAR(r.with_slm.avg_missing, r.spec.paper.missing_slm,
+                0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, Table2,
+    ::testing::Values("AntispyComplete", "bafprp", "cppcheck",
+                      "MidiLib", "patl", "pop3", "smtp", "tinyxml",
+                      "tinyxmlSTL", "yafe", "Analyzer",
+                      "CGridListCtrlEx", "echoparams", "gperf",
+                      "libctemplate", "ShowTraf", "Smoothing",
+                      "td_unittest", "tinyserver"));
+
+TEST(Table2Exact, EchoparamsIsExact)
+{
+    BenchRun r = run_benchmark(corpus::benchmark_by_name("echoparams"));
+    EXPECT_DOUBLE_EQ(r.without_slm.avg_added, 2.25);
+    EXPECT_DOUBLE_EQ(r.with_slm.avg_added, 0.0);
+    EXPECT_DOUBLE_EQ(r.with_slm.avg_missing, 0.0);
+}
+
+TEST(Table2Exact, TdUnittestIsExact)
+{
+    BenchRun r = run_benchmark(corpus::benchmark_by_name("td_unittest"));
+    EXPECT_DOUBLE_EQ(r.without_slm.avg_added, 1.0);
+    EXPECT_DOUBLE_EQ(r.with_slm.avg_added, 0.5);
+}
+
+TEST(Table2Exact, TinyxmlMissingMatches)
+{
+    BenchRun r = run_benchmark(corpus::benchmark_by_name("tinyxml"));
+    EXPECT_NEAR(r.with_slm.avg_missing, 8.0 / 9.0, 1e-9);
+    EXPECT_DOUBLE_EQ(r.with_slm.avg_added, 0.0);
+}
+
+TEST(Table2Exact, YafeAddedMatches)
+{
+    BenchRun r = run_benchmark(corpus::benchmark_by_name("yafe"));
+    EXPECT_NEAR(r.with_slm.avg_added, 0.2, 1e-9);
+    EXPECT_DOUBLE_EQ(r.with_slm.avg_missing, 0.0);
+}
+
+TEST(Table2, LookupUnknownBenchmarkFails)
+{
+    EXPECT_THROW(corpus::benchmark_by_name("skype"),
+                 support::FatalError);
+}
+
+TEST(Table2, NineteenBenchmarks)
+{
+    auto specs = corpus::table2_benchmarks();
+    EXPECT_EQ(specs.size(), 19u);
+    int resolvable = 0;
+    for (const auto& spec : specs)
+        resolvable += spec.paper_resolvable;
+    EXPECT_EQ(resolvable, 10);
+}
+
+} // namespace

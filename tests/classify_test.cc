@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for type prediction on unknown objects (Section 6.3).
+ */
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "corpus/builder.h"
+#include "corpus/examples.h"
+#include "rock/classify.h"
+#include "rock/pipeline.h"
+#include "toyc/compiler.h"
+
+namespace {
+
+using namespace rock;
+using toyc::Stmt;
+using toyc::UsageFunc;
+
+/** streams program + a function receiving an unknown object. */
+corpus::CorpusProgram
+streams_with_unknown(const std::string& cls,
+                     const std::vector<std::string>& calls)
+{
+    corpus::CorpusProgram example = corpus::streams_program();
+    UsageFunc fn;
+    fn.name = "handle_unknown";
+    fn.params.push_back({"s", cls});
+    for (const auto& method : calls)
+        fn.body.push_back(Stmt::virt_call("s", method));
+    example.program.usages.push_back(std::move(fn));
+    return example;
+}
+
+struct Fixture {
+    toyc::CompileResult compiled;
+    core::ReconstructionResult result;
+
+    std::uint32_t
+    vtable(const std::string& cls) const
+    {
+        return compiled.debug.class_to_vtable.at(cls);
+    }
+
+    std::uint32_t
+    function(const std::string& name) const
+    {
+        for (const auto& [addr, fname] : compiled.debug.func_names) {
+            if (fname == name)
+                return addr;
+        }
+        ADD_FAILURE() << "no function " << name;
+        return 0;
+    }
+};
+
+Fixture
+run(const corpus::CorpusProgram& example)
+{
+    Fixture f;
+    f.compiled = toyc::compile(example.program, example.options);
+    f.result = core::reconstruct(f.compiled.image);
+    return f;
+}
+
+TEST(Classify, FlushablePatternRanksFlushableFirst)
+{
+    Fixture f = run(streams_with_unknown(
+        "FlushableStream", {"send", "send", "send", "flush", "close"}));
+    auto ranking = core::classify_function_receiver(
+        f.result, f.compiled.image, f.function("handle_unknown"));
+    ASSERT_EQ(ranking.size(), 3u);
+    EXPECT_EQ(ranking[0].vtable_addr, f.vtable("FlushableStream"));
+    EXPECT_GT(ranking[0].score, ranking[1].score);
+}
+
+TEST(Classify, ConfirmablePatternRanksConfirmableFirst)
+{
+    Fixture f = run(streams_with_unknown(
+        "ConfirmableStream",
+        {"send", "confirm", "send", "confirm"}));
+    auto ranking = core::classify_function_receiver(
+        f.result, f.compiled.image, f.function("handle_unknown"));
+    ASSERT_EQ(ranking.size(), 3u);
+    EXPECT_EQ(ranking[0].vtable_addr,
+              f.vtable("ConfirmableStream"));
+}
+
+TEST(Classify, BasePatternDoesNotPreferAChild)
+{
+    // A pure base pattern must rank Stream at least as high as any
+    // derived type.
+    Fixture f = run(streams_with_unknown("Stream",
+                                         {"send", "send", "send"}));
+    auto ranking = core::classify_function_receiver(
+        f.result, f.compiled.image, f.function("handle_unknown"));
+    ASSERT_EQ(ranking.size(), 3u);
+    EXPECT_EQ(ranking[0].vtable_addr, f.vtable("Stream"));
+}
+
+TEST(Classify, EmptyTraceletsYieldEmptyRanking)
+{
+    Fixture f = run(corpus::streams_program());
+    auto ranking = core::classify_tracelets(f.result, {});
+    EXPECT_TRUE(ranking.empty());
+}
+
+TEST(Classify, UnknownEventsUseUniformPenalty)
+{
+    Fixture f = run(corpus::streams_program());
+    // An event kind never seen during reconstruction.
+    analysis::Tracelet alien{
+        {analysis::EventKind::CallDirect, 0xdead, 0}};
+    auto ranking = core::classify_tracelets(f.result, {alien});
+    ASSERT_EQ(ranking.size(), 3u);
+    // All types get exactly the floor score.
+    EXPECT_NEAR(ranking[0].score, ranking[2].score, 1e-12);
+}
+
+TEST(Classify, TargetSetViaHierarchy)
+{
+    // The Section 6.3 scenario end to end: predicted type plus its
+    // successors = the virtual-call target set.
+    Fixture f = run(streams_with_unknown("Stream",
+                                         {"send", "send", "send"}));
+    auto ranking = core::classify_function_receiver(
+        f.result, f.compiled.image, f.function("handle_unknown"));
+    int node = f.result.hierarchy.index_of(ranking[0].vtable_addr);
+    ASSERT_GE(node, 0);
+    auto succ = f.result.hierarchy.successors(node);
+    // Stream predicted -> both derived streams are legal targets.
+    EXPECT_EQ(succ.size(), 2u);
+}
+
+TEST(Classify, UnseenFunctionIsFatal)
+{
+    Fixture f = run(corpus::streams_program());
+    EXPECT_THROW(core::classify_function_receiver(
+                     f.result, f.compiled.image, 0xdead0000),
+                 support::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * End-to-end effects of the compiler's optimization levers on the
+ * analyses -- each lever models a real-world condition the paper
+ * discusses.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/analyze.h"
+#include "corpus/benchmarks.h"
+#include "corpus/examples.h"
+#include "eval/application_distance.h"
+#include "eval/ground_truth.h"
+#include "rock/pipeline.h"
+#include "toyc/compiler.h"
+
+namespace {
+
+using namespace rock;
+
+TEST(CompileOptions, OutOfLineCtorsHideUsageTracelets)
+{
+    // With constructors kept out of line, allocation sites never see
+    // a vptr store, so usage-function events cannot be attributed --
+    // the paper's premise that ctor inlining is what exposes
+    // behavior to an intra-procedural analysis.
+    corpus::CorpusProgram example = corpus::streams_program();
+
+    toyc::CompileResult inlined =
+        toyc::compile(example.program, example.options);
+    example.options.inline_ctors_at_alloc = false;
+    toyc::CompileResult outofline =
+        toyc::compile(example.program, example.options);
+
+    auto tracelet_count = [](const toyc::CompileResult& compiled) {
+        analysis::AnalysisResult result =
+            analysis::analyze(compiled.image);
+        std::size_t total = 0;
+        for (const auto& [vt, tracelets] : result.type_tracelets) {
+            (void)vt;
+            total += tracelets.size();
+        }
+        return total;
+    };
+    EXPECT_GT(tracelet_count(inlined), tracelet_count(outofline));
+
+    // The pipeline still runs and still covers every type.
+    core::ReconstructionResult result =
+        core::reconstruct(outofline.image);
+    EXPECT_EQ(result.hierarchy.size(), 3);
+}
+
+TEST(CompileOptions, PerClassCtorInliningRemovesOnlyThatCue)
+{
+    // Force-inline the parent-ctor call of exactly one class; the
+    // sibling keeps its rule-3 evidence.
+    corpus::CorpusProgram example = corpus::streams_program();
+    example.options.parent_ctor_calls = true;
+    example.options.force_inline_parent_ctor = {"FlushableStream"};
+    toyc::CompileResult compiled =
+        toyc::compile(example.program, example.options);
+    core::ReconstructionResult result =
+        core::reconstruct(compiled.image);
+
+    int confirmable = result.structural.index_of(
+        compiled.debug.class_to_vtable.at("ConfirmableStream"));
+    int flushable = result.structural.index_of(
+        compiled.debug.class_to_vtable.at("FlushableStream"));
+    EXPECT_EQ(result.structural.forced_parents.count(confirmable), 1u);
+    EXPECT_EQ(result.structural.forced_parents.count(flushable), 0u);
+
+    // The behavioral ranking still reconstructs the full hierarchy.
+    eval::GroundTruth gt =
+        eval::ground_truth_from_debug(compiled.debug);
+    eval::AppDistance d =
+        eval::application_distance(result.hierarchy, gt);
+    EXPECT_DOUBLE_EQ(d.avg_missing + d.avg_added, 0.0);
+}
+
+TEST(CompileOptions, NoFoldKeepsNoiseTypesApart)
+{
+    // td_unittest's two roots merge *because* of folding; disabling
+    // folding keeps them in separate families.
+    corpus::CorpusProgram example =
+        corpus::benchmark_by_name("td_unittest").program;
+    toyc::CompileResult folded =
+        toyc::compile(example.program, example.options);
+    core::ReconstructionResult merged =
+        core::reconstruct(folded.image);
+    EXPECT_EQ(merged.structural.num_families(), 1);
+
+    example.options.fold_identical_functions = false;
+    toyc::CompileResult unfolded =
+        toyc::compile(example.program, example.options);
+    core::ReconstructionResult apart =
+        core::reconstruct(unfolded.image);
+    EXPECT_EQ(apart.structural.num_families(), 2);
+}
+
+TEST(CompileOptions, KeepingAbstractVtablesRestoresTheParent)
+{
+    // With abstract classes retained, the cgrid pairs regain their
+    // real parents and the reconstruction is exact against the
+    // (now larger) binary ground truth.
+    corpus::CorpusProgram example = corpus::cgrid_program();
+    example.options.omit_abstract_classes = false;
+    example.options.parent_ctor_calls = true;
+    toyc::CompileResult compiled =
+        toyc::compile(example.program, example.options);
+    eval::GroundTruth gt =
+        eval::ground_truth_from_debug(compiled.debug);
+    EXPECT_EQ(gt.types.size(), 6u); // 4 concrete + 2 abstract
+
+    core::ReconstructionResult result =
+        core::reconstruct(compiled.image);
+    eval::AppDistance d =
+        eval::application_distance(result.hierarchy, gt);
+    EXPECT_DOUBLE_EQ(d.avg_missing, 0.0);
+    EXPECT_DOUBLE_EQ(d.avg_added, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the corpus program builder and its behavioral-motif
+ * machinery.
+ */
+#include <gtest/gtest.h>
+
+#include "corpus/builder.h"
+#include "support/error.h"
+#include "toyc/compiler.h"
+#include "toyc/sema.h"
+
+namespace {
+
+using namespace rock;
+using corpus::ProgramBuilder;
+using rock::support::FatalError;
+
+TEST(Builder, ClassesAndMethods)
+{
+    ProgramBuilder b("t");
+    b.cls("A", {}, {"f", "g"}, {}, 2);
+    b.cls("B", {"A"}, {"h"}, {"f"}, 1);
+    toyc::Program prog = b.build();
+    ASSERT_EQ(prog.classes.size(), 2u);
+    EXPECT_EQ(prog.classes[0].num_fields, 2);
+    // B: one new method + one override = two declarations.
+    EXPECT_EQ(prog.classes[1].methods.size(), 2u);
+    EXPECT_EQ(prog.classes[1].parents,
+              (std::vector<std::string>{"A"}));
+}
+
+TEST(Builder, MethodBodiesAreDistinctByDefault)
+{
+    // The anti-folding tags must make every method body unique.
+    ProgramBuilder b("t");
+    b.cls("A", {}, {"f"}, {}, 1);
+    b.cls("B", {}, {"f"}, {}, 1);
+    toyc::Program prog = b.build();
+    toyc::CompileResult out = toyc::compile(prog);
+    EXPECT_EQ(out.folded, 0u);
+}
+
+TEST(Builder, NoiseMethodsFoldAcrossClasses)
+{
+    ProgramBuilder b("t");
+    b.cls("A", {}, {"f"}, {}, 1);
+    b.cls("B", {}, {"g"}, {}, 1);
+    b.noise_method("A", "n1", 5);
+    b.noise_method("B", "n2", 5);
+    toyc::CompileResult out = toyc::compile(b.build());
+    EXPECT_GE(out.folded, 1u);
+
+    // Different noise ids stay distinct.
+    ProgramBuilder b2("t2");
+    b2.cls("A", {}, {"f"}, {}, 1);
+    b2.cls("B", {}, {"g"}, {}, 1);
+    b2.noise_method("A", "n1", 5);
+    b2.noise_method("B", "n2", 6);
+    EXPECT_EQ(toyc::compile(b2.build()).folded, 0u);
+}
+
+TEST(Builder, PureMarksMethodsAbstract)
+{
+    ProgramBuilder b("t");
+    b.cls("A", {}, {"f", "g"}, {}, 1);
+    b.pure("A", "f");
+    toyc::Program prog = b.build();
+    toyc::Sema sema(prog);
+    EXPECT_TRUE(sema.layout("A").abstract);
+    EXPECT_THROW(b.pure("A", "missing"), FatalError);
+}
+
+TEST(Builder, MotifsConcatenateAlongChain)
+{
+    ProgramBuilder b("t");
+    b.cls("A", {}, {"fa"}, {}, 1);
+    b.cls("B", {"A"}, {"fb"}, {}, 1);
+    b.cls("C", {"B"}, {"fc"}, {}, 1);
+    b.motif("A", {"fa"});
+    b.motif("B", {"fb", "fb"});
+    b.motif("C", {"fc"});
+    b.add_scenario("C");
+    toyc::Program prog = b.build();
+    ASSERT_EQ(prog.usages.size(), 1u);
+    const auto& body = prog.usages[0].body;
+    // new + fa + fb + fb + fc = 5 statements, root motif first.
+    ASSERT_EQ(body.size(), 5u);
+    EXPECT_EQ(body[0].kind, toyc::StmtKind::NewObject);
+    EXPECT_EQ(body[1].method, "fa");
+    EXPECT_EQ(body[2].method, "fb");
+    EXPECT_EQ(body[3].method, "fb");
+    EXPECT_EQ(body[4].method, "fc");
+}
+
+TEST(Builder, StandardScenariosSkipAbstract)
+{
+    ProgramBuilder b("t");
+    b.cls("Abs", {}, {"f", "g"}, {}, 1);
+    b.pure("Abs", "f");
+    b.cls("Conc", {"Abs"}, {}, {"f"}, 1);
+    b.motif("Abs", {"g"});
+    b.motif("Conc", {"f"});
+    b.standard_scenarios(2);
+    toyc::Program prog = b.build();
+    // Only the concrete class gets scenarios.
+    EXPECT_EQ(prog.usages.size(), 2u);
+    for (const auto& fn : prog.usages) {
+        EXPECT_EQ(fn.body[0].class_name, "Conc");
+    }
+    // Scenario variants differ so they do not fold into one function.
+    EXPECT_NE(prog.usages[0].body.size(),
+              prog.usages[1].body.size());
+}
+
+TEST(Builder, StandardScenariosCompileCleanly)
+{
+    ProgramBuilder b("t");
+    b.cls("A", {}, {"fa"}, {}, 1);
+    b.cls("B", {"A"}, {"fb"}, {}, 1);
+    b.motif("A", {"fa"});
+    b.motif("B", {"fb"});
+    b.standard_scenarios(3);
+    toyc::CompileResult out = toyc::compile(b.build());
+    EXPECT_EQ(out.debug.types.size(), 2u);
+}
+
+TEST(Builder, UnknownClassReferencesAreFatal)
+{
+    ProgramBuilder b("t");
+    b.cls("A", {}, {"f"}, {}, 1);
+    EXPECT_THROW(b.motif("Ghost", {"f"}), FatalError);
+    EXPECT_THROW(b.method_body("Ghost", "f", {}), FatalError);
+    EXPECT_THROW(b.method_body("A", "ghost", {}), FatalError);
+    EXPECT_THROW(b.noise_method("Ghost", "n", 1), FatalError);
+}
+
+TEST(Builder, CtorBodyAppends)
+{
+    ProgramBuilder b("t");
+    b.cls("A", {}, {"f"}, {}, 2);
+    b.ctor_body("A", {toyc::Stmt::write_field("this", 0),
+                      toyc::Stmt::write_field("this", 1)});
+    toyc::Program prog = b.build();
+    EXPECT_EQ(prog.classes[0].ctor_body.size(), 2u);
+    // Compiles and the ctor body events show up behaviorally.
+    toyc::CompileResult out = toyc::compile(prog);
+    EXPECT_FALSE(out.image.functions.empty());
+}
+
+} // namespace

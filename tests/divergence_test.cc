@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Unit and property tests for word sets and divergence metrics.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.h"
+#include "divergence/metrics.h"
+#include "divergence/word_set.h"
+#include "slm/model.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace rock::divergence;
+using namespace rock::slm;
+
+std::unique_ptr<LanguageModel>
+model_from(const std::vector<std::vector<int>>& seqs, int alphabet = 4)
+{
+    ModelConfig config;
+    return train_model(config, alphabet, seqs);
+}
+
+// ---------------------------------------------------------------------
+// Word sets
+// ---------------------------------------------------------------------
+
+TEST(WordSet, ObservedUnionDeduplicates)
+{
+    WordSetConfig config;
+    auto words = build_word_set(config, {{0, 1}, {0, 1}},
+                                {{0, 1}, {2}}, nullptr, 4);
+    EXPECT_EQ(words.size(), 2u);
+}
+
+TEST(WordSet, ObservedUnionSkipsEmptySequences)
+{
+    WordSetConfig config;
+    auto words = build_word_set(config, {{}}, {{1}}, nullptr, 4);
+    ASSERT_EQ(words.size(), 1u);
+    EXPECT_EQ(words[0], (std::vector<int>{1}));
+}
+
+TEST(WordSet, ExhaustiveCountsMatchPowerSum)
+{
+    WordSetConfig config;
+    config.strategy = WordSetStrategy::Exhaustive;
+    config.exhaustive_len = 3;
+    auto words = build_word_set(config, {}, {}, nullptr, 3);
+    // 3 + 9 + 27 words.
+    EXPECT_EQ(words.size(), 39u);
+}
+
+TEST(WordSet, SampledIsDeterministicPerSeed)
+{
+    auto model = model_from({{0, 1, 2}, {0, 1, 3}});
+    WordSetConfig config;
+    config.strategy = WordSetStrategy::Sampled;
+    config.sample_count = 32;
+    config.sample_len = 4;
+    auto a = build_word_set(config, {}, {}, model.get(), 4);
+    auto b = build_word_set(config, {}, {}, model.get(), 4);
+    EXPECT_EQ(a, b);
+    config.seed = 99;
+    auto c = build_word_set(config, {}, {}, model.get(), 4);
+    EXPECT_NE(a, c);
+}
+
+TEST(WordSet, SampledFollowsModelBias)
+{
+    // A model trained overwhelmingly on symbol 0 should emit mostly 0.
+    auto model = model_from({{0, 0, 0, 0, 0, 0, 0}}, 4);
+    rock::support::Rng rng(5);
+    int zeros = 0;
+    int total = 0;
+    for (int i = 0; i < 50; ++i) {
+        auto word = sample_word(*model, 5, rng);
+        for (int s : word) {
+            zeros += (s == 0);
+            ++total;
+        }
+    }
+    EXPECT_GT(zeros, total / 2);
+}
+
+// ---------------------------------------------------------------------
+// Divergences
+// ---------------------------------------------------------------------
+
+TEST(Divergence, KlIsZeroForIdenticalModels)
+{
+    auto a = model_from({{0, 1, 2}, {0, 1, 3}});
+    auto b = model_from({{0, 1, 2}, {0, 1, 3}});
+    WordSet words{{0, 1, 2}, {0, 1, 3}, {2, 2}};
+    EXPECT_NEAR(kl_divergence(*a, *b, words), 0.0, 1e-12);
+}
+
+TEST(Divergence, KlIsNonNegative)
+{
+    rock::support::Rng rng(17);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<std::vector<int>> sa, sb;
+        for (int i = 0; i < 5; ++i) {
+            std::vector<int> w;
+            for (std::size_t k = 0; k < 1 + rng.index(6); ++k)
+                w.push_back(static_cast<int>(rng.index(4)));
+            sa.push_back(w);
+            std::vector<int> v;
+            for (std::size_t k = 0; k < 1 + rng.index(6); ++k)
+                v.push_back(static_cast<int>(rng.index(4)));
+            sb.push_back(v);
+        }
+        auto a = model_from(sa);
+        auto b = model_from(sb);
+        WordSetConfig config;
+        auto words = build_word_set(config, sa, sb, nullptr, 4);
+        EXPECT_GE(kl_divergence(*a, *b, words), 0.0);
+    }
+}
+
+TEST(Divergence, KlIsAsymmetric)
+{
+    // A's behaviors are contained in B's (B = A + extras): the
+    // containment direction must be cheaper, mirroring the
+    // parent-to-child reading of the paper.
+    std::vector<std::vector<int>> parent{{0, 1}, {0, 1}};
+    std::vector<std::vector<int>> child{{0, 1}, {0, 1, 2, 3},
+                                        {2, 3, 2}};
+    auto a = model_from(parent);
+    auto b = model_from(child);
+    WordSetConfig config;
+    auto words = build_word_set(config, parent, child, nullptr, 4);
+    double forward = kl_divergence(*a, *b, words); // parent || child
+    double backward = kl_divergence(*b, *a, words);
+    EXPECT_LT(forward, backward);
+}
+
+TEST(Divergence, JsIsSymmetricAndBounded)
+{
+    auto a = model_from({{0, 0, 0}});
+    auto b = model_from({{3, 3, 3}});
+    WordSet words{{0, 0, 0}, {3, 3, 3}, {1, 2}};
+    double ab = js_divergence(*a, *b, words);
+    double ba = js_divergence(*b, *a, words);
+    EXPECT_NEAR(ab, ba, 1e-12);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, std::log(2.0) + 1e-12);
+    EXPECT_NEAR(js_distance(*a, *b, words), std::sqrt(ab), 1e-12);
+}
+
+TEST(Divergence, WordDistributionNormalizes)
+{
+    auto a = model_from({{0, 1, 2}});
+    WordSet words{{0}, {1}, {0, 1}, {2, 2, 2}};
+    auto dist = word_distribution(*a, words);
+    double total = 0.0;
+    for (double p : dist) {
+        EXPECT_GT(p, 0.0);
+        total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Divergence, EmptyWordSetIsFatal)
+{
+    auto a = model_from({{0}});
+    EXPECT_THROW(word_distribution(*a, {}),
+                 rock::support::FatalError);
+}
+
+TEST(Divergence, KlBetweenHandValues)
+{
+    std::vector<double> p{0.5, 0.5};
+    std::vector<double> q{0.9, 0.1};
+    double expected = 0.5 * std::log(0.5 / 0.9) +
+                      0.5 * std::log(0.5 / 0.1);
+    EXPECT_NEAR(kl_between(p, q), expected, 1e-12);
+    EXPECT_NEAR(kl_between(p, p), 0.0, 1e-12);
+}
+
+TEST(Metrics, NamesRoundTrip)
+{
+    for (MetricKind kind :
+         {MetricKind::KL, MetricKind::KLReversed,
+          MetricKind::JSDivergence, MetricKind::JSDistance}) {
+        EXPECT_EQ(metric_from_name(metric_name(kind)), kind);
+    }
+    EXPECT_THROW(metric_from_name("nope"), rock::support::FatalError);
+}
+
+TEST(Metrics, PairDistanceDispatch)
+{
+    auto a = model_from({{0, 1}});
+    auto b = model_from({{0, 1}, {2, 3}});
+    WordSet words{{0, 1}, {2, 3}};
+    EXPECT_NEAR(pair_distance(MetricKind::KL, *a, *b, words),
+                kl_divergence(*a, *b, words), 1e-12);
+    EXPECT_NEAR(pair_distance(MetricKind::KLReversed, *a, *b, words),
+                kl_divergence(*b, *a, words), 1e-12);
+    EXPECT_NEAR(pair_distance(MetricKind::JSDivergence, *a, *b, words),
+                js_divergence(*a, *b, words), 1e-12);
+    EXPECT_NEAR(pair_distance(MetricKind::JSDistance, *a, *b, words),
+                js_distance(*a, *b, words), 1e-12);
+}
+
+/**
+ * Property sweep: for synthetic parent/child/unrelated triples, the
+ * paper's Hypothesis 4.1 must hold under the default metric --
+ * the true parent is closer than an unrelated type.
+ */
+class ContainmentSweep : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ContainmentSweep, ParentCloserThanUnrelated)
+{
+    rock::support::Rng rng(GetParam());
+    const int alphabet = 6;
+    // Parent behavior: a random base word used repeatedly.
+    std::vector<int> base;
+    for (int i = 0; i < 4; ++i)
+        base.push_back(static_cast<int>(rng.index(3)));
+    std::vector<std::vector<int>> parent_seqs{base, base};
+    // Child behavior: base + suffix over other symbols.
+    std::vector<int> child_word = base;
+    for (int i = 0; i < 3; ++i)
+        child_word.push_back(3 + static_cast<int>(rng.index(3)));
+    std::vector<std::vector<int>> child_seqs{base, child_word,
+                                             child_word};
+    // Unrelated: scrambled symbols.
+    std::vector<std::vector<int>> other_seqs;
+    for (int i = 0; i < 3; ++i) {
+        std::vector<int> w;
+        for (int k = 0; k < 5; ++k)
+            w.push_back(static_cast<int>(rng.index(alphabet)));
+        other_seqs.push_back(w);
+    }
+
+    auto parent = model_from(parent_seqs, alphabet);
+    auto child = model_from(child_seqs, alphabet);
+    auto other = model_from(other_seqs, alphabet);
+
+    WordSetConfig config;
+    auto w_pc =
+        build_word_set(config, parent_seqs, child_seqs, nullptr,
+                       alphabet);
+    auto w_oc = build_word_set(config, other_seqs, child_seqs, nullptr,
+                               alphabet);
+    double d_parent = kl_divergence(*parent, *child, w_pc);
+    double d_other = kl_divergence(*other, *child, w_oc);
+    EXPECT_LT(d_parent, d_other);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Fuzz-style robustness for the textual front-end and the VMI
+ * loader: adversarial inputs must produce clean FatalErrors (with
+ * positions, for the parser), never crashes, hangs, or silent
+ * acceptance of garbage.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bir/serialize.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "toyc/compiler.h"
+#include "toyc/parser.h"
+
+namespace {
+
+using namespace rock;
+using rock::support::FatalError;
+
+TEST(ParserFuzz, RandomTokenSoupNeverCrashes)
+{
+    const char* tokens[] = {"class",  "fn",    "virtual", "pure",
+                            "fields", "ctor",  "dtor",    "new",
+                            "delete", "if",    "else",    "loop",
+                            "read",   "write", "return",  "A",
+                            "x",      "7",     "{",       "}",
+                            "(",      ")",     ";",       ":",
+                            ",",      "."};
+    support::Rng rng(2024);
+    int parsed_ok = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string source;
+        std::size_t len = rng.index(40);
+        for (std::size_t i = 0; i < len; ++i) {
+            source += tokens[rng.index(std::size(tokens))];
+            source += ' ';
+        }
+        try {
+            toyc::Program prog = toyc::parse_program(source);
+            ++parsed_ok; // e.g. the empty program
+        } catch (const FatalError& e) {
+            // Every parser error must carry a source position.
+            EXPECT_NE(std::string(e.what()).find("toyc:"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+    // Sanity: the soup occasionally forms valid programs (at least
+    // the empty one), but mostly does not.
+    EXPECT_GT(parsed_ok, 0);
+    EXPECT_LT(parsed_ok, 300);
+}
+
+TEST(ParserFuzz, RandomBytesNeverCrash)
+{
+    support::Rng rng(7);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string source;
+        std::size_t len = rng.index(64);
+        for (std::size_t i = 0; i < len; ++i)
+            source += static_cast<char>(rng.uniform(1, 127));
+        try {
+            toyc::parse_program(source);
+        } catch (const FatalError&) {
+            // expected for most inputs
+        }
+    }
+}
+
+TEST(ParserFuzz, DeepNestingTerminates)
+{
+    // 200 nested loops parse fine (recursion depth is bounded by
+    // input size, not exponential).
+    std::string source = "fn f() { ";
+    for (int i = 0; i < 200; ++i)
+        source += "loop { ";
+    for (int i = 0; i < 200; ++i)
+        source += "} ";
+    source += "}";
+    toyc::Program prog = toyc::parse_program(source);
+    EXPECT_EQ(prog.usages.size(), 1u);
+}
+
+TEST(VmiFuzz, BitflipsNeverCrashTheLoader)
+{
+    // Take a valid image and flip bytes; the loader either accepts a
+    // still-consistent variant or raises FatalError.
+    toyc::Program prog = toyc::parse_program(
+        "class A { fields 1; virtual f; }\n"
+        "fn u() { new A a; a.f(); }");
+    bir::BinaryImage image = toyc::compile(prog).image;
+    auto bytes = bir::save_image(image);
+
+    support::Rng rng(99);
+    for (int trial = 0; trial < 300; ++trial) {
+        auto mutated = bytes;
+        std::size_t flips = 1 + rng.index(4);
+        for (std::size_t f = 0; f < flips; ++f) {
+            std::size_t at = rng.index(mutated.size());
+            mutated[at] ^= static_cast<std::uint8_t>(
+                1u << rng.index(8));
+        }
+        try {
+            bir::BinaryImage loaded = bir::load_image(mutated);
+            (void)loaded;
+        } catch (const FatalError&) {
+            // expected for most mutations
+        }
+    }
+}
+
+TEST(VmiFuzz, RandomBuffersNeverCrashTheLoader)
+{
+    support::Rng rng(5);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::uint8_t> bytes;
+        std::size_t len = rng.index(256);
+        for (std::size_t i = 0; i < len; ++i)
+            bytes.push_back(static_cast<std::uint8_t>(rng.index(256)));
+        try {
+            bir::load_image(bytes);
+        } catch (const FatalError&) {
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * End-to-end property tests over randomly generated programs:
+ * compile -> strip -> analyze -> reconstruct -> score.
+ */
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "eval/application_distance.h"
+#include "eval/forest_metrics.h"
+#include "eval/ground_truth.h"
+#include "rock/pipeline.h"
+#include "toyc/compiler.h"
+
+namespace {
+
+using namespace rock;
+
+class RoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTrip, CleanProgramsReconstructAccurately)
+{
+    // Clean setting: ctor cues intact, no fold noise. The structural
+    // rules alone should pin nearly everything; the full pipeline must
+    // score (near-)zero.
+    corpus::GeneratorSpec spec;
+    spec.seed = GetParam();
+    spec.num_classes = 10 + static_cast<int>(GetParam() % 8);
+    spec.num_trees = 2;
+    toyc::Program prog = corpus::generate_program(spec);
+    toyc::CompileResult compiled = toyc::compile(prog);
+    core::ReconstructionResult result =
+        core::reconstruct(compiled.image);
+    eval::GroundTruth gt = eval::ground_truth_from_debug(compiled.debug);
+
+    eval::AppDistance d =
+        eval::application_distance(result.hierarchy, gt);
+    EXPECT_DOUBLE_EQ(d.avg_missing, 0.0) << prog.name;
+    EXPECT_DOUBLE_EQ(d.avg_added, 0.0) << prog.name;
+
+    eval::ForestMetrics m = forest_metrics(result.hierarchy, gt);
+    EXPECT_DOUBLE_EQ(m.parent_accuracy, 1.0) << prog.name;
+}
+
+TEST_P(RoundTrip, SlmNeverWorseThanStructuralOnAdded)
+{
+    // Noisy setting: no ctor cues, some fold noise. The with-SLM
+    // added count must not exceed the structural-only one.
+    corpus::GeneratorSpec spec;
+    spec.seed = GetParam() + 1000;
+    spec.num_classes = 9 + static_cast<int>(GetParam() % 6);
+    spec.num_trees = 2;
+    spec.fold_noise_pairs = 1;
+    toyc::Program prog = corpus::generate_program(spec);
+    toyc::CompileOptions opts;
+    opts.parent_ctor_calls = false;
+    toyc::CompileResult compiled = toyc::compile(prog, opts);
+    core::ReconstructionResult result =
+        core::reconstruct(compiled.image);
+    eval::GroundTruth gt = eval::ground_truth_from_debug(compiled.debug);
+
+    eval::AppDistance without = eval::application_distance_structural(
+        result.structural, gt);
+    eval::AppDistance with =
+        eval::application_distance_worst(result, gt);
+    EXPECT_LE(with.avg_added, without.avg_added + 1e-9) << prog.name;
+}
+
+TEST_P(RoundTrip, StrippingDoesNotChangeTheResult)
+{
+    // The analysis must not depend on symbols: reconstruction of the
+    // stripped and non-stripped images must coincide.
+    corpus::GeneratorSpec spec;
+    spec.seed = GetParam() + 2000;
+    spec.num_classes = 8;
+    toyc::Program prog = corpus::generate_program(spec);
+
+    toyc::CompileOptions stripped;
+    toyc::CompileOptions symbols;
+    symbols.link.strip_symbols = false;
+    symbols.link.emit_rtti = true;
+
+    toyc::CompileResult img_a = toyc::compile(prog, stripped);
+    toyc::CompileResult img_b = toyc::compile(prog, symbols);
+
+    core::ReconstructionResult res_a =
+        core::reconstruct(img_a.image);
+    core::ReconstructionResult res_b =
+        core::reconstruct(img_b.image);
+
+    ASSERT_EQ(res_a.hierarchy.size(), res_b.hierarchy.size());
+    // Parent relations agree modulo the (identical) vtable addresses:
+    // RTTI records shift data layout, so compare by debug names.
+    auto name_parents = [](const core::ReconstructionResult& res,
+                           const toyc::DebugInfo& debug) {
+        std::map<std::string, std::string> out;
+        std::map<std::uint32_t, std::string> names;
+        for (const auto& type : debug.types)
+            names[type.vtable_addr] = type.class_name;
+        for (int v = 0; v < res.hierarchy.size(); ++v) {
+            int p = res.hierarchy.parent(v);
+            out[names.at(res.hierarchy.type_at(v))] =
+                p < 0 ? "<root>"
+                      : names.at(res.hierarchy.type_at(p));
+        }
+        return out;
+    };
+    EXPECT_EQ(name_parents(res_a, img_a.debug),
+              name_parents(res_b, img_b.debug));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+} // namespace

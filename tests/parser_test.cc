@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the toyc textual front-end: parsing, error reporting,
+ * and the print/parse round-trip property.
+ */
+#include <gtest/gtest.h>
+
+#include "corpus/benchmarks.h"
+#include "corpus/examples.h"
+#include "support/error.h"
+#include "toyc/compiler.h"
+#include "toyc/parser.h"
+#include "toyc/sema.h"
+
+namespace {
+
+using namespace rock;
+using namespace rock::toyc;
+using rock::support::FatalError;
+
+TEST(Parser, MinimalClass)
+{
+    Program prog = parse_program("class A { fields 2; virtual f; }");
+    ASSERT_EQ(prog.classes.size(), 1u);
+    EXPECT_EQ(prog.classes[0].name, "A");
+    EXPECT_EQ(prog.classes[0].num_fields, 2);
+    ASSERT_EQ(prog.classes[0].methods.size(), 1u);
+    EXPECT_EQ(prog.classes[0].methods[0].name, "f");
+    EXPECT_FALSE(prog.classes[0].methods[0].pure);
+}
+
+TEST(Parser, InheritanceLists)
+{
+    Program prog = parse_program(
+        "class A { virtual f; }\n"
+        "class B { virtual g; }\n"
+        "class C : A, B { virtual h; }");
+    ASSERT_EQ(prog.classes.size(), 3u);
+    EXPECT_EQ(prog.classes[2].parents,
+              (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(Parser, PureVirtualAndBodies)
+{
+    Program prog = parse_program(
+        "class A {\n"
+        "  fields 1;\n"
+        "  pure virtual f;\n"
+        "  virtual g { write this.0; read this.0; }\n"
+        "  ctor { write this.0; }\n"
+        "  dtor { read this.0; }\n"
+        "}");
+    const ClassDecl& cls = prog.classes[0];
+    EXPECT_TRUE(cls.methods[0].pure);
+    ASSERT_EQ(cls.methods[1].body.size(), 2u);
+    EXPECT_EQ(cls.methods[1].body[0].kind, StmtKind::WriteField);
+    EXPECT_EQ(cls.methods[1].body[1].kind, StmtKind::ReadField);
+    ASSERT_EQ(cls.ctor_body.size(), 1u);
+    ASSERT_EQ(cls.dtor_body.size(), 1u);
+}
+
+TEST(Parser, UsageFunctionsAndStatements)
+{
+    Program prog = parse_program(
+        "class A { fields 1; virtual f; }\n"
+        "fn helper(A x) { x.f(); }\n"
+        "fn main() {\n"
+        "  new A a;\n"
+        "  a.f();\n"
+        "  read a.0;\n"
+        "  write a.0;\n"
+        "  helper(a);\n"
+        "  if { a.f(); } else { read a.0; }\n"
+        "  loop { a.f(); }\n"
+        "  delete a;\n"
+        "  return a;\n"
+        "}");
+    ASSERT_EQ(prog.usages.size(), 2u);
+    const UsageFunc& main_fn = prog.usages[1];
+    ASSERT_EQ(main_fn.body.size(), 9u);
+    EXPECT_EQ(main_fn.body[0].kind, StmtKind::NewObject);
+    EXPECT_EQ(main_fn.body[1].kind, StmtKind::VirtCall);
+    EXPECT_EQ(main_fn.body[2].kind, StmtKind::ReadField);
+    EXPECT_EQ(main_fn.body[3].kind, StmtKind::WriteField);
+    EXPECT_EQ(main_fn.body[4].kind, StmtKind::CallFree);
+    EXPECT_EQ(main_fn.body[4].args,
+              (std::vector<std::string>{"a"}));
+    EXPECT_EQ(main_fn.body[5].kind, StmtKind::Branch);
+    EXPECT_EQ(main_fn.body[5].then_body.size(), 1u);
+    EXPECT_EQ(main_fn.body[5].else_body.size(), 1u);
+    EXPECT_EQ(main_fn.body[6].kind, StmtKind::Loop);
+    EXPECT_EQ(main_fn.body[7].kind, StmtKind::DeleteObject);
+    EXPECT_EQ(main_fn.body[8].kind, StmtKind::ReturnObject);
+    // Parameters carry their class.
+    EXPECT_EQ(prog.usages[0].params[0].class_name, "A");
+    EXPECT_EQ(prog.usages[0].params[0].var, "x");
+}
+
+TEST(Parser, CommentsAndWhitespace)
+{
+    Program prog = parse_program(
+        "// header comment\n"
+        "class A { // trailing\n"
+        "  virtual f; // method\n"
+        "}\n");
+    ASSERT_EQ(prog.classes.size(), 1u);
+    EXPECT_EQ(prog.classes[0].methods[0].name, "f");
+}
+
+TEST(ParserErrors, ReportLineAndColumn)
+{
+    try {
+        parse_program("class A {\n  virtual ;\n}");
+        FAIL() << "expected parse error";
+    } catch (const FatalError& e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("toyc:2:"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("method name"), std::string::npos) << msg;
+    }
+}
+
+TEST(ParserErrors, RejectsGarbage)
+{
+    EXPECT_THROW(parse_program("banana"), FatalError);
+    EXPECT_THROW(parse_program("class"), FatalError);
+    EXPECT_THROW(parse_program("class A {"), FatalError);
+    EXPECT_THROW(parse_program("class A { fields x; }"), FatalError);
+    EXPECT_THROW(parse_program("class A { pure virtual f {} }"),
+                 FatalError);
+    EXPECT_THROW(parse_program("fn f( { }"), FatalError);
+    EXPECT_THROW(parse_program("class A { virtual f; } @"),
+                 FatalError);
+}
+
+TEST(Parser, ParsedProgramCompiles)
+{
+    Program prog = parse_program(
+        "class Stream { fields 1; virtual send; }\n"
+        "class Confirmable : Stream { fields 1; virtual confirm; }\n"
+        "fn use1() { new Stream s; s.send(); s.send(); }\n"
+        "fn use2() { new Confirmable c; c.send(); c.confirm(); }\n");
+    CompileResult out = compile(prog);
+    EXPECT_EQ(out.debug.types.size(), 2u);
+}
+
+TEST(Printer, RoundTripsExamplePrograms)
+{
+    // Print -> parse must reproduce every bundled program exactly
+    // (structurally).
+    auto same_stmts = [](auto&& self, const std::vector<Stmt>& a,
+                         const std::vector<Stmt>& b) -> bool {
+        if (a.size() != b.size())
+            return false;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            if (a[i].kind != b[i].kind || a[i].var != b[i].var ||
+                a[i].class_name != b[i].class_name ||
+                a[i].method != b[i].method ||
+                a[i].field != b[i].field ||
+                a[i].callee != b[i].callee ||
+                a[i].args != b[i].args ||
+                !self(self, a[i].then_body, b[i].then_body) ||
+                !self(self, a[i].else_body, b[i].else_body)) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    std::vector<corpus::CorpusProgram> programs{
+        corpus::streams_program(), corpus::datasources_program(),
+        corpus::echoparams_program(), corpus::cgrid_program(),
+        corpus::multiple_inheritance_program()};
+    for (const auto& spec : corpus::table2_benchmarks())
+        programs.push_back(spec.program);
+
+    for (const auto& program : programs) {
+        const Program& original = program.program;
+        Program reparsed =
+            parse_program(to_source(original), original.name);
+        ASSERT_EQ(reparsed.classes.size(), original.classes.size())
+            << program.name;
+        for (std::size_t c = 0; c < original.classes.size(); ++c) {
+            const auto& oc = original.classes[c];
+            const auto& rc = reparsed.classes[c];
+            EXPECT_EQ(oc.name, rc.name);
+            EXPECT_EQ(oc.parents, rc.parents);
+            EXPECT_EQ(oc.num_fields, rc.num_fields);
+            ASSERT_EQ(oc.methods.size(), rc.methods.size())
+                << program.name << "::" << oc.name;
+            for (std::size_t m = 0; m < oc.methods.size(); ++m) {
+                EXPECT_EQ(oc.methods[m].name, rc.methods[m].name);
+                EXPECT_EQ(oc.methods[m].pure, rc.methods[m].pure);
+                EXPECT_TRUE(same_stmts(same_stmts,
+                                       oc.methods[m].body,
+                                       rc.methods[m].body))
+                    << program.name << "::" << oc.name
+                    << "::" << oc.methods[m].name;
+            }
+            EXPECT_TRUE(
+                same_stmts(same_stmts, oc.ctor_body, rc.ctor_body));
+            EXPECT_TRUE(
+                same_stmts(same_stmts, oc.dtor_body, rc.dtor_body));
+        }
+        ASSERT_EQ(reparsed.usages.size(), original.usages.size());
+        for (std::size_t u = 0; u < original.usages.size(); ++u) {
+            EXPECT_EQ(original.usages[u].name,
+                      reparsed.usages[u].name);
+            EXPECT_TRUE(same_stmts(same_stmts,
+                                   original.usages[u].body,
+                                   reparsed.usages[u].body))
+                << program.name << "::" << original.usages[u].name;
+        }
+    }
+}
+
+TEST(Printer, OutputIsHumanReadable)
+{
+    corpus::CorpusProgram example = corpus::streams_program();
+    std::string source = to_source(example.program);
+    EXPECT_NE(source.find("class Stream"), std::string::npos);
+    EXPECT_NE(source.find("class ConfirmableStream : Stream"),
+              std::string::npos);
+    EXPECT_NE(source.find("fn useStream()"), std::string::npos);
+    EXPECT_NE(source.find("obj.send();"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit/integration tests for the end-to-end Rock pipeline.
+ */
+#include <gtest/gtest.h>
+
+#include "corpus/examples.h"
+#include "divergence/metrics.h"
+#include "eval/application_distance.h"
+#include "eval/ground_truth.h"
+#include "rock/pipeline.h"
+#include "toyc/compiler.h"
+
+namespace {
+
+using namespace rock;
+using namespace rock::core;
+
+ReconstructionResult
+run(const corpus::CorpusProgram& example, const RockConfig& config = {})
+{
+    toyc::CompileResult compiled =
+        toyc::compile(example.program, example.options);
+    return reconstruct(compiled.image, config);
+}
+
+TEST(Pipeline, DistancesOnlyOnFeasibleEdges)
+{
+    ReconstructionResult result = run(corpus::streams_program());
+    // Streams family: feasible edges are Stream->Confirmable,
+    // Stream->Flushable, Confirmable->Flushable.
+    EXPECT_EQ(result.distances.size(), 3u);
+    for (const auto& [edge, dist] : result.distances) {
+        EXPECT_NE(edge.first, edge.second);
+        EXPECT_GE(dist, 0.0);
+    }
+}
+
+TEST(Pipeline, AmbiguousFamiliesCounted)
+{
+    ReconstructionResult streams = run(corpus::streams_program());
+    EXPECT_EQ(streams.ambiguous_families, 1);
+
+    // With ctor cues everywhere, nothing is ambiguous.
+    corpus::CorpusProgram cued = corpus::streams_program();
+    cued.options.parent_ctor_calls = true;
+    ReconstructionResult resolved = run(cued);
+    EXPECT_EQ(resolved.ambiguous_families, 0);
+}
+
+TEST(Pipeline, FamiliesCoverAllTypes)
+{
+    ReconstructionResult result = run(corpus::datasources_program());
+    std::set<int> covered;
+    for (const auto& fam : result.families) {
+        ASSERT_FALSE(fam.alternatives.empty());
+        for (int member : fam.members)
+            EXPECT_TRUE(covered.insert(member).second);
+        for (const auto& alt : fam.alternatives)
+            EXPECT_EQ(alt.size(), fam.members.size());
+    }
+    EXPECT_EQ(covered.size(), result.structural.types.size());
+}
+
+TEST(Pipeline, HierarchyWithRebuildsAlternatives)
+{
+    corpus::CorpusProgram example = corpus::echoparams_program();
+    RockConfig config;
+    config.tie_epsilon = 100.0; // keep many alternatives alive
+    ReconstructionResult result = run(example, config);
+
+    std::vector<int> first(result.families.size(), 0);
+    Hierarchy h0 = result.hierarchy_with(first);
+    for (int v = 0; v < h0.size(); ++v)
+        EXPECT_EQ(h0.parent(v), result.hierarchy.parent(v));
+
+    // Some family has >1 surviving alternative under the huge
+    // epsilon; a different pick changes the forest.
+    bool found_different = false;
+    for (std::size_t f = 0; f < result.families.size(); ++f) {
+        if (result.families[f].alternatives.size() > 1) {
+            auto picks = first;
+            picks[f] = 1;
+            Hierarchy h1 = result.hierarchy_with(picks);
+            for (int v = 0; v < h1.size(); ++v) {
+                if (h1.parent(v) != h0.parent(v))
+                    found_different = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found_different);
+}
+
+TEST(Pipeline, MetricIsConfigurable)
+{
+    corpus::CorpusProgram example = corpus::streams_program();
+    toyc::CompileResult compiled =
+        toyc::compile(example.program, example.options);
+    eval::GroundTruth gt = eval::ground_truth_from_debug(compiled.debug);
+
+    // The paper found symmetric metrics inferior; here we only check
+    // they run and produce a hierarchy over all types.
+    for (auto metric :
+         {divergence::MetricKind::KL, divergence::MetricKind::KLReversed,
+          divergence::MetricKind::JSDivergence,
+          divergence::MetricKind::JSDistance}) {
+        RockConfig config;
+        config.metric = metric;
+        ReconstructionResult result =
+            reconstruct(compiled.image, config);
+        EXPECT_EQ(result.hierarchy.size(), 3);
+    }
+}
+
+TEST(Pipeline, SlmFamilyIsConfigurable)
+{
+    corpus::CorpusProgram example = corpus::echoparams_program();
+    toyc::CompileResult compiled =
+        toyc::compile(example.program, example.options);
+    eval::GroundTruth gt = eval::ground_truth_from_debug(compiled.debug);
+
+    for (auto kind : {slm::ModelKind::PpmC, slm::ModelKind::Katz,
+                      slm::ModelKind::NGram}) {
+        RockConfig config;
+        config.slm.kind = kind;
+        ReconstructionResult result =
+            reconstruct(compiled.image, config);
+        eval::AppDistance d =
+            eval::application_distance(result.hierarchy, gt);
+        // Any reasonable sequence model resolves echoparams' star.
+        EXPECT_LE(d.avg_missing, 0.25) << static_cast<int>(kind);
+    }
+}
+
+TEST(Pipeline, SlmDepthSweep)
+{
+    corpus::CorpusProgram example = corpus::streams_program();
+    toyc::CompileResult compiled =
+        toyc::compile(example.program, example.options);
+    eval::GroundTruth gt = eval::ground_truth_from_debug(compiled.debug);
+    for (int depth : {1, 2, 3, 4}) {
+        RockConfig config;
+        config.slm.depth = depth;
+        ReconstructionResult result =
+            reconstruct(compiled.image, config);
+        eval::AppDistance d =
+            eval::application_distance(result.hierarchy, gt);
+        EXPECT_DOUBLE_EQ(d.avg_missing + d.avg_added, 0.0)
+            << "depth " << depth;
+    }
+}
+
+TEST(Pipeline, TraceletLengthSweep)
+{
+    corpus::CorpusProgram example = corpus::streams_program();
+    toyc::CompileResult compiled =
+        toyc::compile(example.program, example.options);
+    eval::GroundTruth gt = eval::ground_truth_from_debug(compiled.debug);
+    for (int len : {3, 5, 7, 11}) {
+        RockConfig config;
+        config.symexec.tracelet_len = len;
+        ReconstructionResult result =
+            reconstruct(compiled.image, config);
+        eval::AppDistance d =
+            eval::application_distance(result.hierarchy, gt);
+        EXPECT_DOUBLE_EQ(d.avg_missing + d.avg_added, 0.0)
+            << "tracelet_len " << len;
+    }
+}
+
+TEST(Pipeline, EmptyImageYieldsEmptyHierarchy)
+{
+    bir::BinaryImage empty;
+    ReconstructionResult result = reconstruct(empty);
+    EXPECT_EQ(result.hierarchy.size(), 0);
+    EXPECT_TRUE(result.families.empty());
+}
+
+TEST(Pipeline, WordSetStrategiesAgreeOnStreams)
+{
+    corpus::CorpusProgram example = corpus::streams_program();
+    toyc::CompileResult compiled =
+        toyc::compile(example.program, example.options);
+    eval::GroundTruth gt = eval::ground_truth_from_debug(compiled.debug);
+    for (auto strategy : {divergence::WordSetStrategy::ObservedUnion,
+                          divergence::WordSetStrategy::Sampled}) {
+        RockConfig config;
+        config.words.strategy = strategy;
+        ReconstructionResult result =
+            reconstruct(compiled.image, config);
+        eval::AppDistance d =
+            eval::application_distance(result.hierarchy, gt);
+        EXPECT_DOUBLE_EQ(d.avg_missing + d.avg_added, 0.0);
+    }
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the k-parent relaxation (Section 6.4's CFI trade-off)
+ * and the Graphviz export.
+ */
+#include <gtest/gtest.h>
+
+#include "corpus/benchmarks.h"
+#include "corpus/examples.h"
+#include "eval/application_distance.h"
+#include "eval/ground_truth.h"
+#include "rock/pipeline.h"
+#include "rock/relaxed.h"
+#include "support/error.h"
+#include "toyc/compiler.h"
+
+namespace {
+
+using namespace rock;
+
+struct Case {
+    toyc::CompileResult compiled;
+    core::ReconstructionResult result;
+    eval::GroundTruth gt;
+};
+
+Case
+run(const corpus::CorpusProgram& example)
+{
+    Case c;
+    c.compiled = toyc::compile(example.program, example.options);
+    c.result = core::reconstruct(c.compiled.image);
+    c.gt = eval::ground_truth_from_debug(c.compiled.debug);
+    return c;
+}
+
+TEST(Relaxed, KOneIsIdentity)
+{
+    Case c = run(corpus::streams_program());
+    core::Hierarchy h = core::relaxed_hierarchy(c.result, 1);
+    for (int v = 0; v < h.size(); ++v) {
+        EXPECT_EQ(h.parent(v), c.result.hierarchy.parent(v));
+        EXPECT_EQ(h.parents(v), c.result.hierarchy.parents(v));
+    }
+}
+
+TEST(Relaxed, RequiresPositiveK)
+{
+    Case c = run(corpus::streams_program());
+    EXPECT_THROW(core::relaxed_hierarchy(c.result, 0),
+                 support::FatalError);
+}
+
+TEST(Relaxed, AddsSecondBestFeasibleParent)
+{
+    Case c = run(corpus::streams_program());
+    core::Hierarchy h = core::relaxed_hierarchy(c.result, 2);
+    // FlushableStream had two feasible parents; with k=2 both attach.
+    int flushable = h.index_of(
+        c.compiled.debug.class_to_vtable.at("FlushableStream"));
+    EXPECT_EQ(h.parents(flushable).size(), 2u);
+    // Stream had none; it stays a root with one... zero parents.
+    int stream = h.index_of(
+        c.compiled.debug.class_to_vtable.at("Stream"));
+    EXPECT_TRUE(h.parents(stream).empty());
+}
+
+TEST(Relaxed, NeverCreatesParentCycles)
+{
+    for (const char* name :
+         {"echoparams", "tinyserver", "gperf", "Analyzer"}) {
+        Case c = run(corpus::benchmark_by_name(name).program);
+        for (int k = 2; k <= 4; ++k) {
+            core::Hierarchy h = core::relaxed_hierarchy(c.result, k);
+            for (int v = 0; v < h.size(); ++v) {
+                EXPECT_EQ(h.successors(v).count(v), 0u)
+                    << name << " k=" << k;
+            }
+        }
+    }
+}
+
+TEST(Relaxed, MonotoneTradeoff)
+{
+    Case c = run(corpus::benchmark_by_name("tinyserver").program);
+    double prev_missing = 1e18;
+    double prev_added = -1.0;
+    for (int k = 1; k <= 3; ++k) {
+        core::Hierarchy h = core::relaxed_hierarchy(c.result, k);
+        eval::AppDistance d = eval::application_distance(h, c.gt);
+        EXPECT_LE(d.avg_missing, prev_missing + 1e-9);
+        EXPECT_GE(d.avg_added, prev_added - 1e-9);
+        prev_missing = d.avg_missing;
+        prev_added = d.avg_added;
+    }
+}
+
+TEST(Dot, ContainsNodesAndEdges)
+{
+    Case c = run(corpus::streams_program());
+    core::Hierarchy h = c.result.hierarchy;
+    for (int v = 0; v < h.size(); ++v)
+        h.set_name(v, c.gt.names.at(h.type_at(v)));
+    std::string dot = h.to_dot("streams");
+    EXPECT_NE(dot.find("digraph \"streams\""), std::string::npos);
+    EXPECT_NE(dot.find("label=\"Stream\""), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    // Two parent edges (Stream -> each child).
+    std::size_t edges = 0;
+    for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+         pos = dot.find("->", pos + 1)) {
+        ++edges;
+    }
+    EXPECT_EQ(edges, 2u);
+}
+
+TEST(Dot, ExtraParentsAreDashed)
+{
+    Case c = run(corpus::multiple_inheritance_program());
+    std::string dot = c.result.hierarchy.to_dot();
+    EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+} // namespace

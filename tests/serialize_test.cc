@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the VMI1 image serialization.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "bir/serialize.h"
+#include "corpus/examples.h"
+#include "eval/application_distance.h"
+#include "eval/ground_truth.h"
+#include "rock/pipeline.h"
+#include "support/error.h"
+#include "toyc/compiler.h"
+
+namespace {
+
+using namespace rock;
+using namespace rock::bir;
+using rock::support::FatalError;
+
+BinaryImage
+sample_image(bool strip = true)
+{
+    corpus::CorpusProgram example = corpus::streams_program();
+    example.options.link.strip_symbols = strip;
+    example.options.link.emit_rtti = !strip;
+    return toyc::compile(example.program, example.options).image;
+}
+
+TEST(Serialize, RoundTripPreservesEverything)
+{
+    for (bool strip : {true, false}) {
+        BinaryImage original = sample_image(strip);
+        BinaryImage loaded = load_image(save_image(original));
+        EXPECT_EQ(loaded.code, original.code);
+        EXPECT_EQ(loaded.data, original.data);
+        EXPECT_EQ(loaded.code_base, original.code_base);
+        EXPECT_EQ(loaded.data_base, original.data_base);
+        EXPECT_EQ(loaded.functions, original.functions);
+        EXPECT_EQ(loaded.symbols, original.symbols);
+        EXPECT_EQ(loaded.has_rtti, original.has_rtti);
+    }
+}
+
+TEST(Serialize, ReconstructionIdenticalAfterRoundTrip)
+{
+    corpus::CorpusProgram example = corpus::streams_program();
+    toyc::CompileResult compiled =
+        toyc::compile(example.program, example.options);
+    BinaryImage loaded = load_image(save_image(compiled.image));
+    core::ReconstructionResult a = core::reconstruct(compiled.image);
+    core::ReconstructionResult b = core::reconstruct(loaded);
+    ASSERT_EQ(a.hierarchy.size(), b.hierarchy.size());
+    for (int v = 0; v < a.hierarchy.size(); ++v)
+        EXPECT_EQ(a.hierarchy.parent(v), b.hierarchy.parent(v));
+}
+
+TEST(Serialize, RejectsBadMagic)
+{
+    auto bytes = save_image(sample_image());
+    bytes[0] ^= 0xff;
+    EXPECT_THROW(load_image(bytes), FatalError);
+}
+
+TEST(Serialize, RejectsTruncation)
+{
+    auto bytes = save_image(sample_image());
+    for (std::size_t cut :
+         {std::size_t{3}, bytes.size() / 2, bytes.size() - 1}) {
+        std::vector<std::uint8_t> truncated(bytes.begin(),
+                                            bytes.begin() +
+                                                static_cast<long>(cut));
+        EXPECT_THROW(load_image(truncated), FatalError) << cut;
+    }
+}
+
+TEST(Serialize, RejectsTrailingGarbage)
+{
+    auto bytes = save_image(sample_image());
+    bytes.push_back(0);
+    EXPECT_THROW(load_image(bytes), FatalError);
+}
+
+TEST(Serialize, RejectsOutOfRangeFunctions)
+{
+    BinaryImage image = sample_image();
+    image.functions.push_back(FunctionEntry{0xffff0000, 8});
+    auto bytes = save_image(image);
+    EXPECT_THROW(load_image(bytes), FatalError);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    BinaryImage original = sample_image();
+    std::string path = ::testing::TempDir() + "rock_serialize_test.vmi";
+    write_image_file(original, path);
+    BinaryImage loaded = read_image_file(path);
+    EXPECT_EQ(loaded.code, original.code);
+    EXPECT_EQ(loaded.functions, original.functions);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileIsFatal)
+{
+    EXPECT_THROW(read_image_file("/nonexistent/nope.vmi"), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for rock::support.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.h"
+#include "support/log.h"
+#include "support/rng.h"
+#include "support/str.h"
+
+namespace {
+
+using namespace rock::support;
+
+TEST(Error, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+    try {
+        fatal("boom");
+    } catch (const FatalError& e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+}
+
+TEST(Error, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Error, CheckPassesAndFails)
+{
+    EXPECT_NO_THROW(check(true, "fine"));
+    EXPECT_THROW(check(false, "bad"), FatalError);
+}
+
+TEST(Error, AssertMacroFiresOnFalse)
+{
+    EXPECT_THROW(ROCK_ASSERT(1 == 2, "math"), PanicError);
+    EXPECT_NO_THROW(ROCK_ASSERT(1 == 1, "math"));
+}
+
+TEST(Log, LevelGatesMessages)
+{
+    LogLevel old = log_level();
+    set_log_level(LogLevel::Off);
+    // Just exercising the path; nothing should be printed or crash.
+    log_message(LogLevel::Error, "suppressed");
+    ROCK_LOG_ERROR << "also suppressed " << 42;
+    set_log_level(old);
+}
+
+TEST(Rng, UniformStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.uniform(-3, 9);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, UniformSingletonRange)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.uniform(5, 5), 5);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniform(0, 1000000), b.uniform(0, 1000000));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.uniform(0, 1 << 30) == b.uniform(0, 1 << 30))
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, IndexCoversAllSlots)
+{
+    Rng rng(3);
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 400; ++i)
+        seen.insert(rng.index(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RealWithinUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double r = rng.real();
+        EXPECT_GE(r, 0.0);
+        EXPECT_LT(r, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, LengthRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 500; ++i) {
+        std::size_t len = rng.length(2, 6);
+        EXPECT_GE(len, 2u);
+        EXPECT_LE(len, 6u);
+    }
+}
+
+TEST(Rng, WeightedNeverPicksZeroWeight)
+{
+    Rng rng(13);
+    std::vector<double> weights{0.0, 1.0, 0.0, 2.0};
+    for (int i = 0; i < 300; ++i) {
+        std::size_t pick = rng.weighted(weights);
+        EXPECT_TRUE(pick == 1 || pick == 3);
+    }
+}
+
+TEST(Rng, WeightedRequiresPositiveTotal)
+{
+    Rng rng(13);
+    std::vector<double> weights{0.0, 0.0};
+    EXPECT_THROW(rng.weighted(weights), PanicError);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(17);
+    std::vector<int> items{1, 2, 3, 4, 5, 6};
+    auto copy = items;
+    rng.shuffle(items);
+    std::multiset<int> a(items.begin(), items.end());
+    std::multiset<int> b(copy.begin(), copy.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Str, HexFormats)
+{
+    EXPECT_EQ(hex(0), "0x0");
+    EXPECT_EQ(hex(0x1000), "0x1000");
+    EXPECT_EQ(hex(0xdeadbeef), "0xdeadbeef");
+}
+
+TEST(Str, JoinEmptyAndNonEmpty)
+{
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"a"}, ","), "a");
+    EXPECT_EQ(join({"a", "b", "c"}, "; "), "a; b; c");
+}
+
+TEST(Str, FormatBasics)
+{
+    EXPECT_EQ(format("x=%d", 42), "x=42");
+    EXPECT_EQ(format("%s/%s", "a", "b"), "a/b");
+    EXPECT_EQ(format("%05x", 0xab), "000ab");
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Multiple-inheritance specifics of the symbolic executor and the
+ * event alphabet: secondary-subobject dispatch, vptr stores at
+ * non-zero offsets, and subobject-adjusted `this` passing.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/analyze.h"
+#include "bir/builder.h"
+#include "corpus/examples.h"
+#include "toyc/compiler.h"
+
+namespace {
+
+using namespace rock;
+using namespace rock::analysis;
+using namespace rock::bir;
+
+/**
+ * Hand-built MI pattern: one object with vptrs at offsets 0 and 8,
+ * then a virtual call through the secondary branch:
+ *
+ *   alloc 16; store [obj+0], vtA ; store [obj+8], vtB
+ *   add r3, obj, 8 ; load r4,[r3+0] ; load r4,[r4+4]
+ *   setarg 0, r3 ; icall r4            ; C(1@8)
+ */
+TEST(SymExecMi, SecondaryBranchDispatch)
+{
+    ImageBuilder ib;
+    FuncId m = ib.declare_function("m");
+    FuncId m2 = ib.declare_function("m2");
+    FuncId user = ib.declare_function("user");
+    VtId vt_a = ib.add_vtable("A", 1);
+    VtId vt_b = ib.add_vtable("B", 2);
+    ib.set_slot(vt_a, 0, m);
+    ib.set_slot(vt_b, 0, m);
+    ib.set_slot(vt_b, 1, m2);
+    {
+        FunctionBuilder fb;
+        fb.ret();
+        ib.define_function(m, std::move(fb));
+    }
+    {
+        FunctionBuilder fb;
+        fb.nop();
+        fb.ret();
+        ib.define_function(m2, std::move(fb));
+    }
+    {
+        FunctionBuilder fb;
+        fb.movi(1, 16);
+        fb.setarg(0, 1);
+        fb.call_addr(kAllocStub);
+        fb.getret(2);
+        fb.movi_vtable(9, vt_a);
+        fb.store(2, 0, 9);
+        fb.movi_vtable(9, vt_b);
+        fb.store(2, 8, 9);
+        fb.add(3, 2, 8);
+        fb.load(4, 3, 0);
+        fb.load(4, 4, 4);
+        fb.setarg(0, 3);
+        fb.icall(4);
+        fb.ret();
+        ib.define_function(user, std::move(fb));
+    }
+    BinaryImage img = ib.link({});
+    auto tables = scan_vtables(img);
+    ASSERT_EQ(tables.size(), 2u);
+
+    SymbolicExecutor exec(img, tables, {});
+    const FunctionEntry* fn = img.function_at(ib.func_addr(user));
+    ASSERT_NE(fn, nullptr);
+    FunctionAnalysis fa = exec.run(*fn, {}, false);
+
+    // The object's primary type is the vtable stored at offset 0.
+    ASSERT_EQ(fa.tracelets.count(ib.vtable_addr(vt_a)), 1u);
+    const auto& tracelets = fa.tracelets.at(ib.vtable_addr(vt_a));
+    ASSERT_EQ(tracelets.size(), 1u);
+    // The dispatch is annotated with the secondary vptr offset.
+    Tracelet expected{{EventKind::VirtCall, 1, 8}};
+    EXPECT_EQ(tracelets[0], expected);
+
+    // Evidence records both vptr stores.
+    ASSERT_EQ(fa.evidence.size(), 1u);
+    EXPECT_EQ(fa.evidence[0].vptr_stores.size(), 2u);
+    EXPECT_EQ(fa.evidence[0].vptr_stores.at(0),
+              ib.vtable_addr(vt_a));
+    EXPECT_EQ(fa.evidence[0].vptr_stores.at(8),
+              ib.vtable_addr(vt_b));
+}
+
+TEST(SymExecMi, ToycMiCtorEvidenceEndToEnd)
+{
+    corpus::CorpusProgram example =
+        corpus::multiple_inheritance_program();
+    toyc::CompileResult compiled =
+        toyc::compile(example.program, example.options);
+    AnalysisResult result = analyze(compiled.image);
+
+    // Some evidence object has two distinct vptr-store offsets and
+    // parent-ctor calls on both subobjects.
+    bool two_offsets = false;
+    bool secondary_ctor_call = false;
+    for (const auto& ev : result.evidence) {
+        if (ev.vptr_stores.size() >= 2)
+            two_offsets = true;
+        for (const auto& [off, callee] : ev.this_calls) {
+            if (off != 0 && result.ctor_types.count(callee))
+                secondary_ctor_call = true;
+        }
+    }
+    EXPECT_TRUE(two_offsets);
+    EXPECT_TRUE(secondary_ctor_call);
+}
+
+TEST(SymExecMi, AuxDistinguishesAlphabetSymbols)
+{
+    // C(1) through the primary branch and C(1) through a secondary
+    // branch at offset 8 are different alphabet symbols.
+    Alphabet alpha;
+    int primary =
+        alpha.intern(Event{EventKind::VirtCall, 1, 0});
+    int secondary =
+        alpha.intern(Event{EventKind::VirtCall, 1, 8});
+    EXPECT_NE(primary, secondary);
+}
+
+} // namespace

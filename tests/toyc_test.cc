@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Unit tests for the toyc source model, semantic analysis, and
+ * compiler.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bir/image.h"
+#include "corpus/examples.h"
+#include "support/error.h"
+#include "toyc/ast.h"
+#include "toyc/compiler.h"
+#include "toyc/sema.h"
+
+namespace {
+
+using namespace rock;
+using namespace rock::toyc;
+using rock::support::FatalError;
+
+/** A <- B <- C chain with one method each. */
+Program
+chain_program()
+{
+    Program prog;
+    {
+        ClassDecl a;
+        a.name = "A";
+        a.num_fields = 1;
+        a.methods.push_back({"fa", false, {}});
+        prog.classes.push_back(a);
+    }
+    {
+        ClassDecl b;
+        b.name = "B";
+        b.parents = {"A"};
+        b.num_fields = 2;
+        b.methods.push_back({"fb", false, {}});
+        prog.classes.push_back(b);
+    }
+    {
+        ClassDecl c;
+        c.name = "C";
+        c.parents = {"B"};
+        c.num_fields = 1;
+        // The override body must differ from A::fa's or the two
+        // functions legitimately fold together.
+        MethodDecl fa_override{"fa", false,
+                               {Stmt::write_field("this", 3)}};
+        c.methods.push_back(fa_override);
+        c.methods.push_back({"fc", false, {}});
+        prog.classes.push_back(c);
+    }
+    UsageFunc use;
+    use.name = "use_all";
+    use.body.push_back(Stmt::new_object("a", "A"));
+    use.body.push_back(Stmt::new_object("c", "C"));
+    use.body.push_back(Stmt::virt_call("c", "fc"));
+    prog.usages.push_back(use);
+    return prog;
+}
+
+// ---------------------------------------------------------------------
+// Sema: layouts
+// ---------------------------------------------------------------------
+
+TEST(Sema, SingleInheritanceVtableLayout)
+{
+    Program prog = chain_program();
+    Sema sema(prog);
+
+    const ClassLayout& a = sema.layout("A");
+    ASSERT_EQ(a.branches.size(), 1u);
+    ASSERT_EQ(a.branches[0].slots.size(), 1u);
+    EXPECT_EQ(a.branches[0].slots[0].method, "fa");
+    EXPECT_EQ(a.branches[0].slots[0].impl_class, "A");
+
+    const ClassLayout& c = sema.layout("C");
+    ASSERT_EQ(c.branches.size(), 1u);
+    ASSERT_EQ(c.branches[0].slots.size(), 3u);
+    // Slot order: inherited first, new methods appended.
+    EXPECT_EQ(c.branches[0].slots[0].method, "fa");
+    EXPECT_EQ(c.branches[0].slots[0].impl_class, "C"); // overridden
+    EXPECT_EQ(c.branches[0].slots[1].method, "fb");
+    EXPECT_EQ(c.branches[0].slots[1].impl_class, "B"); // inherited
+    EXPECT_EQ(c.branches[0].slots[2].method, "fc");
+}
+
+TEST(Sema, FieldOffsetsAccumulate)
+{
+    Program prog = chain_program();
+    Sema sema(prog);
+    // A: vptr@0, field@4. size 8.
+    EXPECT_EQ(sema.layout("A").size, 8u);
+    EXPECT_EQ(sema.layout("A").field_offsets,
+              (std::vector<std::uint32_t>{4}));
+    // B: A subobject (8) + 2 own fields.
+    EXPECT_EQ(sema.layout("B").size, 16u);
+    EXPECT_EQ(sema.layout("B").field_offsets,
+              (std::vector<std::uint32_t>{4, 8, 12}));
+    // C: B subobject (16) + 1 own field.
+    EXPECT_EQ(sema.layout("C").size, 20u);
+    EXPECT_EQ(sema.num_fields("C"), 4u);
+}
+
+TEST(Sema, AncestorsNearestFirst)
+{
+    Program prog = chain_program();
+    Sema sema(prog);
+    EXPECT_EQ(sema.layout("C").ancestors,
+              (std::vector<std::string>{"B", "A"}));
+    EXPECT_TRUE(sema.layout("A").ancestors.empty());
+}
+
+TEST(Sema, TopoOrderParentsFirst)
+{
+    Program prog = chain_program();
+    Sema sema(prog);
+    const auto& order = sema.topo_order();
+    auto pos = [&order](const std::string& name) {
+        return std::find(order.begin(), order.end(), name) -
+               order.begin();
+    };
+    EXPECT_LT(pos("A"), pos("B"));
+    EXPECT_LT(pos("B"), pos("C"));
+}
+
+TEST(Sema, MultipleInheritanceBranches)
+{
+    Program prog;
+    ClassDecl a;
+    a.name = "A";
+    a.num_fields = 1;
+    a.methods.push_back({"fa", false, {}});
+    ClassDecl b;
+    b.name = "B";
+    b.num_fields = 2;
+    b.methods.push_back({"fb", false, {}});
+    ClassDecl c;
+    c.name = "C";
+    c.parents = {"A", "B"};
+    c.num_fields = 1;
+    c.methods.push_back({"fb", false, {}}); // overrides B's method
+    c.methods.push_back({"fc", false, {}});
+    prog.classes = {a, b, c};
+
+    Sema sema(prog);
+    const ClassLayout& lay = sema.layout("C");
+    ASSERT_EQ(lay.branches.size(), 2u);
+    EXPECT_EQ(lay.branches[0].offset, 0u);
+    EXPECT_EQ(lay.branches[0].base, "A");
+    // B subobject starts after A's 8 bytes.
+    EXPECT_EQ(lay.branches[1].offset, 8u);
+    EXPECT_EQ(lay.branches[1].base, "B");
+    // The override lands in the secondary branch.
+    EXPECT_EQ(lay.branches[1].slots[0].impl_class, "C");
+    // New method extends the primary branch.
+    EXPECT_EQ(lay.branches[0].slots.back().method, "fc");
+    // Object: [vptrA][fA][vptrB][fB][fB][fC] = 24 bytes.
+    EXPECT_EQ(lay.size, 24u);
+}
+
+TEST(Sema, PureMethodsMakeClassAbstract)
+{
+    Program prog;
+    ClassDecl a;
+    a.name = "A";
+    a.methods.push_back({"f", true, {}});
+    ClassDecl b;
+    b.name = "B";
+    b.parents = {"A"};
+    b.methods.push_back({"f", false, {}});
+    prog.classes = {a, b};
+    Sema sema(prog);
+    EXPECT_TRUE(sema.layout("A").abstract);
+    EXPECT_FALSE(sema.layout("B").abstract);
+}
+
+// ---------------------------------------------------------------------
+// Sema: validation errors
+// ---------------------------------------------------------------------
+
+TEST(SemaErrors, UnknownParent)
+{
+    Program prog;
+    ClassDecl a;
+    a.name = "A";
+    a.parents = {"Ghost"};
+    prog.classes = {a};
+    EXPECT_THROW(Sema{prog}, FatalError);
+}
+
+TEST(SemaErrors, InheritanceCycle)
+{
+    Program prog;
+    ClassDecl a;
+    a.name = "A";
+    a.parents = {"B"};
+    ClassDecl b;
+    b.name = "B";
+    b.parents = {"A"};
+    prog.classes = {a, b};
+    EXPECT_THROW(Sema{prog}, FatalError);
+}
+
+TEST(SemaErrors, DuplicateClass)
+{
+    Program prog;
+    ClassDecl a;
+    a.name = "A";
+    prog.classes = {a, a};
+    EXPECT_THROW(Sema{prog}, FatalError);
+}
+
+TEST(SemaErrors, UndefinedVariable)
+{
+    Program prog = chain_program();
+    UsageFunc bad;
+    bad.name = "bad";
+    bad.body.push_back(Stmt::virt_call("nobody", "fa"));
+    prog.usages.push_back(bad);
+    EXPECT_THROW(Sema{prog}, FatalError);
+}
+
+TEST(SemaErrors, UnknownMethod)
+{
+    Program prog = chain_program();
+    prog.usages[0].body.push_back(Stmt::virt_call("a", "missing"));
+    EXPECT_THROW(Sema{prog}, FatalError);
+}
+
+TEST(SemaErrors, FieldOutOfRange)
+{
+    Program prog = chain_program();
+    prog.usages[0].body.push_back(Stmt::read_field("a", 5));
+    EXPECT_THROW(Sema{prog}, FatalError);
+}
+
+TEST(SemaErrors, CallArityMismatch)
+{
+    Program prog = chain_program();
+    UsageFunc callee;
+    callee.name = "callee";
+    callee.params.push_back({"p", "A"});
+    prog.usages.push_back(callee);
+    prog.usages[0].body.push_back(Stmt::call_free("callee", {}));
+    EXPECT_THROW(Sema{prog}, FatalError);
+}
+
+TEST(SemaErrors, InstantiatingAbstractClass)
+{
+    Program prog;
+    ClassDecl a;
+    a.name = "A";
+    a.methods.push_back({"f", true, {}});
+    prog.classes = {a};
+    UsageFunc fn;
+    fn.name = "u";
+    fn.body.push_back(Stmt::new_object("x", "A"));
+    prog.usages.push_back(fn);
+    EXPECT_THROW(Sema{prog}, FatalError);
+}
+
+TEST(SemaErrors, PureMethodWithBody)
+{
+    Program prog;
+    ClassDecl a;
+    a.name = "A";
+    MethodDecl m;
+    m.name = "f";
+    m.pure = true;
+    m.body.push_back(Stmt::read_field("this", 0));
+    a.methods.push_back(m);
+    prog.classes = {a};
+    EXPECT_THROW(Sema{prog}, FatalError);
+}
+
+TEST(SemaErrors, NewObjectInCtorBody)
+{
+    Program prog = chain_program();
+    prog.classes[0].ctor_body.push_back(Stmt::new_object("t", "A"));
+    EXPECT_THROW(Sema{prog}, FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Compiler
+// ---------------------------------------------------------------------
+
+TEST(Compiler, SharedImplementationsAcrossVtables)
+{
+    // Non-overridden methods must appear as the same pointer in the
+    // parent's and child's vtables -- the family fingerprint.
+    Program prog = chain_program();
+    CompileResult out = compile(prog);
+    std::uint32_t vt_a = out.debug.class_to_vtable.at("A");
+    std::uint32_t vt_b = out.debug.class_to_vtable.at("B");
+    std::uint32_t vt_c = out.debug.class_to_vtable.at("C");
+    // B inherits A::fa at slot 0.
+    EXPECT_EQ(*out.image.read_data_word(vt_a),
+              *out.image.read_data_word(vt_b));
+    // C overrides fa: its slot 0 differs from A's.
+    EXPECT_NE(*out.image.read_data_word(vt_a),
+              *out.image.read_data_word(vt_c));
+    // C inherits B::fb at slot 1.
+    EXPECT_EQ(*out.image.read_data_word(vt_b + 4),
+              *out.image.read_data_word(vt_c + 4));
+}
+
+TEST(Compiler, StrippedByDefault)
+{
+    CompileResult out = compile(chain_program());
+    EXPECT_TRUE(out.image.symbols.empty());
+    EXPECT_FALSE(out.image.has_rtti);
+}
+
+TEST(Compiler, DebugAncestorsReflectHierarchy)
+{
+    CompileResult out = compile(chain_program());
+    std::uint32_t vt_a = out.debug.class_to_vtable.at("A");
+    std::uint32_t vt_b = out.debug.class_to_vtable.at("B");
+    for (const auto& type : out.debug.types) {
+        if (type.class_name == "C") {
+            ASSERT_EQ(type.ancestors.size(), 2u);
+            EXPECT_EQ(type.ancestors[0], vt_b);
+            EXPECT_EQ(type.ancestors[1], vt_a);
+        }
+    }
+}
+
+TEST(Compiler, AbstractClassOmittedByDefault)
+{
+    corpus::CorpusProgram example = corpus::cgrid_program();
+    CompileResult out = compile(example.program, example.options);
+    EXPECT_EQ(out.debug.class_to_vtable.count("CEdit"), 0u);
+    EXPECT_EQ(out.debug.class_to_vtable.count("CDialog"), 0u);
+    // Children of the omitted base list no binary ancestors.
+    for (const auto& type : out.debug.types) {
+        if (type.class_name == "CGridEditorText") {
+            EXPECT_TRUE(type.ancestors.empty());
+        }
+    }
+}
+
+TEST(Compiler, AbstractClassKeptWhenRequested)
+{
+    corpus::CorpusProgram example = corpus::cgrid_program();
+    example.options.omit_abstract_classes = false;
+    CompileResult out = compile(example.program, example.options);
+    ASSERT_EQ(out.debug.class_to_vtable.count("CEdit"), 1u);
+    // The abstract vtable contains a purecall slot.
+    std::uint32_t vt = out.debug.class_to_vtable.at("CEdit");
+    EXPECT_EQ(*out.image.read_data_word(vt), bir::kPurecallStub);
+}
+
+TEST(Compiler, ParentCtorCallEmittedAndInlined)
+{
+    Program prog = chain_program();
+    // With cues: B's ctor contains a Call to A's ctor.
+    CompileOptions with_cues;
+    with_cues.parent_ctor_calls = true;
+    CompileResult cued = compile(prog, with_cues);
+
+    CompileOptions no_cues;
+    no_cues.parent_ctor_calls = false;
+    CompileResult inlined = compile(prog, no_cues);
+
+    // Count Call instructions that target non-stub functions across
+    // the whole image: the cued build must have strictly more.
+    auto count_calls = [](const bir::BinaryImage& img) {
+        int calls = 0;
+        for (const auto& fn : img.functions) {
+            for (const auto& instr : img.decode_function(fn)) {
+                if (instr.op == bir::Op::Call &&
+                    instr.imm != bir::kAllocStub &&
+                    instr.imm != bir::kPurecallStub) {
+                    ++calls;
+                }
+            }
+        }
+        return calls;
+    };
+    EXPECT_GT(count_calls(cued.image), count_calls(inlined.image));
+}
+
+TEST(Compiler, MultipleVptrStoresForMI)
+{
+    corpus::CorpusProgram example =
+        corpus::multiple_inheritance_program();
+    CompileResult out = compile(example.program, example.options);
+    // Model's primary and secondary vtables both exist; the secondary
+    // is marked synthetic.
+    int synthetic = 0;
+    for (const auto& type : out.debug.types) {
+        if (type.synthetic) {
+            ++synthetic;
+            EXPECT_NE(type.class_name.find("::"), std::string::npos);
+        }
+    }
+    EXPECT_EQ(synthetic, 1);
+}
+
+TEST(Compiler, FoldingCountsReported)
+{
+    // Two classes with byte-identical methods fold.
+    Program prog;
+    for (const char* name : {"X", "Y"}) {
+        ClassDecl cls;
+        cls.name = name;
+        cls.num_fields = 1;
+        MethodDecl m;
+        m.name = "same";
+        m.body.push_back(Stmt::write_field("this", 0));
+        cls.methods.push_back(m);
+        prog.classes.push_back(cls);
+    }
+    UsageFunc fn;
+    fn.name = "u";
+    fn.body.push_back(Stmt::new_object("x", "X"));
+    fn.body.push_back(Stmt::new_object("y", "Y"));
+    prog.usages.push_back(fn);
+
+    CompileResult folded = compile(prog);
+    EXPECT_GE(folded.folded, 1u);
+
+    CompileOptions no_fold;
+    no_fold.fold_identical_functions = false;
+    CompileResult kept = compile(prog, no_fold);
+    EXPECT_EQ(kept.folded, 0u);
+    EXPECT_GT(kept.image.functions.size(),
+              folded.image.functions.size());
+}
+
+TEST(Compiler, RttiMatchesDebugInfo)
+{
+    Program prog = chain_program();
+    CompileOptions opts;
+    opts.link.emit_rtti = true;
+    CompileResult out = compile(prog, opts);
+    ASSERT_TRUE(out.image.has_rtti);
+    // Every debug type's vtable carries an RTTI back-pointer to a
+    // record that names the same vtable.
+    for (const auto& type : out.debug.types) {
+        std::uint32_t rec =
+            *out.image.read_data_word(type.vtable_addr - 4);
+        ASSERT_NE(rec, 0u);
+        EXPECT_EQ(*out.image.read_data_word(rec), bir::kRttiMagic);
+        EXPECT_EQ(*out.image.read_data_word(rec + 4), type.vtable_addr);
+    }
+}
+
+} // namespace

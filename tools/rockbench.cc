@@ -1,0 +1,51 @@
+/**
+ * @file
+ * rockbench -- run every paper experiment and emit the Markdown
+ * report committed as EXPERIMENTS.md.
+ *
+ * Usage:
+ *   rockbench            (print to stdout)
+ *   rockbench --write F  (write to file F)
+ */
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "experiments/experiments.h"
+#include "support/error.h"
+
+int
+main(int argc, char** argv)
+{
+    std::string output;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--write" && i + 1 < argc) {
+            output = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: rockbench [--write FILE]\n");
+            return 2;
+        }
+    }
+    try {
+        std::string report = rock::experiments::experiments_markdown();
+        if (output.empty()) {
+            std::printf("%s", report.c_str());
+        } else {
+            std::ofstream out(output);
+            if (!out) {
+                std::fprintf(stderr,
+                             "rockbench: cannot write '%s'\n",
+                             output.c_str());
+                return 1;
+            }
+            out << report;
+            std::printf("rockbench: wrote %s\n", output.c_str());
+        }
+        return 0;
+    } catch (const rock::support::FatalError& e) {
+        std::fprintf(stderr, "rockbench: error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * rockc -- the toyc compiler driver.
+ *
+ * Compiles a .toy source file (or a bundled Table-2 benchmark) into a
+ * VMI binary image, with the optimization levers the paper's
+ * evaluation exercises.
+ *
+ * Usage:
+ *   rockc INPUT.toy -o out.vmi [options]
+ *   rockc --benchmark NAME -o out.vmi [options]
+ *   rockc --dump-source NAME            (print a benchmark as .toy)
+ *
+ * Options:
+ *   --keep-symbols          do not strip the symbol table
+ *   --rtti                  emit RTTI records
+ *   --no-parent-ctor-calls  inline parent constructors (drop rule-3
+ *                           cues)
+ *   --no-inline-ctors       keep constructors out of line at
+ *                           allocation sites
+ *   --keep-abstract         emit vtables for abstract classes
+ *   --no-fold               disable identical-function folding
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bir/serialize.h"
+#include "corpus/benchmarks.h"
+#include "support/error.h"
+#include "toyc/compiler.h"
+#include "toyc/parser.h"
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: rockc INPUT.toy -o out.vmi [options]\n"
+                 "       rockc --benchmark NAME -o out.vmi [options]\n"
+                 "       rockc --dump-source NAME\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace rock;
+
+    std::string input;
+    std::string output;
+    std::string benchmark;
+    std::string dump_source;
+    toyc::CompileOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-o" && i + 1 < argc) {
+            output = argv[++i];
+        } else if (arg == "--benchmark" && i + 1 < argc) {
+            benchmark = argv[++i];
+        } else if (arg == "--dump-source" && i + 1 < argc) {
+            dump_source = argv[++i];
+        } else if (arg == "--keep-symbols") {
+            options.link.strip_symbols = false;
+        } else if (arg == "--rtti") {
+            options.link.emit_rtti = true;
+        } else if (arg == "--no-parent-ctor-calls") {
+            options.parent_ctor_calls = false;
+        } else if (arg == "--no-inline-ctors") {
+            options.inline_ctors_at_alloc = false;
+        } else if (arg == "--keep-abstract") {
+            options.omit_abstract_classes = false;
+        } else if (arg == "--no-fold") {
+            options.fold_identical_functions = false;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "rockc: unknown option '%s'\n",
+                         arg.c_str());
+            return usage();
+        } else {
+            input = arg;
+        }
+    }
+
+    try {
+        if (!dump_source.empty()) {
+            corpus::BenchmarkSpec spec =
+                corpus::benchmark_by_name(dump_source);
+            std::printf("%s",
+                        toyc::to_source(spec.program.program).c_str());
+            return 0;
+        }
+
+        toyc::Program program;
+        if (!benchmark.empty()) {
+            corpus::BenchmarkSpec spec =
+                corpus::benchmark_by_name(benchmark);
+            program = spec.program.program;
+            // Benchmark-specific optimization profile, unless the
+            // user overrode pieces on the command line.
+            toyc::CompileOptions defaults;
+            if (options.parent_ctor_calls ==
+                    defaults.parent_ctor_calls &&
+                options.omit_abstract_classes ==
+                    defaults.omit_abstract_classes) {
+                bool strip = options.link.strip_symbols;
+                bool rtti = options.link.emit_rtti;
+                options = spec.program.options;
+                options.link.strip_symbols = strip;
+                options.link.emit_rtti = rtti;
+            }
+        } else if (!input.empty()) {
+            std::ifstream in(input);
+            if (!in) {
+                std::fprintf(stderr, "rockc: cannot open '%s'\n",
+                             input.c_str());
+                return 1;
+            }
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            program = toyc::parse_program(buffer.str(), input);
+        } else {
+            return usage();
+        }
+
+        if (output.empty())
+            return usage();
+
+        toyc::CompileResult result = toyc::compile(program, options);
+        bir::write_image_file(result.image, output);
+        std::printf("rockc: wrote %s (%zu functions, %zu code bytes, "
+                    "%zu types, %zu folded)\n",
+                    output.c_str(), result.image.functions.size(),
+                    result.image.code.size(),
+                    result.debug.types.size(), result.folded);
+        return 0;
+    } catch (const support::FatalError& e) {
+        std::fprintf(stderr, "rockc: error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * rockdump -- inspect a VMI binary image.
+ *
+ * Usage:
+ *   rockdump IMAGE.vmi [--disasm] [--vtables] [--tracelets]
+ *
+ * With no flags, prints a summary (sections, functions, discovered
+ * vtables). --disasm adds the full listing; --vtables the slot
+ * tables; --tracelets the per-type object tracelets.
+ */
+#include <cstdio>
+#include <string>
+
+#include "analysis/analyze.h"
+#include "bir/serialize.h"
+#include "support/error.h"
+#include "support/str.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace rock;
+
+    std::string input;
+    bool disasm = false;
+    bool vtables = false;
+    bool tracelets = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--disasm") {
+            disasm = true;
+        } else if (arg == "--vtables") {
+            vtables = true;
+        } else if (arg == "--tracelets") {
+            tracelets = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "rockdump: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            input = arg;
+        }
+    }
+    if (input.empty()) {
+        std::fprintf(stderr,
+                     "usage: rockdump IMAGE.vmi [--disasm] "
+                     "[--vtables] [--tracelets]\n");
+        return 2;
+    }
+
+    try {
+        bir::BinaryImage image = bir::read_image_file(input);
+        std::printf("%s:\n", input.c_str());
+        std::printf("  code: %zu bytes at %s\n", image.code.size(),
+                    support::hex(image.code_base).c_str());
+        std::printf("  data: %zu bytes at %s\n", image.data.size(),
+                    support::hex(image.data_base).c_str());
+        std::printf("  functions: %zu\n", image.functions.size());
+        std::printf("  symbols: %zu%s\n", image.symbols.size(),
+                    image.symbols.empty() ? " (stripped)" : "");
+        std::printf("  rtti: %s\n", image.has_rtti ? "yes" : "no");
+
+        analysis::AnalysisResult analyzed = analysis::analyze(image);
+        std::printf("  vtables: %zu\n", analyzed.vtables.size());
+        std::printf("  ctor-like functions: %zu\n",
+                    analyzed.ctor_types.size());
+
+        if (vtables) {
+            std::printf("\nvtables:\n");
+            for (const auto& vt : analyzed.vtables) {
+                std::printf("  %s:\n", support::hex(vt.addr).c_str());
+                for (std::size_t s = 0; s < vt.slots.size(); ++s) {
+                    std::printf("    [%zu] %s (%s)\n", s,
+                                support::hex(vt.slots[s]).c_str(),
+                                image.name_of(vt.slots[s]).c_str());
+                }
+            }
+        }
+        if (tracelets) {
+            std::printf("\ntracelets:\n");
+            for (const auto& [type, list] : analyzed.type_tracelets) {
+                std::printf("  type %s (%zu tracelets):\n",
+                            support::hex(type).c_str(), list.size());
+                std::size_t shown = 0;
+                for (const auto& tracelet : list) {
+                    std::printf("    %s\n",
+                                analysis::to_string(tracelet).c_str());
+                    if (++shown == 8 && list.size() > 8) {
+                        std::printf("    ... (%zu more)\n",
+                                    list.size() - shown);
+                        break;
+                    }
+                }
+            }
+        }
+        if (disasm)
+            std::printf("\n%s", image.disassemble().c_str());
+        return 0;
+    } catch (const support::FatalError& e) {
+        std::fprintf(stderr, "rockdump: error: %s\n", e.what());
+        return 1;
+    }
+}
