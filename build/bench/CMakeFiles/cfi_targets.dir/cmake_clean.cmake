@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfi_targets.dir/cfi_targets.cc.o"
+  "CMakeFiles/cfi_targets.dir/cfi_targets.cc.o.d"
+  "cfi_targets"
+  "cfi_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfi_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfi_tradeoff.dir/cfi_tradeoff.cc.o"
+  "CMakeFiles/cfi_tradeoff.dir/cfi_tradeoff.cc.o.d"
+  "cfi_tradeoff"
+  "cfi_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfi_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

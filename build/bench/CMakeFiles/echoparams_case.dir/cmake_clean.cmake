@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/echoparams_case.dir/echoparams_case.cc.o"
+  "CMakeFiles/echoparams_case.dir/echoparams_case.cc.o.d"
+  "echoparams_case"
+  "echoparams_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echoparams_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

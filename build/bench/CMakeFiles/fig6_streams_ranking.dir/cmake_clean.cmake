@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_streams_ranking.dir/fig6_streams_ranking.cc.o"
+  "CMakeFiles/fig6_streams_ranking.dir/fig6_streams_ranking.cc.o.d"
+  "fig6_streams_ranking"
+  "fig6_streams_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_streams_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

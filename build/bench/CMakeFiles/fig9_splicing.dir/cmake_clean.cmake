@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_splicing.dir/fig9_splicing.cc.o"
+  "CMakeFiles/fig9_splicing.dir/fig9_splicing.cc.o.d"
+  "fig9_splicing"
+  "fig9_splicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_splicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

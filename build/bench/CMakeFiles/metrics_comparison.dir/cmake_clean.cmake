@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_comparison.dir/metrics_comparison.cc.o"
+  "CMakeFiles/metrics_comparison.dir/metrics_comparison.cc.o.d"
+  "metrics_comparison"
+  "metrics_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

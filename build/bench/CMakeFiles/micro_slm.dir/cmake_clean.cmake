@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_slm.dir/micro_slm.cc.o"
+  "CMakeFiles/micro_slm.dir/micro_slm.cc.o.d"
+  "micro_slm"
+  "micro_slm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_slm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skype_scale.dir/skype_scale.cc.o"
+  "CMakeFiles/skype_scale.dir/skype_scale.cc.o.d"
+  "skype_scale"
+  "skype_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skype_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_application_distance.dir/table2_application_distance.cc.o"
+  "CMakeFiles/table2_application_distance.dir/table2_application_distance.cc.o.d"
+  "table2_application_distance"
+  "table2_application_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_application_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datasources.dir/datasources.cpp.o"
+  "CMakeFiles/datasources.dir/datasources.cpp.o.d"
+  "datasources"
+  "datasources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datasources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

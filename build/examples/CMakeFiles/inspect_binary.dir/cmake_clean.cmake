@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_binary.dir/inspect_binary.cpp.o"
+  "CMakeFiles/inspect_binary.dir/inspect_binary.cpp.o.d"
+  "inspect_binary"
+  "inspect_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiple_inheritance.dir/multiple_inheritance.cpp.o"
+  "CMakeFiles/multiple_inheritance.dir/multiple_inheritance.cpp.o.d"
+  "multiple_inheritance"
+  "multiple_inheritance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiple_inheritance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

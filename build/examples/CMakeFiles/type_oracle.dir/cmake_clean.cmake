@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_oracle.dir/type_oracle.cpp.o"
+  "CMakeFiles/type_oracle.dir/type_oracle.cpp.o.d"
+  "type_oracle"
+  "type_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("bir")
+subdirs("toyc")
+subdirs("analysis")
+subdirs("slm")
+subdirs("divergence")
+subdirs("graph")
+subdirs("structural")
+subdirs("rock")
+subdirs("eval")
+subdirs("corpus")
+subdirs("experiments")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyze.cc" "src/analysis/CMakeFiles/rock_analysis.dir/analyze.cc.o" "gcc" "src/analysis/CMakeFiles/rock_analysis.dir/analyze.cc.o.d"
+  "/root/repo/src/analysis/event.cc" "src/analysis/CMakeFiles/rock_analysis.dir/event.cc.o" "gcc" "src/analysis/CMakeFiles/rock_analysis.dir/event.cc.o.d"
+  "/root/repo/src/analysis/symexec.cc" "src/analysis/CMakeFiles/rock_analysis.dir/symexec.cc.o" "gcc" "src/analysis/CMakeFiles/rock_analysis.dir/symexec.cc.o.d"
+  "/root/repo/src/analysis/vtable_scan.cc" "src/analysis/CMakeFiles/rock_analysis.dir/vtable_scan.cc.o" "gcc" "src/analysis/CMakeFiles/rock_analysis.dir/vtable_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bir/CMakeFiles/rock_bir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rock_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rock_analysis.dir/analyze.cc.o"
+  "CMakeFiles/rock_analysis.dir/analyze.cc.o.d"
+  "CMakeFiles/rock_analysis.dir/event.cc.o"
+  "CMakeFiles/rock_analysis.dir/event.cc.o.d"
+  "CMakeFiles/rock_analysis.dir/symexec.cc.o"
+  "CMakeFiles/rock_analysis.dir/symexec.cc.o.d"
+  "CMakeFiles/rock_analysis.dir/vtable_scan.cc.o"
+  "CMakeFiles/rock_analysis.dir/vtable_scan.cc.o.d"
+  "librock_analysis.a"
+  "librock_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rock_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

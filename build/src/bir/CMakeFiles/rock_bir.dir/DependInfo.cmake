@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bir/builder.cc" "src/bir/CMakeFiles/rock_bir.dir/builder.cc.o" "gcc" "src/bir/CMakeFiles/rock_bir.dir/builder.cc.o.d"
+  "/root/repo/src/bir/image.cc" "src/bir/CMakeFiles/rock_bir.dir/image.cc.o" "gcc" "src/bir/CMakeFiles/rock_bir.dir/image.cc.o.d"
+  "/root/repo/src/bir/isa.cc" "src/bir/CMakeFiles/rock_bir.dir/isa.cc.o" "gcc" "src/bir/CMakeFiles/rock_bir.dir/isa.cc.o.d"
+  "/root/repo/src/bir/serialize.cc" "src/bir/CMakeFiles/rock_bir.dir/serialize.cc.o" "gcc" "src/bir/CMakeFiles/rock_bir.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rock_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

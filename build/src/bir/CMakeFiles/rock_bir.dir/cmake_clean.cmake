@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rock_bir.dir/builder.cc.o"
+  "CMakeFiles/rock_bir.dir/builder.cc.o.d"
+  "CMakeFiles/rock_bir.dir/image.cc.o"
+  "CMakeFiles/rock_bir.dir/image.cc.o.d"
+  "CMakeFiles/rock_bir.dir/isa.cc.o"
+  "CMakeFiles/rock_bir.dir/isa.cc.o.d"
+  "CMakeFiles/rock_bir.dir/serialize.cc.o"
+  "CMakeFiles/rock_bir.dir/serialize.cc.o.d"
+  "librock_bir.a"
+  "librock_bir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rock_bir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

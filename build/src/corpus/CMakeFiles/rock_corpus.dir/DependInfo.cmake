@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/benchmarks.cc" "src/corpus/CMakeFiles/rock_corpus.dir/benchmarks.cc.o" "gcc" "src/corpus/CMakeFiles/rock_corpus.dir/benchmarks.cc.o.d"
+  "/root/repo/src/corpus/builder.cc" "src/corpus/CMakeFiles/rock_corpus.dir/builder.cc.o" "gcc" "src/corpus/CMakeFiles/rock_corpus.dir/builder.cc.o.d"
+  "/root/repo/src/corpus/examples.cc" "src/corpus/CMakeFiles/rock_corpus.dir/examples.cc.o" "gcc" "src/corpus/CMakeFiles/rock_corpus.dir/examples.cc.o.d"
+  "/root/repo/src/corpus/generator.cc" "src/corpus/CMakeFiles/rock_corpus.dir/generator.cc.o" "gcc" "src/corpus/CMakeFiles/rock_corpus.dir/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/toyc/CMakeFiles/rock_toyc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rock_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bir/CMakeFiles/rock_bir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rock_corpus.dir/benchmarks.cc.o"
+  "CMakeFiles/rock_corpus.dir/benchmarks.cc.o.d"
+  "CMakeFiles/rock_corpus.dir/builder.cc.o"
+  "CMakeFiles/rock_corpus.dir/builder.cc.o.d"
+  "CMakeFiles/rock_corpus.dir/examples.cc.o"
+  "CMakeFiles/rock_corpus.dir/examples.cc.o.d"
+  "CMakeFiles/rock_corpus.dir/generator.cc.o"
+  "CMakeFiles/rock_corpus.dir/generator.cc.o.d"
+  "librock_corpus.a"
+  "librock_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rock_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

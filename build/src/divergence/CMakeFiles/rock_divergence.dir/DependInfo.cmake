@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/divergence/metrics.cc" "src/divergence/CMakeFiles/rock_divergence.dir/metrics.cc.o" "gcc" "src/divergence/CMakeFiles/rock_divergence.dir/metrics.cc.o.d"
+  "/root/repo/src/divergence/word_set.cc" "src/divergence/CMakeFiles/rock_divergence.dir/word_set.cc.o" "gcc" "src/divergence/CMakeFiles/rock_divergence.dir/word_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slm/CMakeFiles/rock_slm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rock_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

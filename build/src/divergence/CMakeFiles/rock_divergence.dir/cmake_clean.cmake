@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rock_divergence.dir/metrics.cc.o"
+  "CMakeFiles/rock_divergence.dir/metrics.cc.o.d"
+  "CMakeFiles/rock_divergence.dir/word_set.cc.o"
+  "CMakeFiles/rock_divergence.dir/word_set.cc.o.d"
+  "librock_divergence.a"
+  "librock_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rock_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rock_eval.dir/application_distance.cc.o"
+  "CMakeFiles/rock_eval.dir/application_distance.cc.o.d"
+  "CMakeFiles/rock_eval.dir/forest_metrics.cc.o"
+  "CMakeFiles/rock_eval.dir/forest_metrics.cc.o.d"
+  "CMakeFiles/rock_eval.dir/ground_truth.cc.o"
+  "CMakeFiles/rock_eval.dir/ground_truth.cc.o.d"
+  "librock_eval.a"
+  "librock_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rock_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

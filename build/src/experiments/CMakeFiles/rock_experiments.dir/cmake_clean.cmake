@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rock_experiments.dir/experiments.cc.o"
+  "CMakeFiles/rock_experiments.dir/experiments.cc.o.d"
+  "librock_experiments.a"
+  "librock_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rock_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

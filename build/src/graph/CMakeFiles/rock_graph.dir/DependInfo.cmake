@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/digraph.cc" "src/graph/CMakeFiles/rock_graph.dir/digraph.cc.o" "gcc" "src/graph/CMakeFiles/rock_graph.dir/digraph.cc.o.d"
+  "/root/repo/src/graph/edmonds.cc" "src/graph/CMakeFiles/rock_graph.dir/edmonds.cc.o" "gcc" "src/graph/CMakeFiles/rock_graph.dir/edmonds.cc.o.d"
+  "/root/repo/src/graph/enumerate.cc" "src/graph/CMakeFiles/rock_graph.dir/enumerate.cc.o" "gcc" "src/graph/CMakeFiles/rock_graph.dir/enumerate.cc.o.d"
+  "/root/repo/src/graph/union_find.cc" "src/graph/CMakeFiles/rock_graph.dir/union_find.cc.o" "gcc" "src/graph/CMakeFiles/rock_graph.dir/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rock_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rock_graph.dir/digraph.cc.o"
+  "CMakeFiles/rock_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/rock_graph.dir/edmonds.cc.o"
+  "CMakeFiles/rock_graph.dir/edmonds.cc.o.d"
+  "CMakeFiles/rock_graph.dir/enumerate.cc.o"
+  "CMakeFiles/rock_graph.dir/enumerate.cc.o.d"
+  "CMakeFiles/rock_graph.dir/union_find.cc.o"
+  "CMakeFiles/rock_graph.dir/union_find.cc.o.d"
+  "librock_graph.a"
+  "librock_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rock_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librock_graph.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rock_core.dir/classify.cc.o"
+  "CMakeFiles/rock_core.dir/classify.cc.o.d"
+  "CMakeFiles/rock_core.dir/hierarchy.cc.o"
+  "CMakeFiles/rock_core.dir/hierarchy.cc.o.d"
+  "CMakeFiles/rock_core.dir/pipeline.cc.o"
+  "CMakeFiles/rock_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/rock_core.dir/relaxed.cc.o"
+  "CMakeFiles/rock_core.dir/relaxed.cc.o.d"
+  "librock_core.a"
+  "librock_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rock_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

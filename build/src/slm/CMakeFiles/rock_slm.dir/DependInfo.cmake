@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slm/context_trie.cc" "src/slm/CMakeFiles/rock_slm.dir/context_trie.cc.o" "gcc" "src/slm/CMakeFiles/rock_slm.dir/context_trie.cc.o.d"
+  "/root/repo/src/slm/katz.cc" "src/slm/CMakeFiles/rock_slm.dir/katz.cc.o" "gcc" "src/slm/CMakeFiles/rock_slm.dir/katz.cc.o.d"
+  "/root/repo/src/slm/model.cc" "src/slm/CMakeFiles/rock_slm.dir/model.cc.o" "gcc" "src/slm/CMakeFiles/rock_slm.dir/model.cc.o.d"
+  "/root/repo/src/slm/ngram.cc" "src/slm/CMakeFiles/rock_slm.dir/ngram.cc.o" "gcc" "src/slm/CMakeFiles/rock_slm.dir/ngram.cc.o.d"
+  "/root/repo/src/slm/ppm.cc" "src/slm/CMakeFiles/rock_slm.dir/ppm.cc.o" "gcc" "src/slm/CMakeFiles/rock_slm.dir/ppm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rock_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rock_slm.dir/context_trie.cc.o"
+  "CMakeFiles/rock_slm.dir/context_trie.cc.o.d"
+  "CMakeFiles/rock_slm.dir/katz.cc.o"
+  "CMakeFiles/rock_slm.dir/katz.cc.o.d"
+  "CMakeFiles/rock_slm.dir/model.cc.o"
+  "CMakeFiles/rock_slm.dir/model.cc.o.d"
+  "CMakeFiles/rock_slm.dir/ngram.cc.o"
+  "CMakeFiles/rock_slm.dir/ngram.cc.o.d"
+  "CMakeFiles/rock_slm.dir/ppm.cc.o"
+  "CMakeFiles/rock_slm.dir/ppm.cc.o.d"
+  "librock_slm.a"
+  "librock_slm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rock_slm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/structural/structural.cc" "src/structural/CMakeFiles/rock_structural.dir/structural.cc.o" "gcc" "src/structural/CMakeFiles/rock_structural.dir/structural.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/rock_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rock_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bir/CMakeFiles/rock_bir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rock_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

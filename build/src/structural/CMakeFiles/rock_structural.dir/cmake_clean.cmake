@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rock_structural.dir/structural.cc.o"
+  "CMakeFiles/rock_structural.dir/structural.cc.o.d"
+  "librock_structural.a"
+  "librock_structural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rock_structural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

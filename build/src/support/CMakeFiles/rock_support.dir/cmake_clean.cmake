@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rock_support.dir/error.cc.o"
+  "CMakeFiles/rock_support.dir/error.cc.o.d"
+  "CMakeFiles/rock_support.dir/log.cc.o"
+  "CMakeFiles/rock_support.dir/log.cc.o.d"
+  "CMakeFiles/rock_support.dir/rng.cc.o"
+  "CMakeFiles/rock_support.dir/rng.cc.o.d"
+  "CMakeFiles/rock_support.dir/str.cc.o"
+  "CMakeFiles/rock_support.dir/str.cc.o.d"
+  "librock_support.a"
+  "librock_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rock_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

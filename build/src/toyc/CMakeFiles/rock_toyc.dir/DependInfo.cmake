@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/toyc/ast.cc" "src/toyc/CMakeFiles/rock_toyc.dir/ast.cc.o" "gcc" "src/toyc/CMakeFiles/rock_toyc.dir/ast.cc.o.d"
+  "/root/repo/src/toyc/compiler.cc" "src/toyc/CMakeFiles/rock_toyc.dir/compiler.cc.o" "gcc" "src/toyc/CMakeFiles/rock_toyc.dir/compiler.cc.o.d"
+  "/root/repo/src/toyc/parser.cc" "src/toyc/CMakeFiles/rock_toyc.dir/parser.cc.o" "gcc" "src/toyc/CMakeFiles/rock_toyc.dir/parser.cc.o.d"
+  "/root/repo/src/toyc/sema.cc" "src/toyc/CMakeFiles/rock_toyc.dir/sema.cc.o" "gcc" "src/toyc/CMakeFiles/rock_toyc.dir/sema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bir/CMakeFiles/rock_bir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rock_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

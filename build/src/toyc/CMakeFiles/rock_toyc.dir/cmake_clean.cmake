@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rock_toyc.dir/ast.cc.o"
+  "CMakeFiles/rock_toyc.dir/ast.cc.o.d"
+  "CMakeFiles/rock_toyc.dir/compiler.cc.o"
+  "CMakeFiles/rock_toyc.dir/compiler.cc.o.d"
+  "CMakeFiles/rock_toyc.dir/parser.cc.o"
+  "CMakeFiles/rock_toyc.dir/parser.cc.o.d"
+  "CMakeFiles/rock_toyc.dir/sema.cc.o"
+  "CMakeFiles/rock_toyc.dir/sema.cc.o.d"
+  "librock_toyc.a"
+  "librock_toyc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rock_toyc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

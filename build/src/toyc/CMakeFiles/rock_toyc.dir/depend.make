@@ -1,0 +1,2 @@
+# Empty dependencies file for rock_toyc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bir_test.dir/bir_test.cc.o"
+  "CMakeFiles/bir_test.dir/bir_test.cc.o.d"
+  "bir_test"
+  "bir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

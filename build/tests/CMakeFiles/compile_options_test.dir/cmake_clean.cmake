@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_options_test.dir/compile_options_test.cc.o"
+  "CMakeFiles/compile_options_test.dir/compile_options_test.cc.o.d"
+  "compile_options_test"
+  "compile_options_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/examples_test.dir/examples_test.cc.o"
+  "CMakeFiles/examples_test.dir/examples_test.cc.o.d"
+  "examples_test"
+  "examples_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

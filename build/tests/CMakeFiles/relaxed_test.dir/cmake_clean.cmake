@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relaxed_test.dir/relaxed_test.cc.o"
+  "CMakeFiles/relaxed_test.dir/relaxed_test.cc.o.d"
+  "relaxed_test"
+  "relaxed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relaxed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_test.dir/slm_test.cc.o"
+  "CMakeFiles/slm_test.dir/slm_test.cc.o.d"
+  "slm_test"
+  "slm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

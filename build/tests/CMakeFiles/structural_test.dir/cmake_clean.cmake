@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_test.dir/structural_test.cc.o"
+  "CMakeFiles/structural_test.dir/structural_test.cc.o.d"
+  "structural_test"
+  "structural_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symexec_mi_test.dir/symexec_mi_test.cc.o"
+  "CMakeFiles/symexec_mi_test.dir/symexec_mi_test.cc.o.d"
+  "symexec_mi_test"
+  "symexec_mi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symexec_mi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toyc_test.dir/toyc_test.cc.o"
+  "CMakeFiles/toyc_test.dir/toyc_test.cc.o.d"
+  "toyc_test"
+  "toyc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toyc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

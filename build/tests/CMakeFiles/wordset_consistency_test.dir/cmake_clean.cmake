@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordset_consistency_test.dir/wordset_consistency_test.cc.o"
+  "CMakeFiles/wordset_consistency_test.dir/wordset_consistency_test.cc.o.d"
+  "wordset_consistency_test"
+  "wordset_consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordset_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rockbench.dir/rockbench.cc.o"
+  "CMakeFiles/rockbench.dir/rockbench.cc.o.d"
+  "rockbench"
+  "rockbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rockbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rockc.dir/rockc.cc.o"
+  "CMakeFiles/rockc.dir/rockc.cc.o.d"
+  "rockc"
+  "rockc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rockc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

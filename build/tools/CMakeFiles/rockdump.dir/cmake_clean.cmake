@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rockdump.dir/rockdump.cc.o"
+  "CMakeFiles/rockdump.dir/rockdump.cc.o.d"
+  "rockdump"
+  "rockdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rockdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rockhier.dir/rockhier.cc.o"
+  "CMakeFiles/rockhier.dir/rockhier.cc.o.d"
+  "rockhier"
+  "rockhier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rockhier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rockhier.
+# This may be replaced when dependencies are built.
