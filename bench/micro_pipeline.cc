@@ -72,6 +72,17 @@ BM_FullReconstruct(benchmark::State& state)
 BENCHMARK(BM_FullReconstruct)->Arg(10)->Arg(40);
 
 void
+BM_FullReconstructThreads(benchmark::State& state)
+{
+    bir::BinaryImage image = generated_image(40);
+    core::RockConfig config;
+    config.threads = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::reconstruct(image, config));
+}
+BENCHMARK(BM_FullReconstructThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void
 BM_ReconstructStreams(benchmark::State& state)
 {
     corpus::CorpusProgram example = corpus::streams_program();

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Thread-scaling sweep of the full reconstruction pipeline.
+ *
+ * For each generated corpus size, runs reconstruct() at worker counts
+ * {1, 2, 4, 8} and emits one machine-readable JSON line per run with
+ * the per-stage StageTiming profile and the speedup against the
+ * serial run of the same corpus -- the repo's BENCH_*.json perf
+ * trajectory consumes these lines verbatim:
+ *
+ *   {"bench":"pipeline_scaling","classes":160,...,"threads":4,
+ *    "analyze_ms":...,"total_ms":...,"speedup_vs_serial":...}
+ *
+ * Every run is also checked bit-identical to the serial baseline
+ * (hierarchy and distance map); the paper's Section 3.2 argument --
+ * strictly intra-procedural analysis -- is what makes the stages
+ * embarrassingly parallel in the first place. On a single-core host
+ * the speedup column stays ~1.0; the determinism check still runs.
+ */
+#include <cstdio>
+#include <thread>
+
+#include "corpus/generator.h"
+#include "rock/pipeline.h"
+#include "toyc/compiler.h"
+
+int
+main()
+{
+    using namespace rock;
+
+    bool all_identical = true;
+    std::fprintf(stderr,
+                 "pipeline_scaling: hardware threads = %u\n",
+                 std::thread::hardware_concurrency());
+
+    for (int classes : {40, 160}) {
+        corpus::GeneratorSpec spec;
+        spec.num_classes = classes;
+        spec.num_trees = 2 + classes / 40;
+        spec.max_depth = 4;
+        spec.scenarios_per_class = 2;
+        spec.seed = 42;
+        toyc::CompileResult compiled =
+            toyc::compile(corpus::generate_program(spec));
+
+        double serial_ms = 0.0;
+        std::string serial_forest;
+        std::vector<std::pair<std::pair<int, int>, double>>
+            serial_distances;
+        for (int threads : {1, 2, 4, 8}) {
+            core::RockConfig config;
+            config.threads = threads;
+            core::ReconstructionResult result =
+                core::reconstruct(compiled.image, config);
+            const core::StageTiming& t = result.timing;
+            if (threads == 1) {
+                serial_ms = t.total_ms;
+                serial_forest = result.hierarchy.to_string();
+                serial_distances = result.sorted_distances();
+            }
+            bool identical =
+                result.hierarchy.to_string() == serial_forest &&
+                result.sorted_distances() == serial_distances;
+            all_identical = all_identical && identical;
+            std::printf(
+                "{\"bench\":\"pipeline_scaling\",\"classes\":%d,"
+                "\"functions\":%zu,\"types\":%zu,\"threads\":%d,"
+                "\"analyze_ms\":%.3f,\"structural_ms\":%.3f,"
+                "\"train_ms\":%.3f,\"distances_ms\":%.3f,"
+                "\"arborescence_ms\":%.3f,\"total_ms\":%.3f,"
+                "\"speedup_vs_serial\":%.3f,"
+                "\"identical_to_serial\":%s}\n",
+                classes, compiled.image.functions.size(),
+                result.structural.types.size(), threads, t.analyze_ms,
+                t.structural_ms, t.train_ms, t.distances_ms,
+                t.arborescence_ms, t.total_ms,
+                t.total_ms > 0.0 ? serial_ms / t.total_ms : 0.0,
+                identical ? "true" : "false");
+            std::fflush(stdout);
+        }
+    }
+
+    if (!all_identical) {
+        std::fprintf(stderr, "MISMATCH: parallel result differs from "
+                             "serial baseline\n");
+        return 1;
+    }
+    return 0;
+}

@@ -54,11 +54,19 @@ main()
                 compile_ms, compiled.folded);
 
     t0 = clock::now();
+    core::RockConfig config;
+    config.threads = 0; // all hardware threads
     core::ReconstructionResult result =
-        core::reconstruct(compiled.image);
+        core::reconstruct(compiled.image, config);
     double reconstruct_ms = ms_since(t0);
 
     std::printf("  reconstruct: %.1f ms\n", reconstruct_ms);
+    std::printf("  stages: analyze %.1f ms, structural %.1f ms, "
+                "train %.1f ms, distances %.1f ms, "
+                "arborescence %.1f ms\n",
+                result.timing.analyze_ms, result.timing.structural_ms,
+                result.timing.train_ms, result.timing.distances_ms,
+                result.timing.arborescence_ms);
     std::printf("  types: %zu, families: %d (%d behaviorally "
                 "resolved), forced parents: %zu\n",
                 result.structural.types.size(),

@@ -150,9 +150,14 @@ bench/CMakeFiles/ablations.dir/ablations.cc.o: \
  /root/repo/src/bir/image.h /root/repo/src/bir/isa.h \
  /root/repo/src/toyc/sema.h /root/repo/src/eval/application_distance.h \
  /root/repo/src/eval/ground_truth.h /root/repo/src/rock/pipeline.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/analysis/analyze.h /root/repo/src/analysis/event.h \
- /root/repo/src/analysis/symexec.h /root/repo/src/analysis/vtable_scan.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/analysis/analyze.h \
+ /root/repo/src/analysis/event.h /root/repo/src/analysis/symexec.h \
+ /root/repo/src/analysis/vtable_scan.h \
  /root/repo/src/divergence/metrics.h /root/repo/src/divergence/word_set.h \
  /root/repo/src/slm/model.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -220,10 +225,8 @@ bench/CMakeFiles/ablations.dir/ablations.cc.o: \
  /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/support/rng.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/support/rng.h \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

@@ -241,9 +241,17 @@ bench/CMakeFiles/metrics_comparison.dir/metrics_comparison.cc.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/eval/application_distance.h \
  /root/repo/src/eval/ground_truth.h /root/repo/src/rock/pipeline.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/analysis/analyze.h /root/repo/src/analysis/event.h \
- /root/repo/src/analysis/symexec.h /root/repo/src/analysis/vtable_scan.h \
- /root/repo/src/graph/enumerate.h /root/repo/src/graph/digraph.h \
- /root/repo/src/graph/edmonds.h /root/repo/src/rock/hierarchy.h \
- /root/repo/src/structural/structural.h
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/analysis/analyze.h \
+ /root/repo/src/analysis/event.h /root/repo/src/analysis/symexec.h \
+ /root/repo/src/analysis/vtable_scan.h /root/repo/src/graph/enumerate.h \
+ /root/repo/src/graph/digraph.h /root/repo/src/graph/edmonds.h \
+ /root/repo/src/rock/hierarchy.h /root/repo/src/structural/structural.h

@@ -191,6 +191,9 @@ bench/CMakeFiles/micro_pipeline.dir/micro_pipeline.cc.o: \
  /root/repo/src/toyc/ast.h /root/repo/src/toyc/compiler.h \
  /root/repo/src/bir/builder.h /root/repo/src/toyc/sema.h \
  /root/repo/src/corpus/generator.h /root/repo/src/rock/pipeline.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/divergence/metrics.h /root/repo/src/divergence/word_set.h \
  /root/repo/src/slm/model.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/error.cc" "src/support/CMakeFiles/rock_support.dir/error.cc.o" "gcc" "src/support/CMakeFiles/rock_support.dir/error.cc.o.d"
   "/root/repo/src/support/log.cc" "src/support/CMakeFiles/rock_support.dir/log.cc.o" "gcc" "src/support/CMakeFiles/rock_support.dir/log.cc.o.d"
+  "/root/repo/src/support/parallel.cc" "src/support/CMakeFiles/rock_support.dir/parallel.cc.o" "gcc" "src/support/CMakeFiles/rock_support.dir/parallel.cc.o.d"
   "/root/repo/src/support/rng.cc" "src/support/CMakeFiles/rock_support.dir/rng.cc.o" "gcc" "src/support/CMakeFiles/rock_support.dir/rng.cc.o.d"
   "/root/repo/src/support/str.cc" "src/support/CMakeFiles/rock_support.dir/str.cc.o" "gcc" "src/support/CMakeFiles/rock_support.dir/str.cc.o.d"
   )

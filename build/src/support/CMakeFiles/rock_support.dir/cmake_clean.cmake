@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/rock_support.dir/error.cc.o.d"
   "CMakeFiles/rock_support.dir/log.cc.o"
   "CMakeFiles/rock_support.dir/log.cc.o.d"
+  "CMakeFiles/rock_support.dir/parallel.cc.o"
+  "CMakeFiles/rock_support.dir/parallel.cc.o.d"
   "CMakeFiles/rock_support.dir/rng.cc.o"
   "CMakeFiles/rock_support.dir/rng.cc.o.d"
   "CMakeFiles/rock_support.dir/str.cc.o"

@@ -301,6 +301,9 @@ tests/CMakeFiles/compile_options_test.dir/compile_options_test.cc.o: \
  /root/repo/src/bir/builder.h /root/repo/src/toyc/sema.h \
  /root/repo/src/eval/application_distance.h \
  /root/repo/src/eval/ground_truth.h /root/repo/src/rock/pipeline.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/divergence/metrics.h /root/repo/src/divergence/word_set.h \
  /root/repo/src/slm/model.h /root/repo/src/support/rng.h \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \

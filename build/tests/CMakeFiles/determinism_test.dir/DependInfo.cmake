@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/determinism_test.cc" "tests/CMakeFiles/determinism_test.dir/determinism_test.cc.o" "gcc" "tests/CMakeFiles/determinism_test.dir/determinism_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/rock_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/rock_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/rock_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/rock/CMakeFiles/rock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/structural/CMakeFiles/rock_structural.dir/DependInfo.cmake"
+  "/root/repo/build/src/divergence/CMakeFiles/rock_divergence.dir/DependInfo.cmake"
+  "/root/repo/build/src/slm/CMakeFiles/rock_slm.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rock_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rock_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/toyc/CMakeFiles/rock_toyc.dir/DependInfo.cmake"
+  "/root/repo/build/src/bir/CMakeFiles/rock_bir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rock_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -298,6 +298,9 @@ tests/CMakeFiles/examples_test.dir/examples_test.cc.o: \
  /root/repo/src/bir/image.h /root/repo/src/bir/isa.h \
  /root/repo/src/toyc/sema.h /root/repo/src/eval/application_distance.h \
  /root/repo/src/eval/ground_truth.h /root/repo/src/rock/pipeline.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/analysis/analyze.h /root/repo/src/analysis/event.h \
  /root/repo/src/analysis/symexec.h /root/repo/src/analysis/vtable_scan.h \
  /root/repo/src/divergence/metrics.h /root/repo/src/divergence/word_set.h \

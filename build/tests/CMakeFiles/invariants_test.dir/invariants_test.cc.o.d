@@ -297,9 +297,12 @@ tests/CMakeFiles/invariants_test.dir/invariants_test.cc.o: \
  /root/repo/src/toyc/ast.h /root/repo/src/toyc/compiler.h \
  /root/repo/src/bir/builder.h /root/repo/src/bir/image.h \
  /root/repo/src/bir/isa.h /root/repo/src/toyc/sema.h \
- /root/repo/src/rock/pipeline.h /root/repo/src/analysis/analyze.h \
- /root/repo/src/analysis/event.h /root/repo/src/analysis/symexec.h \
- /root/repo/src/analysis/vtable_scan.h \
+ /root/repo/src/rock/pipeline.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/analysis/analyze.h /root/repo/src/analysis/event.h \
+ /root/repo/src/analysis/symexec.h /root/repo/src/analysis/vtable_scan.h \
  /root/repo/src/divergence/metrics.h /root/repo/src/divergence/word_set.h \
  /root/repo/src/slm/model.h /root/repo/src/support/rng.h \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \

@@ -1,43 +1,11 @@
 #include "analysis/analyze.h"
 
-#include <functional>
-#include <thread>
+#include <algorithm>
 
 #include "support/log.h"
+#include "support/parallel.h"
 
 namespace rock::analysis {
-
-namespace {
-
-/**
- * Run @p body(i) for every function index, on config.threads workers.
- * Each index writes only its own output slot, so the merge is
- * deterministic regardless of the thread count.
- */
-void
-parallel_for(std::size_t count, int threads,
-             const std::function<void(std::size_t)>& body)
-{
-    if (threads <= 1 || count < 2) {
-        for (std::size_t i = 0; i < count; ++i)
-            body(i);
-        return;
-    }
-    std::size_t num_workers = std::min<std::size_t>(
-        static_cast<std::size_t>(threads), count);
-    std::vector<std::thread> workers;
-    workers.reserve(num_workers);
-    for (std::size_t w = 0; w < num_workers; ++w) {
-        workers.emplace_back([&, w] {
-            for (std::size_t i = w; i < count; i += num_workers)
-                body(i);
-        });
-    }
-    for (auto& worker : workers)
-        worker.join();
-}
-
-} // namespace
 
 AnalysisResult
 analyze(const bir::BinaryImage& image, const SymExecConfig& config)
@@ -56,12 +24,21 @@ analyze(const bir::BinaryImage& image, const SymExecConfig& config)
 
     const std::size_t num_functions = image.functions.size();
 
+    // Each function writes only its own output slot; slots are merged
+    // in function order below, so the result is identical for any
+    // thread count (paper Section 3.2: the analysis is strictly
+    // intra-procedural, hence embarrassingly parallel).
+    support::ThreadPool pool(static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(
+            support::resolve_threads(config.threads)),
+        std::max<std::size_t>(1, num_functions))));
+
     // ---- Phase A: find ctor/dtor-like functions ------------------------
     // A function is ctor-like when, executed with its first argument
     // modeled as an object, that object ends up with a vtable address
     // stored at offset 0.
     std::vector<FunctionAnalysis> phase_a(num_functions);
-    parallel_for(num_functions, config.threads, [&](std::size_t i) {
+    pool.parallel_for(num_functions, [&](std::size_t i) {
         phase_a[i] = exec.run(image.functions[i], this_callees, true);
     });
     for (std::size_t i = 0; i < num_functions; ++i) {
@@ -84,7 +61,7 @@ analyze(const bir::BinaryImage& image, const SymExecConfig& config)
         full_callees.insert(fn);
 
     std::vector<FunctionAnalysis> phase_b(num_functions);
-    parallel_for(num_functions, config.threads, [&](std::size_t i) {
+    pool.parallel_for(num_functions, [&](std::size_t i) {
         bool arg0_is_object =
             full_callees.count(image.functions[i].addr) != 0;
         phase_b[i] = exec.run(image.functions[i], full_callees,

@@ -48,11 +48,14 @@ struct SymExecConfig {
      */
     bool attribute_shared_methods_to_all = true;
     /**
-     * Worker threads for the per-function sweep. The analysis is
-     * strictly intra-procedural, hence embarrassingly parallel
-     * (paper Section 3.2: "we can further scale our approach by
-     * parallelization"). Results are merged in function order, so
-     * the output is identical for any thread count.
+     * Worker threads for the per-function sweep: 1 = serial
+     * (default), 0 = hardware concurrency, N = exactly N workers.
+     * The analysis is strictly intra-procedural, hence embarrassingly
+     * parallel (paper Section 3.2: "we can further scale our approach
+     * by parallelization"). Results are merged in function order, so
+     * the output is identical for any thread count. When driven
+     * through rock::core::reconstruct(), RockConfig::threads
+     * overrides this knob for the whole pipeline.
      */
     int threads = 1;
 };

@@ -10,6 +10,7 @@
 #include "graph/enumerate.h"
 #include "rock/pipeline.h"
 #include "rock/relaxed.h"
+#include "support/parallel.h"
 #include "support/str.h"
 #include "toyc/compiler.h"
 
@@ -125,7 +126,6 @@ run_metric_comparison()
 std::vector<ScalePoint>
 run_scalability()
 {
-    using clock = std::chrono::steady_clock;
     std::vector<ScalePoint> points;
     for (int classes : {10, 20, 40, 80, 160}) {
         corpus::GeneratorSpec spec;
@@ -134,16 +134,17 @@ run_scalability()
         spec.seed = 42;
         toyc::CompileResult compiled =
             toyc::compile(corpus::generate_program(spec));
-        auto start = clock::now();
-        analysis::AnalysisResult analyzed =
-            analysis::analyze(compiled.image);
+        core::RockConfig config;
+        config.threads = 0; // all hardware threads
+        core::ReconstructionResult result =
+            core::reconstruct(compiled.image, config);
         ScalePoint point;
         point.classes = classes;
         point.functions = compiled.image.functions.size();
-        point.paths = analyzed.total_paths;
-        point.analyze_ms = std::chrono::duration<double, std::milli>(
-                               clock::now() - start)
-                               .count();
+        point.paths = result.analysis.total_paths;
+        point.analyze_ms = result.timing.analyze_ms;
+        point.threads = support::resolve_threads(config.threads);
+        point.timing = result.timing;
         points.push_back(point);
     }
     return points;
@@ -258,16 +259,20 @@ experiments_markdown()
     // ---- Scalability ----------------------------------------------------
     out << "## Scalability (§3.2)\n\n"
         << "| classes | functions | paths | analyze (ms) | "
-           "us/function |\n|---|---|---|---|---|\n";
+           "us/function | reconstruct (ms) |\n|---|---|---|---|---|"
+           "---|\n";
     for (const auto& point : run_scalability()) {
-        out << format("| %d | %zu | %ld | %.2f | %.2f |\n",
+        out << format("| %d | %zu | %ld | %.2f | %.2f | %.2f |\n",
                       point.classes, point.functions, point.paths,
                       point.analyze_ms,
                       point.analyze_ms * 1000.0 /
-                          static_cast<double>(point.functions));
+                          static_cast<double>(point.functions),
+                      point.timing.total_ms);
     }
     out << "\nIntra-procedural analysis: per-function cost stays "
-           "flat as programs grow.\n\n";
+           "flat as programs grow. (Timings are machine-dependent; "
+           "`bench/pipeline_scaling` tracks the per-stage profile "
+           "and thread-count speedup as JSON.)\n\n";
 
     // ---- CFI trade-off --------------------------------------------------
     out << "## k-parent CFI trade-off (§6.4)\n\n"

@@ -1,19 +1,17 @@
 #include "rock/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "graph/digraph.h"
 #include "support/error.h"
 #include "support/log.h"
+#include "support/parallel.h"
 
 namespace rock::core {
 
-namespace {
+namespace detail {
 
-/**
- * Iterative majority-vote filtering over co-optimal forests
- * (paper Section 4.2.2, "Handling Multiple Arborescences").
- */
 void
 majority_filter(std::vector<graph::Arborescence>& forests)
 {
@@ -27,25 +25,136 @@ majority_filter(std::vector<graph::Arborescence>& forests)
             std::map<int, int> votes;
             for (const auto& f : forests)
                 votes[f.parent[m]] += 1;
+            // At most one parent can hold a strict majority at this
+            // position; find it, then decide separately whether it
+            // leaves any dissenter to drop (a unanimous vote does
+            // not).
+            const int total = static_cast<int>(forests.size());
+            bool drop_dissenters = false;
+            int majority_parent = -1;
             for (const auto& [parent, count] : votes) {
-                if (2 * count <=
-                    static_cast<int>(forests.size())) {
-                    continue;
+                if (2 * count > total) {
+                    majority_parent = parent;
+                    drop_dissenters = count < total;
+                    break;
                 }
-                // Strict majority for `parent`; drop dissenters.
-                if (count < static_cast<int>(forests.size())) {
-                    std::vector<graph::Arborescence> kept;
-                    for (auto& f : forests) {
-                        if (f.parent[m] == parent)
-                            kept.push_back(std::move(f));
-                    }
-                    forests = std::move(kept);
-                    changed = true;
-                }
-                break;
             }
+            if (!drop_dissenters)
+                continue;
+            std::vector<graph::Arborescence> kept;
+            kept.reserve(forests.size());
+            for (auto& f : forests) {
+                if (f.parent[m] == majority_parent)
+                    kept.push_back(std::move(f));
+            }
+            forests = std::move(kept);
+            changed = true;
         }
     }
+}
+
+} // namespace detail
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double
+ms_since(clock_type::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(clock_type::now() -
+                                                     start)
+        .count();
+}
+
+/** Solve one family: enumerate co-optimal forests over the weighted
+ *  feasible-edge graph and majority-filter the ties. Pure function of
+ *  its inputs (runs on pool workers, one family per call). */
+FamilyResult
+solve_family(int family_id, std::vector<int> members,
+             const structural::StructuralResult& structural,
+             const DistanceMap& distances, const RockConfig& config,
+             int* ambiguous_out)
+{
+    FamilyResult fam;
+    fam.family_id = family_id;
+    fam.members = std::move(members);
+    const int m = static_cast<int>(fam.members.size());
+    *ambiguous_out = 0;
+
+    if (m == 1) {
+        fam.alternatives.push_back({-1});
+        return fam;
+    }
+
+    std::map<int, int> local; // global type index -> member pos
+    for (int i = 0; i < m; ++i)
+        local[fam.members[static_cast<std::size_t>(i)]] = i;
+
+    // Structural ambiguity: is there more than one zero-weight
+    // spanning forest over the feasible edges alone?
+    graph::Digraph skeleton(m);
+    for (int i = 0; i < m; ++i) {
+        int child = fam.members[static_cast<std::size_t>(i)];
+        for (int p :
+             structural.possible_parents[static_cast<std::size_t>(
+                 child)]) {
+            skeleton.add_edge(local.at(p), i, 0.0);
+        }
+    }
+    {
+        // Zero-weight landscapes are the enumerator's worst case;
+        // a modest budget suffices to detect a second forest and
+        // errs toward "ambiguous" on truncation, never the
+        // reverse (the seed guarantees one result).
+        graph::EnumerateConfig probe;
+        probe.epsilon = 0.0;
+        probe.max_results = 2;
+        probe.max_steps = 200000;
+        fam.structurally_ambiguous =
+            graph::enumerate_min_forests(skeleton, probe).size() > 1;
+    }
+    if (fam.structurally_ambiguous)
+        *ambiguous_out = 1;
+
+    // Behaviorally weighted graph. Edges fixed by rule-3
+    // constructor evidence are structural certainties: they cost
+    // nothing, so the optimizer can never prefer re-rooting a
+    // chain over honoring them. Every non-forced feasible edge was
+    // precomputed into `distances` by the distance stage.
+    graph::Digraph weighted(m);
+    for (int i = 0; i < m; ++i) {
+        int child = fam.members[static_cast<std::size_t>(i)];
+        auto forced = structural.forced_parents.find(child);
+        for (int p :
+             structural.possible_parents[static_cast<std::size_t>(
+                 child)]) {
+            bool is_forced = forced != structural.forced_parents.end() &&
+                             forced->second == p;
+            weighted.add_edge(local.at(p), i,
+                              is_forced ? 0.0
+                                        : distances.at({p, child}));
+        }
+    }
+    graph::EnumerateConfig ties;
+    ties.epsilon = config.tie_epsilon;
+    ties.max_results = config.max_alternatives;
+    auto forests = graph::enumerate_min_forests(weighted, ties);
+    detail::majority_filter(forests);
+    ROCK_ASSERT(!forests.empty(), "no forest survived filtering");
+
+    for (const auto& forest : forests) {
+        std::vector<int> parents(static_cast<std::size_t>(m), -1);
+        for (int i = 0; i < m; ++i) {
+            int lp = forest.parent[static_cast<std::size_t>(i)];
+            if (lp >= 0) {
+                parents[static_cast<std::size_t>(i)] =
+                    fam.members[static_cast<std::size_t>(lp)];
+            }
+        }
+        fam.alternatives.push_back(std::move(parents));
+    }
+    return fam;
 }
 
 } // namespace
@@ -80,16 +189,34 @@ ReconstructionResult::hierarchy_with(const std::vector<int>& pick) const
 ReconstructionResult
 reconstruct(const bir::BinaryImage& image, const RockConfig& config)
 {
+    const int threads = support::resolve_threads(config.threads);
+    support::ThreadPool pool(threads);
+
     ReconstructionResult result;
-    result.analysis = analysis::analyze(image, config.symexec);
+    auto t_total = clock_type::now();
+
+    // ---- Behavioral analysis (parallel over functions) -----------------
+    auto t_stage = clock_type::now();
+    analysis::SymExecConfig symexec = config.symexec;
+    symexec.threads = threads;
+    result.analysis = analysis::analyze(image, symexec);
+    result.timing.analyze_ms = ms_since(t_stage);
+
+    // ---- Structural analysis (serial; cheap) ---------------------------
+    t_stage = clock_type::now();
     result.structural = structural::structural_analysis(
         result.analysis.vtables, result.analysis.evidence,
         result.analysis.ctor_types);
+    result.timing.structural_ms = ms_since(t_stage);
 
     const auto& types = result.structural.types;
     const int n = static_cast<int>(types.size());
 
     // ---- Train one SLM per binary type ---------------------------------
+    // Alphabet interning mutates shared state, so it runs serially in
+    // type order (deterministic symbol ids); the expensive part --
+    // training -- is parallel, each type writing its own model slot.
+    t_stage = clock_type::now();
     analysis::Alphabet& alphabet = result.alphabet;
     auto& seqs = result.type_sequences;
     seqs.assign(static_cast<std::size_t>(n), {});
@@ -104,85 +231,32 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     }
     const int alphabet_size = std::max(1, alphabet.size());
     auto& models = result.models;
-    models.reserve(static_cast<std::size_t>(n));
-    for (int t = 0; t < n; ++t) {
-        models.push_back(slm::train_model(
-            config.slm, alphabet_size,
-            seqs[static_cast<std::size_t>(t)]));
-    }
+    models.resize(static_cast<std::size_t>(n));
+    pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t t) {
+        models[t] = slm::train_model(config.slm, alphabet_size, seqs[t]);
+    });
+    result.timing.train_ms = ms_since(t_stage);
 
     // ---- Pairwise distances on feasible edges --------------------------
-    auto edge_distance = [&](int p, int c) {
-        auto key = std::make_pair(p, c);
-        auto cached = result.distances.find(key);
-        if (cached != result.distances.end())
-            return cached->second;
-        divergence::WordSet words = divergence::build_word_set(
-            config.words, seqs[static_cast<std::size_t>(p)],
-            seqs[static_cast<std::size_t>(c)],
-            models[static_cast<std::size_t>(p)].get(), alphabet_size);
-        double d = 0.0;
-        if (!words.empty()) {
-            d = divergence::pair_distance(
-                config.metric, *models[static_cast<std::size_t>(p)],
-                *models[static_cast<std::size_t>(c)], words);
-        }
-        result.distances.emplace(key, d);
-        return d;
-    };
-
-    // ---- Per-family arborescences ---------------------------------------
+    // Precompute the full work list -- every non-forced feasible
+    // (parent, child) pair of every multi-member family, in
+    // (family, member, parent) order -- then evaluate it in parallel
+    // into a pre-sized weight array: no locking on the hot path, and
+    // the resulting map is key-identical to the old lazy evaluation.
+    t_stage = clock_type::now();
     const int num_families = result.structural.num_families();
+    std::vector<std::vector<int>> family_members(
+        static_cast<std::size_t>(num_families));
+    for (int f = 0; f < num_families; ++f)
+        family_members[static_cast<std::size_t>(f)] =
+            result.structural.family_members(f);
+
+    std::vector<std::pair<int, int>> edges;
     for (int f = 0; f < num_families; ++f) {
-        FamilyResult fam;
-        fam.family_id = f;
-        fam.members = result.structural.family_members(f);
-        const int m = static_cast<int>(fam.members.size());
-
-        if (m == 1) {
-            fam.alternatives.push_back({-1});
-            result.families.push_back(std::move(fam));
+        const auto& members = family_members[static_cast<std::size_t>(f)];
+        if (members.size() < 2)
             continue;
-        }
-
-        std::map<int, int> local; // global type index -> member pos
-        for (int i = 0; i < m; ++i)
-            local[fam.members[static_cast<std::size_t>(i)]] = i;
-
-        // Structural ambiguity: is there more than one zero-weight
-        // spanning forest over the feasible edges alone?
-        graph::Digraph skeleton(m);
-        for (int i = 0; i < m; ++i) {
-            int child = fam.members[static_cast<std::size_t>(i)];
-            for (int p : result.structural
-                             .possible_parents[static_cast<std::size_t>(
-                                 child)]) {
-                skeleton.add_edge(local.at(p), i, 0.0);
-            }
-        }
-        {
-            // Zero-weight landscapes are the enumerator's worst case;
-            // a modest budget suffices to detect a second forest and
-            // errs toward "ambiguous" on truncation, never the
-            // reverse (the seed guarantees one result).
-            graph::EnumerateConfig probe;
-            probe.epsilon = 0.0;
-            probe.max_results = 2;
-            probe.max_steps = 200000;
-            fam.structurally_ambiguous =
-                graph::enumerate_min_forests(skeleton, probe).size() >
-                1;
-        }
-        if (fam.structurally_ambiguous)
-            ++result.ambiguous_families;
-
-        // Behaviorally weighted graph. Edges fixed by rule-3
-        // constructor evidence are structural certainties: they cost
-        // nothing, so the optimizer can never prefer re-rooting a
-        // chain over honoring them.
-        graph::Digraph weighted(m);
-        for (int i = 0; i < m; ++i) {
-            int child = fam.members[static_cast<std::size_t>(i)];
+        for (int child : members) {
             auto forced = result.structural.forced_parents.find(child);
             for (int p : result.structural
                              .possible_parents[static_cast<std::size_t>(
@@ -190,38 +264,52 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
                 bool is_forced =
                     forced != result.structural.forced_parents.end() &&
                     forced->second == p;
-                weighted.add_edge(local.at(p), i,
-                                  is_forced ? 0.0
-                                            : edge_distance(p, child));
+                if (!is_forced)
+                    edges.emplace_back(p, child);
             }
         }
-        graph::EnumerateConfig ties;
-        ties.epsilon = config.tie_epsilon;
-        ties.max_results = config.max_alternatives;
-        auto forests = graph::enumerate_min_forests(weighted, ties);
-        majority_filter(forests);
-        ROCK_ASSERT(!forests.empty(), "no forest survived filtering");
-
-        for (const auto& forest : forests) {
-            std::vector<int> parents(static_cast<std::size_t>(m), -1);
-            for (int i = 0; i < m; ++i) {
-                int lp = forest.parent[static_cast<std::size_t>(i)];
-                if (lp >= 0) {
-                    parents[static_cast<std::size_t>(i)] =
-                        fam.members[static_cast<std::size_t>(lp)];
-                }
-            }
-            fam.alternatives.push_back(std::move(parents));
-        }
-        result.families.push_back(std::move(fam));
     }
+    std::vector<double> edge_weights(edges.size(), 0.0);
+    pool.parallel_for(edges.size(), [&](std::size_t e) {
+        const auto [p, c] = edges[e];
+        divergence::WordSet words = divergence::build_word_set(
+            config.words, seqs[static_cast<std::size_t>(p)],
+            seqs[static_cast<std::size_t>(c)],
+            models[static_cast<std::size_t>(p)].get(), alphabet_size);
+        if (!words.empty()) {
+            edge_weights[e] = divergence::pair_distance(
+                config.metric, *models[static_cast<std::size_t>(p)],
+                *models[static_cast<std::size_t>(c)], words);
+        }
+    });
+    result.distances.reserve(edges.size());
+    for (std::size_t e = 0; e < edges.size(); ++e)
+        result.distances.emplace(edges[e], edge_weights[e]);
+    result.timing.distances_ms = ms_since(t_stage);
+
+    // ---- Per-family arborescences (parallel over families) -------------
+    t_stage = clock_type::now();
+    result.families.resize(static_cast<std::size_t>(num_families));
+    std::vector<int> ambiguous(static_cast<std::size_t>(num_families), 0);
+    pool.parallel_for(
+        static_cast<std::size_t>(num_families), [&](std::size_t f) {
+            result.families[f] = solve_family(
+                static_cast<int>(f), std::move(family_members[f]),
+                result.structural, result.distances, config,
+                &ambiguous[f]);
+        });
+    for (int flag : ambiguous)
+        result.ambiguous_families += flag;
+    result.timing.arborescence_ms = ms_since(t_stage);
 
     std::vector<int> first(result.families.size(), 0);
     result.hierarchy = result.hierarchy_with(first);
+    result.timing.total_ms = ms_since(t_total);
 
     ROCK_LOG_INFO << "reconstruct: " << n << " types, " << num_families
                   << " families (" << result.ambiguous_families
-                  << " behaviorally resolved)";
+                  << " behaviorally resolved), " << threads
+                  << " threads";
     return result;
 }
 

@@ -14,8 +14,10 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -45,6 +47,36 @@ struct RockConfig {
     int max_alternatives = 64;
     /** Merge secondary-vtable parents into primary types (MI). */
     bool handle_multiple_inheritance = true;
+    /**
+     * Worker threads for every parallel stage (symbolic execution,
+     * SLM training, pairwise distances, per-family arborescences):
+     * 1 = serial (default), 0 = hardware concurrency, N = exactly N.
+     * Overrides symexec.threads for the analysis sweep. Work is
+     * partitioned deterministically and merged in index order, so the
+     * ReconstructionResult is bit-identical for every thread count
+     * (enforced by tests/determinism_test.cc).
+     */
+    int threads = 1;
+};
+
+/**
+ * Wall-clock profile of one reconstruction, one entry per pipeline
+ * stage (milliseconds). Populated on every reconstruct() call;
+ * bench/pipeline_scaling emits these as machine-readable JSON.
+ */
+struct StageTiming {
+    /** Vtable scan + two-phase per-function symbolic execution. */
+    double analyze_ms = 0.0;
+    /** Family clustering + impossible-parent elimination. */
+    double structural_ms = 0.0;
+    /** Alphabet interning + per-type SLM training. */
+    double train_ms = 0.0;
+    /** Pairwise divergences over the feasible-edge work list. */
+    double distances_ms = 0.0;
+    /** Per-family arborescence enumeration + majority filtering. */
+    double arborescence_ms = 0.0;
+    /** Whole reconstruct() call. */
+    double total_ms = 0.0;
 };
 
 /** Per-family reconstruction detail. */
@@ -62,6 +94,28 @@ struct FamilyResult {
     bool structurally_ambiguous = false;
 };
 
+/** Hash for (parent index, child index) edge keys. */
+struct EdgeKeyHash {
+    std::size_t operator()(const std::pair<int, int>& e) const noexcept
+    {
+        std::uint64_t packed =
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(e.first))
+             << 32) |
+            static_cast<std::uint32_t>(e.second);
+        return std::hash<std::uint64_t>{}(packed);
+    }
+};
+
+/**
+ * Flat (parent idx, child idx) -> distance map. O(1) lookup on the
+ * arborescence hot path; iteration order is unspecified -- use
+ * ReconstructionResult::sorted_distances() when printing or
+ * comparing.
+ */
+using DistanceMap =
+    std::unordered_map<std::pair<int, int>, double, EdgeKeyHash>;
+
 /** Everything a reconstruction produces. */
 struct ReconstructionResult {
     /** Selected most-likely hierarchy. */
@@ -73,10 +127,15 @@ struct ReconstructionResult {
     /** Raw behavioral analysis output. */
     analysis::AnalysisResult analysis;
     /** Pairwise edge weights actually computed:
-     *  (parent idx, child idx) -> distance. */
-    std::map<std::pair<int, int>, double> distances;
+     *  (parent idx, child idx) -> distance. Same keys as the old
+     *  std::map-based field (find / at / size / range-for all still
+     *  work), but hashed; for ordered traversal see
+     *  sorted_distances(). */
+    DistanceMap distances;
     /** Families that needed the behavioral ranking. */
     int ambiguous_families = 0;
+    /** Per-stage wall-clock profile of this reconstruction. */
+    StageTiming timing;
 
     /** The shared event alphabet of all trained models. */
     analysis::Alphabet alphabet;
@@ -91,7 +150,31 @@ struct ReconstructionResult {
     /** Build the hierarchy selecting alternative @p pick[f] for each
      *  family f (used by worst-case evaluation). */
     Hierarchy hierarchy_with(const std::vector<int>& pick) const;
+
+    /** distances as a vector sorted by (parent, child) key --
+     *  deterministic iteration for reports and tests. */
+    std::vector<std::pair<std::pair<int, int>, double>>
+    sorted_distances() const
+    {
+        std::vector<std::pair<std::pair<int, int>, double>> out(
+            distances.begin(), distances.end());
+        std::sort(out.begin(), out.end());
+        return out;
+    }
 };
+
+namespace detail {
+
+/**
+ * Iterative majority-vote filtering over co-optimal forests (paper
+ * Section 4.2.2, "Handling Multiple Arborescences"): while more than
+ * one forest survives, find a member position where a strict majority
+ * of forests agrees on the parent and drop the dissenters. Exposed
+ * for unit testing.
+ */
+void majority_filter(std::vector<graph::Arborescence>& forests);
+
+} // namespace detail
 
 /** Run the full pipeline on @p image. */
 ReconstructionResult reconstruct(const bir::BinaryImage& image,

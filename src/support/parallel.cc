@@ -1,0 +1,123 @@
+#include "support/parallel.h"
+
+#include <algorithm>
+
+namespace rock::support {
+
+int
+resolve_threads(int threads)
+{
+    if (threads > 0)
+        return threads;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    int n = std::max(1, threads);
+    if (n == 1)
+        return;
+    num_workers_ = static_cast<std::size_t>(n);
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int w = 0; w < n; ++w) {
+        workers_.emplace_back(
+            [this, w] { worker_loop(static_cast<std::size_t>(w)); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& worker : workers_)
+        worker.join();
+}
+
+int
+ThreadPool::size() const
+{
+    return static_cast<int>(num_workers_);
+}
+
+void
+ThreadPool::parallel_for(std::size_t count,
+                         const std::function<void(std::size_t)>& body)
+{
+    // Serial pool, tiny loop: run inline so `threads=1` executes the
+    // exact instruction stream of a plain for loop.
+    if (workers_.empty() || count < 2) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    body_ = &body;
+    count_ = count;
+    error_ = nullptr;
+    active_ = num_workers_;
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [this] { return active_ == 0; });
+    body_ = nullptr;
+    if (error_) {
+        std::exception_ptr err = error_;
+        error_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::worker_loop(std::size_t worker_index)
+{
+    const std::size_t stride = num_workers_;
+    std::size_t seen_generation = 0;
+    for (;;) {
+        std::size_t count;
+        const std::function<void(std::size_t)>* body;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] {
+                return stop_ || generation_ != seen_generation;
+            });
+            if (stop_)
+                return;
+            seen_generation = generation_;
+            count = count_;
+            body = body_;
+        }
+        try {
+            // Static stride partition: worker w owns w, w+W, w+2W...
+            // The assignment depends only on (index, pool size), never
+            // on scheduling, so any per-item effects are reproducible.
+            for (std::size_t i = worker_index; i < count; i += stride)
+                (*body)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--active_ == 0)
+                done_cv_.notify_all();
+        }
+    }
+}
+
+void
+parallel_for(std::size_t count, int threads,
+             const std::function<void(std::size_t)>& body)
+{
+    int n = std::min<std::size_t>(
+        static_cast<std::size_t>(std::max(1, threads)),
+        std::max<std::size_t>(1, count));
+    ThreadPool pool(static_cast<int>(n));
+    pool.parallel_for(count, body);
+}
+
+} // namespace rock::support

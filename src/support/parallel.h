@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic data parallelism for the reconstruction pipeline.
+ *
+ * The paper's Section 3.2 scalability argument -- the analysis is
+ * strictly intra-procedural, so its cost is linear in the number of
+ * procedures -- makes every expensive pipeline stage embarrassingly
+ * parallel over independent work items (functions, types, edges,
+ * families). This header provides the one concurrency primitive the
+ * code base uses:
+ *
+ *  - ThreadPool: a small fixed-size pool of workers that executes
+ *    index-space loops (`parallel_for`). A pool of size 1 runs the
+ *    loop inline on the caller, making the serial path *exactly* the
+ *    code the parallel path runs.
+ *
+ * Determinism contract: work items are partitioned statically
+ * (worker w handles indices w, w+W, w+2W, ...), every item writes
+ * only its own pre-allocated output slot, and callers merge slots in
+ * index order afterwards. Under that discipline the observable output
+ * is bit-identical for every thread count, which
+ * tests/determinism_test.cc enforces end to end.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rock::support {
+
+/**
+ * Resolve a user-facing `threads` knob to a concrete worker count:
+ * 0 -> std::thread::hardware_concurrency() (at least 1), otherwise
+ * max(1, threads).
+ */
+int resolve_threads(int threads);
+
+/**
+ * Fixed-size worker pool for index-space loops.
+ *
+ * One pool can serve many parallel_for calls (the pipeline reuses a
+ * single pool across all its stages); calls are serialized -- the
+ * pool runs one loop at a time and parallel_for blocks until the
+ * whole index space is done.
+ */
+class ThreadPool {
+  public:
+    /**
+     * @param threads  resolved worker count (see resolve_threads());
+     *                 <= 1 creates no worker threads and runs every
+     *                 loop inline on the calling thread.
+     */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of threads that execute loop bodies (>= 1). */
+    int size() const;
+
+    /**
+     * Run @p body(i) for every i in [0, count), statically strided
+     * over the workers, and block until all of them finish. The first
+     * exception thrown by any body is rethrown on the caller after
+     * the loop has quiesced (remaining items of the throwing worker's
+     * stride are skipped; other workers complete their strides).
+     */
+    void parallel_for(std::size_t count,
+                      const std::function<void(std::size_t)>& body);
+
+  private:
+    void worker_loop(std::size_t worker_index);
+
+    /** Worker count fixed before any thread starts (1 = inline). */
+    std::size_t num_workers_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    /** Incremented per parallel_for call; wakes the workers. */
+    std::size_t generation_ = 0;
+    /** Workers still running the current generation. */
+    std::size_t active_ = 0;
+    std::size_t count_ = 0;
+    const std::function<void(std::size_t)>* body_ = nullptr;
+    std::exception_ptr error_;
+    bool stop_ = false;
+};
+
+/**
+ * One-shot convenience: run @p body over [0, count) on
+ * resolve_threads(@p threads) workers. Spawns (and joins) a transient
+ * pool when threads > 1; callers with several loops should hold a
+ * ThreadPool instead.
+ */
+void parallel_for(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& body);
+
+} // namespace rock::support

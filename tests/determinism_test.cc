@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Determinism of the parallel reconstruction pipeline.
+ *
+ * The contract (RockConfig::threads): any thread count must produce a
+ * ReconstructionResult that is bit-identical to the serial path --
+ * same hierarchies (including multiple-inheritance extra parents),
+ * same distance map down to the last double bit, same co-optimal
+ * alternative ordering per family. Under `cmake -DROCK_SANITIZE=thread`
+ * this suite also runs TSan-instrumented as ctest entry
+ * `determinism_tsan`, doubling as a data-race check.
+ */
+#include <gtest/gtest.h>
+
+#include "corpus/benchmarks.h"
+#include "corpus/examples.h"
+#include "corpus/generator.h"
+#include "rock/pipeline.h"
+#include "toyc/compiler.h"
+
+namespace {
+
+using namespace rock;
+using namespace rock::core;
+
+ReconstructionResult
+run_with(const bir::BinaryImage& image, int threads)
+{
+    RockConfig config;
+    config.threads = threads;
+    return reconstruct(image, config);
+}
+
+void
+expect_identical(const ReconstructionResult& serial,
+                 const ReconstructionResult& parallel)
+{
+    // Hierarchy: primary parent and every extra (MI) parent per type.
+    ASSERT_EQ(serial.hierarchy.size(), parallel.hierarchy.size());
+    for (int v = 0; v < serial.hierarchy.size(); ++v) {
+        EXPECT_EQ(serial.hierarchy.parent(v),
+                  parallel.hierarchy.parent(v))
+            << "type " << v;
+        EXPECT_EQ(serial.hierarchy.parents(v),
+                  parallel.hierarchy.parents(v))
+            << "type " << v;
+    }
+    EXPECT_EQ(serial.hierarchy.to_string(),
+              parallel.hierarchy.to_string());
+
+    // Distance map: identical keys AND bit-identical weights (the
+    // parallel path must not reassociate any floating-point math).
+    EXPECT_EQ(serial.sorted_distances(), parallel.sorted_distances());
+
+    // Families: same members, same alternatives in the same order.
+    ASSERT_EQ(serial.families.size(), parallel.families.size());
+    for (std::size_t f = 0; f < serial.families.size(); ++f) {
+        EXPECT_EQ(serial.families[f].members,
+                  parallel.families[f].members)
+            << "family " << f;
+        EXPECT_EQ(serial.families[f].alternatives,
+                  parallel.families[f].alternatives)
+            << "family " << f;
+        EXPECT_EQ(serial.families[f].structurally_ambiguous,
+                  parallel.families[f].structurally_ambiguous)
+            << "family " << f;
+    }
+    EXPECT_EQ(serial.ambiguous_families, parallel.ambiguous_families);
+    EXPECT_EQ(serial.alphabet.size(), parallel.alphabet.size());
+}
+
+TEST(Determinism, CorpusBenchmarksSerialVsFourThreads)
+{
+    for (const char* name : {"echoparams", "tinyserver", "Smoothing"}) {
+        SCOPED_TRACE(name);
+        corpus::CorpusProgram prog =
+            corpus::benchmark_by_name(name).program;
+        toyc::CompileResult compiled =
+            toyc::compile(prog.program, prog.options);
+        expect_identical(run_with(compiled.image, 1),
+                         run_with(compiled.image, 4));
+    }
+}
+
+TEST(Determinism, StreamsExampleEveryThreadCount)
+{
+    corpus::CorpusProgram example = corpus::streams_program();
+    toyc::CompileResult compiled =
+        toyc::compile(example.program, example.options);
+    ReconstructionResult serial = run_with(compiled.image, 1);
+    for (int threads : {2, 3, 4, 8}) {
+        SCOPED_TRACE(threads);
+        expect_identical(serial, run_with(compiled.image, threads));
+    }
+}
+
+TEST(Determinism, GeneratedCorpusWithNoiseAndMi)
+{
+    corpus::GeneratorSpec spec;
+    spec.num_classes = 40;
+    spec.num_trees = 3;
+    spec.max_depth = 4;
+    spec.scenarios_per_class = 2;
+    spec.fold_noise_pairs = 2;
+    spec.mi_prob = 0.1;
+    spec.seed = 7;
+    toyc::CompileResult compiled =
+        toyc::compile(corpus::generate_program(spec));
+    ReconstructionResult serial = run_with(compiled.image, 1);
+    for (int threads : {2, 4}) {
+        SCOPED_TRACE(threads);
+        expect_identical(serial, run_with(compiled.image, threads));
+    }
+}
+
+TEST(Determinism, HardwareConcurrencyKnob)
+{
+    // threads=0 resolves to "all cores" and must also be identical.
+    corpus::CorpusProgram example = corpus::echoparams_program();
+    toyc::CompileResult compiled =
+        toyc::compile(example.program, example.options);
+    expect_identical(run_with(compiled.image, 1),
+                     run_with(compiled.image, 0));
+}
+
+TEST(Determinism, StageTimingPopulatedForEveryStage)
+{
+    corpus::GeneratorSpec spec;
+    spec.num_classes = 20;
+    spec.num_trees = 2;
+    spec.seed = 11;
+    toyc::CompileResult compiled =
+        toyc::compile(corpus::generate_program(spec));
+    for (int threads : {1, 4}) {
+        SCOPED_TRACE(threads);
+        ReconstructionResult result = run_with(compiled.image, threads);
+        EXPECT_GT(result.timing.analyze_ms, 0.0);
+        EXPECT_GT(result.timing.structural_ms, 0.0);
+        EXPECT_GT(result.timing.train_ms, 0.0);
+        EXPECT_GT(result.timing.distances_ms, 0.0);
+        EXPECT_GT(result.timing.arborescence_ms, 0.0);
+        EXPECT_GE(result.timing.total_ms,
+                  result.timing.analyze_ms +
+                      result.timing.structural_ms);
+    }
+}
+
+} // namespace

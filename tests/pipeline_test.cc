@@ -176,6 +176,62 @@ TEST(Pipeline, EmptyImageYieldsEmptyHierarchy)
     EXPECT_TRUE(result.families.empty());
 }
 
+TEST(MajorityFilter, ThreeForestTwoOneSplitDropsDissenter)
+{
+    // Position 1: two forests vote parent 0, one votes parent 2 --
+    // the 2-1 strict majority drops the dissenter. Position 2 then
+    // splits 1-1 between the survivors, which is no strict majority,
+    // so exactly the two agreeing forests remain, in order.
+    graph::Arborescence a;
+    a.parent = {-1, 0, 1};
+    graph::Arborescence b;
+    b.parent = {-1, 0, 0};
+    graph::Arborescence c;
+    c.parent = {-1, 2, 0};
+    std::vector<graph::Arborescence> forests{a, b, c};
+    detail::majority_filter(forests);
+    ASSERT_EQ(forests.size(), 2u);
+    EXPECT_EQ(forests[0].parent, (std::vector<int>{-1, 0, 1}));
+    EXPECT_EQ(forests[1].parent, (std::vector<int>{-1, 0, 0}));
+}
+
+TEST(MajorityFilter, UnanimousPositionsFilterNothing)
+{
+    // Every position is either unanimous or an even split: no forest
+    // may be dropped.
+    graph::Arborescence a;
+    a.parent = {-1, 0, 0};
+    graph::Arborescence b;
+    b.parent = {-1, 0, 1};
+    std::vector<graph::Arborescence> forests{a, b};
+    detail::majority_filter(forests);
+    ASSERT_EQ(forests.size(), 2u);
+    EXPECT_EQ(forests[0].parent, (std::vector<int>{-1, 0, 0}));
+    EXPECT_EQ(forests[1].parent, (std::vector<int>{-1, 0, 1}));
+}
+
+TEST(MajorityFilter, CascadesUntilFixpoint)
+{
+    // Dropping the position-1 dissenter leaves a 2-1 majority at
+    // position 2... (3-1 at position 1, then 2-1 at position 2):
+    // the filter must iterate to the single survivor pair.
+    graph::Arborescence a;
+    a.parent = {-1, 0, 1};
+    graph::Arborescence b;
+    b.parent = {-1, 0, 1};
+    graph::Arborescence c;
+    c.parent = {-1, 0, 0};
+    graph::Arborescence d;
+    d.parent = {-1, 2, 0};
+    std::vector<graph::Arborescence> forests{a, b, c, d};
+    detail::majority_filter(forests);
+    // Position 1: 0 wins 3-1, d dropped. Position 2: 1 wins 2-1,
+    // c dropped. Survivors agree everywhere -> fixpoint.
+    ASSERT_EQ(forests.size(), 2u);
+    EXPECT_EQ(forests[0].parent, (std::vector<int>{-1, 0, 1}));
+    EXPECT_EQ(forests[1].parent, (std::vector<int>{-1, 0, 1}));
+}
+
 TEST(Pipeline, WordSetStrategiesAgreeOnStreams)
 {
     corpus::CorpusProgram example = corpus::streams_program();

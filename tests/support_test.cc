@@ -4,10 +4,16 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <numeric>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "support/error.h"
 #include "support/log.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 #include "support/str.h"
 
@@ -173,6 +179,78 @@ TEST(Str, FormatBasics)
     EXPECT_EQ(format("x=%d", 42), "x=42");
     EXPECT_EQ(format("%s/%s", "a", "b"), "a/b");
     EXPECT_EQ(format("%05x", 0xab), "000ab");
+}
+
+TEST(Parallel, ResolveThreads)
+{
+    EXPECT_EQ(resolve_threads(1), 1);
+    EXPECT_EQ(resolve_threads(4), 4);
+    EXPECT_EQ(resolve_threads(-3), 1);
+    EXPECT_GE(resolve_threads(0), 1); // hardware concurrency
+}
+
+TEST(Parallel, EveryIndexRunsExactlyOnce)
+{
+    for (int threads : {1, 2, 4, 7}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.size(), threads);
+        std::vector<int> hits(101, 0);
+        pool.parallel_for(hits.size(), [&](std::size_t i) {
+            hits[i] += 1; // slot write, no synchronization needed
+        });
+        EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 101);
+        EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                                [](int h) { return h == 1; }));
+    }
+}
+
+TEST(Parallel, PoolIsReusableAcrossLoops)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round) {
+        std::atomic<int> sum{0};
+        pool.parallel_for(50, [&](std::size_t i) {
+            sum += static_cast<int>(i);
+        });
+        EXPECT_EQ(sum.load(), 49 * 50 / 2);
+    }
+}
+
+TEST(Parallel, ExceptionPropagatesToCaller)
+{
+    for (int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        EXPECT_THROW(pool.parallel_for(10,
+                                       [](std::size_t i) {
+                                           if (i == 7)
+                                               throw std::runtime_error(
+                                                   "item 7");
+                                       }),
+                     std::runtime_error);
+        // The pool must survive a throwing loop and run the next one.
+        std::atomic<int> count{0};
+        pool.parallel_for(10, [&](std::size_t) { ++count; });
+        EXPECT_EQ(count.load(), 10);
+    }
+}
+
+TEST(Parallel, EmptyAndSingleItemLoops)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallel_for(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallel_for(1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, OneShotHelperMatchesPool)
+{
+    std::vector<int> hits(37, 0);
+    parallel_for(hits.size(), 3,
+                 [&](std::size_t i) { hits[i] += 1; });
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }));
 }
 
 } // namespace

@@ -10,6 +10,8 @@
  *   --depth N        SLM context depth (default 2)
  *   --tracelet N     tracelet window length (default 7)
  *   --k N            attach up to N parents per type (CFI relaxation)
+ *   --threads N      worker threads (0 = all hardware threads;
+ *                    the result is identical for any N)
  *   --dot            emit Graphviz instead of the ASCII tree
  *   --families       also print families and feasible parents
  */
@@ -43,6 +45,8 @@ main(int argc, char** argv)
             config.symexec.tracelet_len = std::atoi(argv[++i]);
         } else if (arg == "--k" && i + 1 < argc) {
             k = std::atoi(argv[++i]);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            config.threads = std::atoi(argv[++i]);
         } else if (arg == "--dot") {
             dot = true;
         } else if (arg == "--families") {
@@ -58,8 +62,8 @@ main(int argc, char** argv)
     if (input.empty()) {
         std::fprintf(stderr,
                      "usage: rockhier IMAGE.vmi [--metric NAME] "
-                     "[--depth N] [--tracelet N] [--k N] [--dot] "
-                     "[--families]\n");
+                     "[--depth N] [--tracelet N] [--k N] "
+                     "[--threads N] [--dot] [--families]\n");
         return 2;
     }
 
