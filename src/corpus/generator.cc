@@ -62,10 +62,12 @@ generate_program(const GeneratorSpec& spec)
     prog.name = "generated_" + std::to_string(spec.seed);
 
     std::vector<GenClass> gens;
-    int method_counter = 0;
-    int tag_counter = 0;
+    int method_counter = spec.name_base;
+    int tag_counter = spec.name_base;
 
-    auto class_name = [](int idx) { return "K" + std::to_string(idx); };
+    auto class_name = [&spec](int idx) {
+        return spec.class_prefix + std::to_string(idx);
+    };
 
     // ---- hierarchy shape -------------------------------------------------
     for (int i = 0; i < spec.num_classes; ++i) {
@@ -176,7 +178,7 @@ generate_program(const GeneratorSpec& spec)
         int b = static_cast<int>(rng.index(gens.size()));
         if (a == b)
             continue;
-        std::string name = "shim" + std::to_string(p);
+        std::string name = "shim" + std::to_string(spec.name_base + p);
         for (int idx : {a, b}) {
             MethodDecl method;
             method.name = name;

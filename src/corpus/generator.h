@@ -44,6 +44,19 @@ struct GeneratorSpec {
     bool control_flow = true;
     /** RNG seed; same seed -> same program. */
     std::uint64_t seed = 1;
+    /** Prefix of generated class names (classes are
+     *  <class_prefix>0, <class_prefix>1, ...). */
+    std::string class_prefix = "K";
+    /**
+     * Base offset for fresh method names (m<N>), body tags and
+     * fold-noise shims: two programs generated with distinct prefixes
+     * and disjoint name bases concatenate into one valid program with
+     * no name clashes and no cross-program identical-code folding
+     * (the fuzz metamorphic oracles rely on this).
+     */
+    int name_base = 0;
+
+    bool operator==(const GeneratorSpec&) const = default;
 };
 
 /** Generate a program from @p spec (deterministic in the seed). */

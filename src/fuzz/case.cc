@@ -1,0 +1,57 @@
+#include "fuzz/case.h"
+
+#include "support/error.h"
+
+namespace rock::fuzz {
+
+FuzzCase
+run_case(const corpus::GeneratorSpec& spec, const CaseConfig& config)
+{
+    FuzzCase fc;
+    fc.spec = spec;
+    fc.program = corpus::generate_program(spec);
+    fc.compiled = toyc::compile(fc.program, config.compile);
+    fc.result = core::reconstruct(fc.compiled.image, config.rock);
+    if (config.hooks.mutate_result)
+        config.hooks.mutate_result(fc.result);
+    return fc;
+}
+
+core::ReconstructionResult
+reconstruct_image(const bir::BinaryImage& image,
+                  const CaseConfig& config, int threads_override)
+{
+    core::RockConfig rock = config.rock;
+    if (threads_override >= 0)
+        rock.threads = threads_override;
+    core::ReconstructionResult result = core::reconstruct(image, rock);
+    if (config.hooks.mutate_result)
+        config.hooks.mutate_result(result);
+    return result;
+}
+
+CaseHooks
+injection_by_name(const std::string& name)
+{
+    CaseHooks hooks;
+    if (name == "drop-forced-edges") {
+        hooks.mutate_result = [](core::ReconstructionResult& result) {
+            for (const auto& [child, parent] :
+                 result.structural.forced_parents) {
+                (void)parent;
+                result.hierarchy.set_parent(child, -1);
+            }
+        };
+    } else if (name == "orphan-last-type") {
+        hooks.mutate_result = [](core::ReconstructionResult& result) {
+            int last = result.hierarchy.size() - 1;
+            if (last >= 0)
+                result.hierarchy.set_parent(last, -1);
+        };
+    } else {
+        support::fatal("unknown fault injection '" + name + "'");
+    }
+    return hooks;
+}
+
+} // namespace rock::fuzz

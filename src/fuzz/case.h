@@ -1,0 +1,78 @@
+/**
+ * @file
+ * One property-fuzzing case: GeneratorSpec -> toyc program ->
+ * compiled image -> full reconstruction.
+ *
+ * The case runner is deliberately dumb -- all judgement lives in the
+ * oracle registry (fuzz/oracles.h). CaseHooks exist so the harness
+ * can be meta-tested: a test injects a deliberate pipeline bug (e.g.
+ * dropping rule-3 forced edges from the result) and asserts that an
+ * oracle catches it and that shrinking produces a small reproducer.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "corpus/generator.h"
+#include "rock/pipeline.h"
+#include "toyc/compiler.h"
+
+namespace rock::fuzz {
+
+/** Fault-injection hooks for meta-testing the harness itself. */
+struct CaseHooks {
+    /**
+     * Applied to every ReconstructionResult the harness produces --
+     * the primary run and every differential re-run -- simulating a
+     * deterministic pipeline bug. Null = no injection.
+     */
+    std::function<void(core::ReconstructionResult&)> mutate_result;
+};
+
+/** Fixed configuration shared by every case of a fuzzing run. */
+struct CaseConfig {
+    /** Pipeline configuration of the primary run (threads etc.). */
+    core::RockConfig rock;
+    /** Compiler switches (defaults: optimized, stripped). */
+    toyc::CompileOptions compile;
+    /** Fault injection (meta-tests only). */
+    CaseHooks hooks;
+};
+
+/** Everything one executed case produces; oracles read from this. */
+struct FuzzCase {
+    corpus::GeneratorSpec spec;
+    toyc::Program program;
+    toyc::CompileResult compiled;
+    core::ReconstructionResult result;
+};
+
+/** Generate, compile and reconstruct @p spec (hooks applied). */
+FuzzCase run_case(const corpus::GeneratorSpec& spec,
+                  const CaseConfig& config = {});
+
+/**
+ * Reconstruct @p image under @p config (hooks applied) -- the
+ * primitive behind the differential oracles' secondary runs.
+ *
+ * @param threads_override  when >= 0, overrides config.rock.threads
+ */
+core::ReconstructionResult
+reconstruct_image(const bir::BinaryImage& image,
+                  const CaseConfig& config, int threads_override = -1);
+
+/**
+ * Named fault injections for CaseHooks::mutate_result; used by the
+ * meta-test and `rockfuzz --inject-bug`. Knows:
+ *
+ *  - "drop-forced-edges": clears the hierarchy parent of every type
+ *    with rule-3 ctor evidence (the bug class of paper Section 5.2).
+ *  - "orphan-last-type": makes the highest-index type a root
+ *    regardless of feasible parents (violates Heuristic 4.1).
+ *
+ * Throws support::FatalError for unknown names.
+ */
+CaseHooks injection_by_name(const std::string& name);
+
+} // namespace rock::fuzz

@@ -1,0 +1,250 @@
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "fuzz/oracles.h"
+#include "fuzz/shrink.h"
+#include "support/log.h"
+#include "support/rng.h"
+
+namespace rock::fuzz {
+namespace {
+
+using corpus::GeneratorSpec;
+
+double
+now_ms()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Oracles selected by @p only (empty = all), registry order. */
+std::vector<const Oracle*>
+selected_oracles(const std::vector<std::string>& only)
+{
+    std::vector<const Oracle*> out;
+    for (const auto& oracle : oracle_registry()) {
+        if (only.empty() ||
+            std::find(only.begin(), only.end(), oracle.name) !=
+                only.end())
+            out.push_back(&oracle);
+    }
+    return out;
+}
+
+/**
+ * Run one case and return its first failing oracle, or an empty
+ * optional-like failure (oracle empty) when everything passed.
+ */
+FuzzFailure
+run_one(std::uint64_t case_seed, const GeneratorSpec& spec,
+        const std::vector<const Oracle*>& oracles,
+        const CaseConfig& config, FuzzReport& report)
+{
+    FuzzFailure failure;
+    failure.case_seed = case_seed;
+    failure.spec = spec;
+    failure.shrunk = spec;
+
+    FuzzCase fuzz_case;
+    try {
+        fuzz_case = run_case(spec, config);
+    } catch (const std::exception& e) {
+        failure.oracle = kNoCrashOracle;
+        failure.detail = e.what();
+        return failure;
+    }
+
+    OracleContext ctx{fuzz_case, config};
+    for (const Oracle* oracle : oracles) {
+        OracleVerdict verdict;
+        try {
+            verdict = oracle->check(ctx);
+        } catch (const std::exception& e) {
+            verdict =
+                OracleVerdict{false,
+                              std::string("oracle threw: ") + e.what()};
+        }
+        if (!verdict.ok) {
+            failure.oracle = oracle->name;
+            failure.detail = verdict.detail;
+            return failure;
+        }
+        ++report.oracle_passes[oracle->name];
+    }
+    return failure; // oracle empty: the case passed
+}
+
+} // namespace
+
+long
+FuzzReport::total_passes() const
+{
+    long total = 0;
+    for (const auto& [name, count] : oracle_passes) {
+        (void)name;
+        total += count;
+    }
+    return total;
+}
+
+GeneratorSpec
+sample_spec(std::uint64_t case_seed)
+{
+    support::Rng rng(case_seed * 0x9e3779b97f4a7c15ull +
+                     0x7f5eedull);
+    GeneratorSpec spec;
+    spec.seed = case_seed;
+
+    enum Shape {
+        kDegenerate,
+        kDeepChain,
+        kWideFan,
+        kFoldNoise,
+        kMultipleInheritance,
+        kMixed,
+        kNumShapes
+    };
+    switch (static_cast<Shape>(rng.index(kNumShapes))) {
+    case kDegenerate:
+        // 1-3 classes, minimal behavior: the corner the corpus never
+        // exercises.
+        spec.num_classes = 1 + static_cast<int>(rng.index(3));
+        spec.num_trees =
+            1 + static_cast<int>(rng.index(
+                    static_cast<std::size_t>(spec.num_classes)));
+        spec.max_depth = 1;
+        spec.max_children = 1 + static_cast<int>(rng.index(2));
+        spec.root_methods = 1 + static_cast<int>(rng.index(2));
+        spec.new_method_prob = rng.chance(0.5) ? 0.0 : 1.0;
+        spec.override_prob = 0.0;
+        spec.scenarios_per_class = 1;
+        spec.fold_noise_pairs = 0;
+        spec.mi_prob = 0.0;
+        break;
+    case kDeepChain:
+        spec.num_trees = 1;
+        spec.num_classes = 6 + static_cast<int>(rng.index(12));
+        spec.max_depth = spec.num_classes;
+        spec.max_children = 1;
+        spec.root_methods = 1 + static_cast<int>(rng.index(3));
+        spec.new_method_prob = 0.4 + 0.5 * rng.real();
+        spec.override_prob = 0.3 + 0.6 * rng.real();
+        spec.fold_noise_pairs = 0;
+        spec.mi_prob = 0.0;
+        break;
+    case kWideFan:
+        spec.num_trees = 1 + static_cast<int>(rng.index(2));
+        spec.num_classes = 8 + static_cast<int>(rng.index(16));
+        spec.max_depth = 1 + static_cast<int>(rng.index(2));
+        spec.max_children = 6 + static_cast<int>(rng.index(7));
+        spec.root_methods = 2 + static_cast<int>(rng.index(2));
+        spec.new_method_prob = 0.3 + 0.6 * rng.real();
+        spec.override_prob = 0.2 + 0.6 * rng.real();
+        spec.fold_noise_pairs = 0;
+        spec.mi_prob = 0.0;
+        break;
+    case kFoldNoise:
+        spec.num_trees = 2 + static_cast<int>(rng.index(3));
+        spec.num_classes =
+            std::max(spec.num_trees + 2,
+                     6 + static_cast<int>(rng.index(14)));
+        spec.max_depth = 2 + static_cast<int>(rng.index(3));
+        spec.max_children = 2 + static_cast<int>(rng.index(4));
+        spec.fold_noise_pairs = 2 + static_cast<int>(rng.index(7));
+        spec.mi_prob = 0.0;
+        break;
+    case kMultipleInheritance:
+        spec.num_trees = 2 + static_cast<int>(rng.index(3));
+        spec.num_classes = 8 + static_cast<int>(rng.index(16));
+        spec.max_depth = 2 + static_cast<int>(rng.index(3));
+        spec.max_children = 2 + static_cast<int>(rng.index(4));
+        spec.mi_prob = 0.2 + 0.3 * rng.real();
+        spec.fold_noise_pairs = static_cast<int>(rng.index(3));
+        break;
+    case kMixed:
+    default:
+        spec.num_trees = 1 + static_cast<int>(rng.index(4));
+        spec.num_classes =
+            std::max(spec.num_trees,
+                     2 + static_cast<int>(rng.index(28)));
+        spec.max_depth = 1 + static_cast<int>(rng.index(5));
+        spec.max_children = 1 + static_cast<int>(rng.index(8));
+        spec.root_methods = 1 + static_cast<int>(rng.index(3));
+        spec.new_method_prob = rng.real();
+        spec.override_prob = rng.real();
+        spec.fold_noise_pairs = static_cast<int>(rng.index(5));
+        spec.mi_prob = rng.chance(0.3) ? 0.3 * rng.real() : 0.0;
+        break;
+    }
+    spec.scenarios_per_class =
+        std::max(spec.scenarios_per_class,
+                 1 + static_cast<int>(rng.index(3)));
+    spec.control_flow = rng.chance(0.7);
+    return spec;
+}
+
+FuzzReport
+run_fuzz(const FuzzOptions& options, const CaseConfig& config)
+{
+    FuzzReport report;
+    report.cases_planned = options.seeds;
+    std::vector<const Oracle*> oracles =
+        selected_oracles(options.only);
+
+    double start = now_ms();
+    for (int i = 0; i < options.seeds; ++i) {
+        if (i > 0 && options.budget_ms > 0.0 &&
+            now_ms() - start >= options.budget_ms) {
+            report.budget_exhausted = true;
+            break;
+        }
+        std::uint64_t case_seed =
+            options.first_seed + static_cast<std::uint64_t>(i);
+        GeneratorSpec spec = sample_spec(case_seed);
+        FuzzFailure failure =
+            run_one(case_seed, spec, oracles, config, report);
+        ++report.cases_run;
+
+        if (!failure.oracle.empty()) {
+            ROCK_LOG_ERROR << "rockfuzz: seed " << case_seed
+                           << " failed oracle '" << failure.oracle
+                           << "': " << failure.detail;
+            if (options.shrink) {
+                ShrinkOutcome shrunk = shrink_spec(
+                    failure.spec, failure.oracle, config);
+                failure.shrunk = shrunk.spec;
+                failure.shrink_steps = shrunk.accepted_steps;
+            }
+            report.failures.push_back(std::move(failure));
+            if (static_cast<int>(report.failures.size()) >=
+                options.max_failures)
+                break;
+        }
+    }
+    report.elapsed_ms = now_ms() - start;
+    return report;
+}
+
+FuzzReport
+replay(const Repro& repro, const CaseConfig& config,
+       const std::vector<std::string>& only)
+{
+    FuzzReport report;
+    report.cases_planned = 1;
+    std::vector<const Oracle*> oracles = selected_oracles(only);
+
+    double start = now_ms();
+    FuzzFailure failure = run_one(repro.case_seed, repro.spec,
+                                  oracles, config, report);
+    report.cases_run = 1;
+    if (!failure.oracle.empty())
+        report.failures.push_back(std::move(failure));
+    report.elapsed_ms = now_ms() - start;
+    return report;
+}
+
+} // namespace rock::fuzz

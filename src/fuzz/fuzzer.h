@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The fuzzing loop: sample a GeneratorSpec from a seeded
+ * meta-distribution, run the case, check every oracle, shrink
+ * failures to minimal reproducers.
+ *
+ * The meta-distribution deliberately over-samples the hierarchy
+ * shapes the paper's 19-binary corpus under-represents: deep
+ * single-chains, wide flat fans, heavy identical-COMDAT fold noise,
+ * multiple-inheritance mixes, and degenerate 1-class/1-method
+ * programs. Everything is deterministic in the case seed, so any
+ * failure is reproducible from its seed (or its repro file) alone.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/case.h"
+#include "fuzz/repro.h"
+
+namespace rock::fuzz {
+
+/** Knobs of one run_fuzz() campaign. */
+struct FuzzOptions {
+    /** Cases to run (case seeds first_seed .. first_seed+seeds-1). */
+    int seeds = 100;
+    std::uint64_t first_seed = 1;
+    /** Wall-clock budget; 0 = unlimited. At least one case always
+     *  runs; the campaign stops early once the budget is spent. */
+    double budget_ms = 0.0;
+    /** Shrink failing specs to minimal reproducers. */
+    bool shrink = true;
+    /** Restrict to these oracle names (empty = the full registry). */
+    std::vector<std::string> only;
+    /** Stop the campaign after this many failing cases. */
+    int max_failures = 8;
+};
+
+/** One failing case (shrunk when FuzzOptions::shrink). */
+struct FuzzFailure {
+    std::uint64_t case_seed = 0;
+    std::string oracle;
+    std::string detail;
+    /** Spec as sampled from the meta-distribution. */
+    corpus::GeneratorSpec spec;
+    /** Minimal still-failing spec (== spec when shrinking is off). */
+    corpus::GeneratorSpec shrunk;
+    int shrink_steps = 0;
+
+    /** Repro record for the shrunk spec. */
+    Repro repro() const { return {case_seed, oracle, shrunk}; }
+};
+
+/** Outcome of a campaign. */
+struct FuzzReport {
+    int cases_run = 0;
+    int cases_planned = 0;
+    bool budget_exhausted = false;
+    double elapsed_ms = 0.0;
+    /** Passed checks per oracle name. */
+    std::map<std::string, int> oracle_passes;
+    std::vector<FuzzFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+    /** Total oracle checks that passed. */
+    long total_passes() const;
+};
+
+/**
+ * Sample the case spec for @p case_seed from the meta-distribution
+ * (deterministic: same seed, same spec).
+ */
+corpus::GeneratorSpec sample_spec(std::uint64_t case_seed);
+
+/** Run a fuzzing campaign. */
+FuzzReport run_fuzz(const FuzzOptions& options,
+                    const CaseConfig& config = {});
+
+/**
+ * Re-run one reproducer: executes every (or @p only) oracle on
+ * repro.spec and reports like a 1-case campaign without shrinking.
+ */
+FuzzReport replay(const Repro& repro, const CaseConfig& config = {},
+                  const std::vector<std::string>& only = {});
+
+} // namespace rock::fuzz

@@ -1,0 +1,864 @@
+#include "fuzz/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <iterator>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "bir/serialize.h"
+#include "eval/ground_truth.h"
+#include "rock/classify.h"
+#include "rock/relaxed.h"
+#include "support/rng.h"
+#include "support/str.h"
+
+namespace rock::fuzz {
+namespace {
+
+using corpus::GeneratorSpec;
+using toyc::Program;
+using toyc::Stmt;
+
+OracleVerdict
+fail(std::string detail)
+{
+    return {false, std::move(detail)};
+}
+
+OracleVerdict
+pass()
+{
+    return {};
+}
+
+// ---- structural invariants ---------------------------------------------
+
+/** The cross-cutting single-run invariants of tests/invariants_test.cc. */
+OracleVerdict
+check_structure(const OracleContext& ctx)
+{
+    const auto& result = ctx.fuzz_case.result;
+    const auto& sr = result.structural;
+    const core::Hierarchy& h = result.hierarchy;
+
+    if (static_cast<std::size_t>(h.size()) != sr.types.size())
+        return fail(support::format(
+            "coverage: hierarchy has %d nodes for %zu binary types",
+            h.size(), sr.types.size()));
+
+    for (int v = 0; v < h.size(); ++v) {
+        std::set<int> seen;
+        for (int cur = v; cur >= 0; cur = h.parent(cur)) {
+            if (!seen.insert(cur).second)
+                return fail(support::format(
+                    "parent cycle through node %d", cur));
+        }
+
+        int p = h.parent(v);
+        if (p >= 0) {
+            if (!sr.possible_parents[static_cast<std::size_t>(v)]
+                     .count(p))
+                return fail(support::format(
+                    "infeasible parent %d chosen for node %d", p, v));
+            if (sr.family[static_cast<std::size_t>(v)] !=
+                sr.family[static_cast<std::size_t>(p)])
+                return fail(support::format(
+                    "cross-family edge %d -> %d", p, v));
+        }
+
+        // Heuristic 4.1: a type with feasible parents is only a root
+        // when every feasible choice would close a cycle.
+        if (p < 0 &&
+            !sr.possible_parents[static_cast<std::size_t>(v)]
+                 .empty()) {
+            std::set<int> succ = h.successors(v);
+            for (int cand :
+                 sr.possible_parents[static_cast<std::size_t>(v)]) {
+                if (!succ.count(cand))
+                    return fail(support::format(
+                        "node %d is a root but parent %d was usable",
+                        v, cand));
+            }
+        }
+    }
+
+    for (const auto& fam : result.families) {
+        for (const auto& alt : fam.alternatives) {
+            if (alt.size() != fam.members.size())
+                return fail(support::format(
+                    "family %d: alternative arity mismatch",
+                    fam.family_id));
+            for (std::size_t m = 0; m < fam.members.size(); ++m) {
+                int child = fam.members[m];
+                int parent = alt[m];
+                if (parent < 0)
+                    continue;
+                if (!sr.possible_parents[static_cast<std::size_t>(
+                                             child)]
+                         .count(parent))
+                    return fail(support::format(
+                        "family %d: infeasible alternative edge "
+                        "%d -> %d",
+                        fam.family_id, parent, child));
+            }
+        }
+    }
+    return pass();
+}
+
+/** Rule-3 forced edges are honored everywhere. */
+OracleVerdict
+check_forced_parents(const OracleContext& ctx)
+{
+    const auto& result = ctx.fuzz_case.result;
+    const auto& sr = result.structural;
+
+    for (const auto& [child, parent] : sr.forced_parents) {
+        if (result.hierarchy.parent(child) != parent)
+            return fail(support::format(
+                "rule-3 evidence ignored: node %d has parent %d, "
+                "forced %d",
+                child, result.hierarchy.parent(child), parent));
+    }
+    for (const auto& fam : result.families) {
+        for (const auto& alt : fam.alternatives) {
+            for (std::size_t m = 0;
+                 m < fam.members.size() && m < alt.size(); ++m) {
+                auto forced = sr.forced_parents.find(fam.members[m]);
+                if (forced != sr.forced_parents.end() &&
+                    alt[m] != forced->second)
+                    return fail(support::format(
+                        "family %d: alternative drops forced edge "
+                        "%d -> %d",
+                        fam.family_id, forced->second,
+                        fam.members[m]));
+            }
+        }
+    }
+    return pass();
+}
+
+/**
+ * Soundness of structural elimination (paper Section 5): the rules
+ * may keep impossible parents but must never eliminate the true one.
+ * Checked against the compiler's ground-truth side channel.
+ */
+OracleVerdict
+check_sound_elimination(const OracleContext& ctx)
+{
+    const auto& fc = ctx.fuzz_case;
+    eval::GroundTruth gt =
+        eval::ground_truth_from_debug(fc.compiled.debug);
+    const auto& sr = fc.result.structural;
+
+    for (std::uint32_t type : gt.types) {
+        if (sr.index_of(type) < 0)
+            return fail("ground-truth type " + support::hex(type) +
+                        " was not discovered");
+    }
+    for (const auto& [child_vt, parent_vt] : gt.parent) {
+        if (gt.synthetic.count(child_vt) ||
+            gt.synthetic.count(parent_vt))
+            continue;
+        int c = sr.index_of(child_vt);
+        int p = sr.index_of(parent_vt);
+        if (c < 0 || p < 0)
+            continue; // caught above
+        if (sr.family[static_cast<std::size_t>(c)] !=
+            sr.family[static_cast<std::size_t>(p)])
+            return fail(support::format(
+                "true parent %d of %d landed in another family", p,
+                c));
+        if (!sr.possible_parents[static_cast<std::size_t>(c)].count(
+                p))
+            return fail(support::format(
+                "structural rules eliminated the true parent "
+                "%d -> %d",
+                p, c));
+    }
+    return pass();
+}
+
+// ---- name-keyed run views (metamorphic oracles) ------------------------
+
+/**
+ * A reconstruction keyed by ground-truth class names, so two runs
+ * over differently laid out (renamed / permuted / extended) binaries
+ * can be compared class-by-class.
+ */
+struct RunView {
+    const core::ReconstructionResult* result = nullptr;
+    /** Primary (non-synthetic) class name -> type index. */
+    std::map<std::string, int> class_index;
+    /** Every named type, incl. synthetic MI vtables ("C::B"). */
+    std::map<std::string, int> name_index;
+    std::map<int, std::string> index_name;
+};
+
+RunView
+make_view(const toyc::DebugInfo& debug,
+          const core::ReconstructionResult& result)
+{
+    RunView view;
+    view.result = &result;
+    for (const auto& td : debug.types) {
+        int idx = result.structural.index_of(td.vtable_addr);
+        if (idx < 0)
+            continue;
+        view.index_name[idx] = td.class_name;
+        view.name_index[td.class_name] = idx;
+        if (!td.synthetic)
+            view.class_index[td.class_name] = idx;
+    }
+    return view;
+}
+
+/** Bidirectional class-name mapping between two program variants. */
+struct NameTranslation {
+    std::function<std::string(const std::string&)> fwd; ///< base->other
+    std::function<std::string(const std::string&)> rev; ///< other->base
+};
+
+NameTranslation
+identity_translation()
+{
+    auto id = [](const std::string& name) { return name; };
+    return {id, id};
+}
+
+/** Apply @p f to each "::"-separated component (synthetic names). */
+std::string
+map_composite(const std::string& name,
+              const std::function<std::string(const std::string&)>& f)
+{
+    auto pos = name.find("::");
+    if (pos == std::string::npos)
+        return f(name);
+    return f(name.substr(0, pos)) + "::" + f(name.substr(pos + 2));
+}
+
+/**
+ * Was the base run's choice between candidate parents @p p1 and @p p2
+ * of @p child a near-tie? Used to tolerate co-optimal flips under
+ * transformations that perturb tie-breaking order or smoothing.
+ */
+bool
+benign_tie(const RunView& base, int child, int p1, int p2,
+           double tie_tol)
+{
+    if (tie_tol <= 0.0)
+        return false;
+    const auto& distances = base.result->distances;
+    auto i1 = distances.find({p1, child});
+    auto i2 = distances.find({p2, child});
+    if (i1 == distances.end() || i2 == distances.end())
+        return false;
+    double a = i1->second;
+    double b = i2->second;
+    return std::abs(a - b) <=
+           tie_tol * (1.0 + std::max(std::abs(a), std::abs(b)));
+}
+
+/**
+ * Compare two runs over the base-side classes @p base_classes: family
+ * partition, feasible-parent sets, forced edges, and the selected
+ * forest (primary + MI parents) must all agree up to @p translate,
+ * except selected-parent flips the base run itself scored as a
+ * near-tie (within @p tie_tol relative distance).
+ */
+OracleVerdict
+compare_views(const RunView& base, const RunView& other,
+              const std::set<std::string>& base_classes,
+              const NameTranslation& translate, double tie_tol)
+{
+    auto fwd = [&](const std::string& name) {
+        return map_composite(name, translate.fwd);
+    };
+    auto rev = [&](const std::string& name) {
+        return map_composite(name, translate.rev);
+    };
+
+    for (const auto& name : base_classes) {
+        if (!base.class_index.count(name))
+            return fail("base run lost class " + name);
+        if (!other.class_index.count(fwd(name)))
+            return fail("transformed run lost class " + name);
+    }
+
+    // Family members of `name`'s family, restricted to the class set.
+    auto family_of = [&](const RunView& view, const std::string& name,
+                         const std::set<std::string>& keep) {
+        int idx = view.class_index.at(name);
+        int fam =
+            view.result->structural.family[static_cast<std::size_t>(
+                idx)];
+        std::set<std::string> out;
+        for (const auto& [cls, ci] : view.class_index) {
+            if (view.result->structural
+                    .family[static_cast<std::size_t>(ci)] == fam &&
+                keep.count(cls))
+                out.insert(cls);
+        }
+        return out;
+    };
+
+    std::set<std::string> other_classes;
+    for (const auto& name : base_classes)
+        other_classes.insert(fwd(name));
+
+    for (const auto& name : base_classes) {
+        const std::string tname = fwd(name);
+        int bc = base.class_index.at(name);
+        int oc = other.class_index.at(tname);
+        const auto& bsr = base.result->structural;
+        const auto& osr = other.result->structural;
+
+        // Family partition.
+        std::set<std::string> bfam;
+        for (const auto& member :
+             family_of(base, name, base_classes))
+            bfam.insert(fwd(member));
+        std::set<std::string> ofam =
+            family_of(other, tname, other_classes);
+        if (bfam != ofam)
+            return fail("family of " + name +
+                        " changed under the transformation");
+
+        // Feasible-parent sets (within the class set).
+        auto feasible_names = [&](const RunView& view, int child,
+                                  const std::set<std::string>& keep) {
+            std::set<std::string> out;
+            for (int p : view.result->structural.possible_parents
+                             [static_cast<std::size_t>(child)]) {
+                auto it = view.index_name.find(p);
+                if (it != view.index_name.end() &&
+                    keep.count(it->second))
+                    out.insert(it->second);
+            }
+            return out;
+        };
+        std::set<std::string> bfeasible;
+        for (const auto& p : feasible_names(base, bc, base_classes))
+            bfeasible.insert(fwd(p));
+        if (bfeasible != feasible_names(other, oc, other_classes))
+            return fail("feasible parents of " + name +
+                        " changed under the transformation");
+
+        // Rule-3 forced edges.
+        auto forced_name = [&](const RunView& view, int child,
+                               const std::set<std::string>& keep)
+            -> std::string {
+            auto it =
+                view.result->structural.forced_parents.find(child);
+            if (it == view.result->structural.forced_parents.end())
+                return "";
+            auto nm = view.index_name.find(it->second);
+            if (nm == view.index_name.end() || !keep.count(nm->second))
+                return "";
+            return nm->second;
+        };
+        std::string bforced = forced_name(base, bc, base_classes);
+        std::string oforced = forced_name(other, oc, other_classes);
+        if ((bforced.empty() ? "" : fwd(bforced)) != oforced)
+            return fail("forced parent of " + name +
+                        " changed under the transformation");
+
+        // Selected primary parent (tie-tolerant).
+        int bp = base.result->hierarchy.parent(bc);
+        int op = other.result->hierarchy.parent(oc);
+        std::string bp_name =
+            bp < 0 ? "" : base.index_name.at(bp);
+        std::string op_name =
+            op < 0 ? "" : other.index_name.at(op);
+        std::string expected = bp_name.empty() ? "" : fwd(bp_name);
+        if (op_name != expected) {
+            bool tolerated = false;
+            if (bp >= 0 && op >= 0) {
+                auto alt = base.name_index.find(rev(op_name));
+                tolerated = alt != base.name_index.end() &&
+                            benign_tie(base, bc, bp, alt->second,
+                                       tie_tol);
+            }
+            if (!tolerated)
+                return fail(
+                    "parent of " + name + " changed: was " +
+                    (bp_name.empty() ? "<root>" : bp_name) +
+                    ", now " +
+                    (op_name.empty() ? "<root>" : op_name));
+        }
+
+        // Extra (multiple-inheritance) parents. These derive from
+        // the selected parent of each secondary vtable. Synthetic
+        // names need not be unique (a diamond yields two "C::B"
+        // vtables), so secondaries cannot be matched one-to-one by
+        // name; compare the *multiset* of their selected parents in
+        // base-name space instead, pairing leftover mismatches as
+        // near-ties of some secondary.
+        std::vector<int> bsecs;
+        std::multiset<std::string> bextra;
+        for (const auto& [sec, prim] : bsr.secondary_of) {
+            if (prim != bc)
+                continue;
+            bsecs.push_back(sec);
+            int p = base.result->hierarchy.parent(sec);
+            bextra.insert(p < 0 ? "<root>"
+                                : base.index_name.at(p));
+        }
+        std::multiset<std::string> oextra;
+        for (const auto& [sec, prim] : osr.secondary_of) {
+            if (prim != oc)
+                continue;
+            int p = other.result->hierarchy.parent(sec);
+            oextra.insert(p < 0 ? "<root>"
+                                : rev(other.index_name.at(p)));
+        }
+        if (bextra.size() != oextra.size())
+            return fail("secondary vtable count of " + name +
+                        " changed under the transformation");
+        std::vector<std::string> missing, surplus;
+        std::set_difference(bextra.begin(), bextra.end(),
+                            oextra.begin(), oextra.end(),
+                            std::back_inserter(missing));
+        std::set_difference(oextra.begin(), oextra.end(),
+                            bextra.begin(), bextra.end(),
+                            std::back_inserter(surplus));
+        for (std::size_t i = 0; i < missing.size(); ++i) {
+            auto want = base.name_index.find(missing[i]);
+            auto got = base.name_index.find(surplus[i]);
+            bool tolerated = false;
+            if (want != base.name_index.end() &&
+                got != base.name_index.end()) {
+                for (int sec : bsecs) {
+                    if (benign_tie(base, sec, want->second,
+                                   got->second, tie_tol)) {
+                        tolerated = true;
+                        break;
+                    }
+                }
+            }
+            if (!tolerated)
+                return fail("MI parents of " + name +
+                            " changed under the transformation: a "
+                            "secondary inherits " +
+                            surplus[i] + " instead of " +
+                            missing[i]);
+        }
+    }
+    return pass();
+}
+
+// ---- program transformations -------------------------------------------
+
+std::string
+renamed_class(const std::string& name)
+{
+    return "Z" + name;
+}
+
+std::string
+unrenamed_class(const std::string& name)
+{
+    return name.size() > 1 && name[0] == 'Z' ? name.substr(1) : name;
+}
+
+void
+rename_stmts(std::vector<Stmt>& body)
+{
+    for (auto& stmt : body) {
+        if (!stmt.class_name.empty())
+            stmt.class_name = renamed_class(stmt.class_name);
+        if (!stmt.method.empty())
+            stmt.method = "r_" + stmt.method;
+        if (!stmt.callee.empty())
+            stmt.callee = "u_" + stmt.callee;
+        rename_stmts(stmt.then_body);
+        rename_stmts(stmt.else_body);
+    }
+}
+
+/** Consistently rename every class, method and usage function. */
+Program
+renamed_program(const Program& prog)
+{
+    Program out = prog;
+    out.name += "_renamed";
+    for (auto& cls : out.classes) {
+        cls.name = renamed_class(cls.name);
+        for (auto& parent : cls.parents)
+            parent = renamed_class(parent);
+        for (auto& method : cls.methods) {
+            method.name = "r_" + method.name;
+            rename_stmts(method.body);
+        }
+        rename_stmts(cls.ctor_body);
+        rename_stmts(cls.dtor_body);
+    }
+    for (auto& fn : out.usages) {
+        fn.name = "u_" + fn.name;
+        for (auto& param : fn.params)
+            param.class_name = renamed_class(param.class_name);
+        rename_stmts(fn.body);
+    }
+    return out;
+}
+
+/** Shuffle class and usage declaration order (seeded). */
+Program
+permuted_program(const Program& prog, std::uint64_t seed)
+{
+    Program out = prog;
+    out.name += "_permuted";
+    support::Rng rng(seed ^ 0x5eedf00ddeadbeefull);
+    rng.shuffle(out.classes);
+    rng.shuffle(out.usages);
+    return out;
+}
+
+/** Append a freshly generated, unrelated inheritance tree. */
+Program
+extended_program(const Program& prog, const GeneratorSpec& base_spec)
+{
+    GeneratorSpec extra;
+    extra.num_classes = 4;
+    extra.num_trees = 1;
+    extra.max_depth = 2;
+    extra.max_children = 2;
+    extra.root_methods = 2;
+    extra.scenarios_per_class = 1;
+    extra.fold_noise_pairs = 0; // no cross-program COMDAT bridges
+    extra.mi_prob = 0.0;
+    extra.control_flow = base_spec.control_flow;
+    extra.seed = base_spec.seed ^ 0xabcdef123456ull;
+    extra.class_prefix = base_spec.class_prefix == "X" ? "Y" : "X";
+    extra.name_base = 1 << 20; // disjoint method names and body tags
+    Program addition = corpus::generate_program(extra);
+
+    Program out = prog;
+    out.name += "_extended";
+    out.classes.insert(out.classes.end(), addition.classes.begin(),
+                       addition.classes.end());
+    out.usages.insert(out.usages.end(), addition.usages.begin(),
+                      addition.usages.end());
+    return out;
+}
+
+std::set<std::string>
+primary_classes(const RunView& view)
+{
+    std::set<std::string> out;
+    for (const auto& [name, idx] : view.class_index) {
+        (void)idx;
+        out.insert(name);
+    }
+    return out;
+}
+
+// ---- metamorphic oracles -----------------------------------------------
+
+/** Near-tie slack for transformations that only perturb FP order /
+ *  tie-breaking (declaration permutation). */
+constexpr double kPermuteTieTol = 1e-6;
+/** Slack for transformations that perturb SLM smoothing through the
+ *  alphabet size (appending an unrelated tree). */
+constexpr double kExtendTieTol = 0.05;
+
+OracleVerdict
+check_rename_stable(const OracleContext& ctx)
+{
+    const FuzzCase& fc = ctx.fuzz_case;
+    Program renamed = renamed_program(fc.program);
+    toyc::CompileResult other =
+        toyc::compile(renamed, ctx.config.compile);
+
+    // Names never reach the stripped image: renaming must not move a
+    // single byte of code or data.
+    if (other.image.code != fc.compiled.image.code)
+        return fail("code bytes changed under renaming");
+    if (other.image.data != fc.compiled.image.data)
+        return fail("data bytes changed under renaming");
+    if (other.image.functions != fc.compiled.image.functions)
+        return fail("function table changed under renaming");
+
+    core::ReconstructionResult other_result =
+        reconstruct_image(other.image, ctx.config);
+    RunView base = make_view(fc.compiled.debug, fc.result);
+    RunView view = make_view(other.debug, other_result);
+    NameTranslation translate{renamed_class, unrenamed_class};
+    return compare_views(base, view, primary_classes(base), translate,
+                         0.0);
+}
+
+OracleVerdict
+check_permute_stable(const OracleContext& ctx)
+{
+    const FuzzCase& fc = ctx.fuzz_case;
+    Program permuted = permuted_program(fc.program, fc.spec.seed);
+    toyc::CompileResult other =
+        toyc::compile(permuted, ctx.config.compile);
+    core::ReconstructionResult other_result =
+        reconstruct_image(other.image, ctx.config);
+    RunView base = make_view(fc.compiled.debug, fc.result);
+    RunView view = make_view(other.debug, other_result);
+    return compare_views(base, view, primary_classes(base),
+                         identity_translation(), kPermuteTieTol);
+}
+
+OracleVerdict
+check_extend_stable(const OracleContext& ctx)
+{
+    const FuzzCase& fc = ctx.fuzz_case;
+    Program extended = extended_program(fc.program, fc.spec);
+    toyc::CompileResult other =
+        toyc::compile(extended, ctx.config.compile);
+    core::ReconstructionResult other_result =
+        reconstruct_image(other.image, ctx.config);
+    RunView base = make_view(fc.compiled.debug, fc.result);
+    RunView view = make_view(other.debug, other_result);
+    if (view.class_index.size() <= base.class_index.size())
+        return fail("extended program lost the added tree");
+    // Existing families must not be perturbed by the unrelated tree.
+    return compare_views(base, view, primary_classes(base),
+                         identity_translation(), kExtendTieTol);
+}
+
+// ---- differential oracles ----------------------------------------------
+
+/** Bit-identical comparison (the determinism contract). */
+OracleVerdict
+expect_bit_identical(const core::ReconstructionResult& a,
+                     const core::ReconstructionResult& b,
+                     const std::string& what)
+{
+    if (a.hierarchy.size() != b.hierarchy.size())
+        return fail(what + ": hierarchy size differs");
+    for (int v = 0; v < a.hierarchy.size(); ++v) {
+        if (a.hierarchy.parent(v) != b.hierarchy.parent(v) ||
+            a.hierarchy.parents(v) != b.hierarchy.parents(v))
+            return fail(
+                support::format("%s: parents of node %d differ",
+                                what.c_str(), v));
+    }
+    if (a.sorted_distances() != b.sorted_distances())
+        return fail(what + ": distance maps differ");
+    if (a.families.size() != b.families.size())
+        return fail(what + ": family count differs");
+    for (std::size_t f = 0; f < a.families.size(); ++f) {
+        if (a.families[f].members != b.families[f].members ||
+            a.families[f].alternatives !=
+                b.families[f].alternatives ||
+            a.families[f].structurally_ambiguous !=
+                b.families[f].structurally_ambiguous)
+            return fail(
+                support::format("%s: family %zu differs",
+                                what.c_str(), f));
+    }
+    if (a.ambiguous_families != b.ambiguous_families)
+        return fail(what + ": ambiguous-family count differs");
+    if (a.alphabet.size() != b.alphabet.size())
+        return fail(what + ": alphabet size differs");
+    return pass();
+}
+
+OracleVerdict
+check_threads_differential(const OracleContext& ctx)
+{
+    const FuzzCase& fc = ctx.fuzz_case;
+    int other_threads = ctx.config.rock.threads == 1 ? 3 : 1;
+    core::ReconstructionResult other = reconstruct_image(
+        fc.compiled.image, ctx.config, other_threads);
+    return expect_bit_identical(
+        fc.result, other,
+        support::format("threads=%d vs threads=%d",
+                        ctx.config.rock.threads, other_threads));
+}
+
+OracleVerdict
+check_serialize_differential(const OracleContext& ctx)
+{
+    const FuzzCase& fc = ctx.fuzz_case;
+    const bir::BinaryImage& image = fc.compiled.image;
+    bir::BinaryImage loaded = bir::load_image(bir::save_image(image));
+    if (loaded.code != image.code || loaded.data != image.data ||
+        loaded.code_base != image.code_base ||
+        loaded.data_base != image.data_base ||
+        loaded.functions != image.functions ||
+        loaded.symbols != image.symbols ||
+        loaded.has_rtti != image.has_rtti)
+        return fail("VMI round trip altered the image");
+    core::ReconstructionResult other =
+        reconstruct_image(loaded, ctx.config);
+    return expect_bit_identical(fc.result, other,
+                                "serialize round trip");
+}
+
+OracleVerdict
+check_relaxed_consistent(const OracleContext& ctx)
+{
+    const auto& result = ctx.fuzz_case.result;
+    const core::Hierarchy& strict = result.hierarchy;
+
+    core::Hierarchy k1 = core::relaxed_hierarchy(result, 1);
+    if (k1.size() != strict.size())
+        return fail("relaxed k=1 changed the node count");
+    for (int v = 0; v < strict.size(); ++v) {
+        if (k1.parent(v) != strict.parent(v))
+            return fail(support::format(
+                "relaxed k=1 changed the parent of node %d", v));
+    }
+
+    for (int k = 2; k <= 3; ++k) {
+        core::Hierarchy relaxed = core::relaxed_hierarchy(result, k);
+        for (int v = 0; v < strict.size(); ++v) {
+            if (relaxed.parent(v) != strict.parent(v))
+                return fail(support::format(
+                    "relaxed k=%d changed the primary parent of "
+                    "node %d",
+                    k, v));
+            // Strict MI extras are never evicted, so the cap is k
+            // or the strict parent count, whichever is larger.
+            int cap = std::max(
+                k, static_cast<int>(strict.parents(v).size()));
+            std::vector<int> rp = relaxed.parents(v);
+            if (static_cast<int>(rp.size()) > cap)
+                return fail(support::format(
+                    "relaxed k=%d gave node %d more than %d parents",
+                    k, v, cap));
+            // Relaxation only adds parents; the strict ones stay.
+            std::vector<int> sp = strict.parents(v);
+            for (int p : sp) {
+                if (std::find(rp.begin(), rp.end(), p) == rp.end())
+                    return fail(support::format(
+                        "relaxed k=%d dropped strict parent %d of "
+                        "node %d",
+                        k, p, v));
+            }
+            // Added parents are structurally feasible.
+            const auto& feasible =
+                result.structural
+                    .possible_parents[static_cast<std::size_t>(v)];
+            for (int p : rp) {
+                if (std::find(sp.begin(), sp.end(), p) != sp.end())
+                    continue;
+                if (std::find(feasible.begin(), feasible.end(), p) ==
+                    feasible.end())
+                    return fail(support::format(
+                        "relaxed k=%d added infeasible parent %d to "
+                        "node %d",
+                        k, p, v));
+            }
+            // The cycle guard must hold: no node descends from
+            // itself through relaxed edges.
+            if (relaxed.successors(v).count(v))
+                return fail(support::format(
+                    "relaxed k=%d created a cycle through node %d",
+                    k, v));
+        }
+    }
+    return pass();
+}
+
+OracleVerdict
+check_classify_deterministic(const OracleContext& ctx)
+{
+    const FuzzCase& fc = ctx.fuzz_case;
+    int checked = 0;
+    for (const auto& [vtable, tracelets] :
+         fc.result.analysis.type_tracelets) {
+        if (tracelets.empty())
+            continue;
+        std::vector<analysis::Tracelet> probe(
+            tracelets.begin(),
+            tracelets.begin() +
+                static_cast<long>(std::min<std::size_t>(
+                    2, tracelets.size())));
+        auto first = core::classify_tracelets(fc.result, probe);
+        auto second = core::classify_tracelets(fc.result, probe);
+        if (first.size() != second.size())
+            return fail("classification sizes differ across runs");
+        if (first.size() !=
+            fc.result.structural.types.size())
+            return fail(support::format(
+                "classification of %s ranked %zu of %zu types",
+                support::hex(vtable).c_str(), first.size(),
+                fc.result.structural.types.size()));
+        for (std::size_t i = 0; i < first.size(); ++i) {
+            if (first[i].vtable_addr != second[i].vtable_addr ||
+                first[i].score != second[i].score)
+                return fail("classification is not deterministic");
+            if (i > 0 && first[i - 1].score < first[i].score)
+                return fail("classification scores not descending");
+            if (!std::isfinite(first[i].score))
+                return fail("classification produced a non-finite "
+                            "score");
+        }
+        if (++checked >= 3)
+            break;
+    }
+    return pass();
+}
+
+} // namespace
+
+const std::vector<Oracle>&
+oracle_registry()
+{
+    static const std::vector<Oracle> registry = {
+        {"forced-parents",
+         "rule-3 ctor evidence is honored by the selected forest and "
+         "every surviving alternative",
+         check_forced_parents},
+        {"structure",
+         "acyclicity, parent feasibility, family discipline, "
+         "Heuristic 4.1 and type coverage of a single run",
+         check_structure},
+        {"sound-elimination",
+         "structural pruning never eliminates the ground-truth "
+         "parent (checked via the compiler side channel)",
+         check_sound_elimination},
+        {"rename-stable",
+         "class/method/function renaming changes neither the "
+         "stripped image nor the reconstructed forest",
+         check_rename_stable},
+        {"permute-stable",
+         "declaration-order permutation preserves families, feasible "
+         "sets, forced edges and the forest up to near-ties",
+         check_permute_stable},
+        {"extend-stable",
+         "appending an unrelated inheritance tree does not perturb "
+         "existing families",
+         check_extend_stable},
+        {"threads-differential",
+         "serial and multi-threaded reconstructions are "
+         "bit-identical",
+         check_threads_differential},
+        {"serialize-differential",
+         "VMI serialize -> deserialize -> reconstruct is "
+         "bit-identical",
+         check_serialize_differential},
+        {"relaxed-consistent",
+         "k-parent relaxation reproduces the strict hierarchy at k=1 "
+         "and only adds feasible, acyclic extra parents",
+         check_relaxed_consistent},
+        {"classify-deterministic",
+         "type classification is deterministic, total and ranked by "
+         "finite descending scores",
+         check_classify_deterministic},
+    };
+    return registry;
+}
+
+const Oracle*
+find_oracle(const std::string& name)
+{
+    for (const auto& oracle : oracle_registry()) {
+        if (oracle.name == name)
+            return &oracle;
+    }
+    return nullptr;
+}
+
+} // namespace rock::fuzz

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The oracle registry: every cross-cutting correctness property the
+ * fuzzer checks on each generated case.
+ *
+ * Three oracle flavors (docs/FUZZING.md):
+ *
+ *  - structural invariants: facts that must hold of a single
+ *    reconstruction (acyclicity, feasibility, forced rule-3 edges,
+ *    family discipline, Heuristic 4.1, soundness of parent
+ *    elimination against the compiler's ground truth);
+ *  - metamorphic properties: a semantics-preserving transformation
+ *    of the *source program* (renaming, declaration-order
+ *    permutation, appending an unrelated tree) must leave the
+ *    reconstruction unchanged up to the induced renaming;
+ *  - differential properties: two pipelines that must agree
+ *    (serial vs threaded, image vs serialize round-trip, strict vs
+ *    k-relaxed hierarchy, repeated classification).
+ *
+ * Oracles are pure: they may re-generate/re-compile/re-reconstruct,
+ * but never mutate the case under test.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fuzz/case.h"
+
+namespace rock::fuzz {
+
+/** Outcome of one oracle on one case. */
+struct OracleVerdict {
+    bool ok = true;
+    /** First violation, human-readable; empty when ok. */
+    std::string detail;
+};
+
+/** What an oracle sees. */
+struct OracleContext {
+    const FuzzCase& fuzz_case;
+    const CaseConfig& config;
+};
+
+/** One registered oracle. */
+struct Oracle {
+    /** Stable id, used by --oracle filters and repro files. */
+    std::string name;
+    /** One-line description (docs/FUZZING.md table). */
+    std::string description;
+    std::function<OracleVerdict(const OracleContext&)> check;
+};
+
+/**
+ * All built-in oracles, in the order they run. The order is part of
+ * the interface: a fuzz failure reports the *first* failing oracle.
+ */
+const std::vector<Oracle>& oracle_registry();
+
+/** Registry entry by name, or nullptr. */
+const Oracle* find_oracle(const std::string& name);
+
+/**
+ * Name of the implicit oracle the runner reports when generating,
+ * compiling or reconstructing a case throws.
+ */
+inline constexpr const char* kNoCrashOracle = "no-crash";
+
+} // namespace rock::fuzz

@@ -1,0 +1,229 @@
+#include "fuzz/repro.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace rock::fuzz {
+namespace {
+
+using support::check;
+
+/**
+ * Find the raw value token of @p key in @p json: a quoted string
+ * (returned with quotes) or a bare scalar. Returns false when the
+ * key is absent.
+ */
+bool
+find_value(const std::string& json, const std::string& key,
+           std::string& out)
+{
+    std::string needle = "\"" + key + "\"";
+    std::size_t pos = json.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos = json.find(':', pos + needle.size());
+    check(pos != std::string::npos,
+          "malformed repro JSON: no ':' after \"" + key + "\"");
+    ++pos;
+    while (pos < json.size() &&
+           std::isspace(static_cast<unsigned char>(json[pos])))
+        ++pos;
+    check(pos < json.size(),
+          "malformed repro JSON: no value for \"" + key + "\"");
+    if (json[pos] == '"') {
+        std::size_t end = json.find('"', pos + 1);
+        check(end != std::string::npos,
+              "malformed repro JSON: unterminated string for \"" +
+                  key + "\"");
+        out = json.substr(pos, end - pos + 1);
+        return true;
+    }
+    std::size_t end = pos;
+    auto scalar_char = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) ||
+               c == '.' || c == '+' || c == '-' || c == '_';
+    };
+    while (end < json.size() && scalar_char(json[end]))
+        ++end;
+    check(end > pos,
+          "malformed repro JSON: empty value for \"" + key + "\"");
+    out = json.substr(pos, end - pos);
+    return true;
+}
+
+void
+get_int(const std::string& json, const std::string& key, int& field)
+{
+    std::string raw;
+    if (find_value(json, key, raw))
+        field = std::atoi(raw.c_str());
+}
+
+void
+get_u64(const std::string& json, const std::string& key,
+        std::uint64_t& field)
+{
+    std::string raw;
+    if (find_value(json, key, raw))
+        field = std::strtoull(raw.c_str(), nullptr, 10);
+}
+
+void
+get_double(const std::string& json, const std::string& key,
+           double& field)
+{
+    std::string raw;
+    if (find_value(json, key, raw))
+        field = std::strtod(raw.c_str(), nullptr);
+}
+
+void
+get_bool(const std::string& json, const std::string& key, bool& field)
+{
+    std::string raw;
+    if (find_value(json, key, raw))
+        field = raw == "true" || raw == "1";
+}
+
+void
+get_string(const std::string& json, const std::string& key,
+           std::string& field)
+{
+    std::string raw;
+    if (find_value(json, key, raw) && raw.size() >= 2 &&
+        raw.front() == '"' && raw.back() == '"')
+        field = raw.substr(1, raw.size() - 2);
+}
+
+/** Extract the balanced {...} object of @p key (inner braces kept). */
+std::string
+extract_object(const std::string& json, const std::string& key)
+{
+    std::string needle = "\"" + key + "\"";
+    std::size_t pos = json.find(needle);
+    check(pos != std::string::npos,
+          "repro JSON missing \"" + key + "\"");
+    pos = json.find('{', pos + needle.size());
+    check(pos != std::string::npos,
+          "repro JSON: \"" + key + "\" is not an object");
+    int depth = 0;
+    for (std::size_t i = pos; i < json.size(); ++i) {
+        if (json[i] == '{')
+            ++depth;
+        else if (json[i] == '}' && --depth == 0)
+            return json.substr(pos, i - pos + 1);
+    }
+    support::fatal("repro JSON: unbalanced braces in \"" + key +
+                   "\"");
+}
+
+} // namespace
+
+std::string
+spec_to_json(const corpus::GeneratorSpec& spec)
+{
+    std::ostringstream out;
+    out << "{"
+        << "\"num_classes\": " << spec.num_classes << ", "
+        << "\"num_trees\": " << spec.num_trees << ", "
+        << "\"max_depth\": " << spec.max_depth << ", "
+        << "\"max_children\": " << spec.max_children << ", "
+        << "\"root_methods\": " << spec.root_methods << ", "
+        << "\"new_method_prob\": "
+        << support::format("%.17g", spec.new_method_prob) << ", "
+        << "\"override_prob\": "
+        << support::format("%.17g", spec.override_prob) << ", "
+        << "\"scenarios_per_class\": " << spec.scenarios_per_class
+        << ", "
+        << "\"fold_noise_pairs\": " << spec.fold_noise_pairs << ", "
+        << "\"mi_prob\": " << support::format("%.17g", spec.mi_prob)
+        << ", "
+        << "\"control_flow\": "
+        << (spec.control_flow ? "true" : "false") << ", "
+        << "\"seed\": " << spec.seed << ", "
+        << "\"class_prefix\": \"" << spec.class_prefix << "\", "
+        << "\"name_base\": " << spec.name_base << "}";
+    return out.str();
+}
+
+corpus::GeneratorSpec
+spec_from_json(const std::string& json)
+{
+    corpus::GeneratorSpec spec;
+    get_int(json, "num_classes", spec.num_classes);
+    get_int(json, "num_trees", spec.num_trees);
+    get_int(json, "max_depth", spec.max_depth);
+    get_int(json, "max_children", spec.max_children);
+    get_int(json, "root_methods", spec.root_methods);
+    get_double(json, "new_method_prob", spec.new_method_prob);
+    get_double(json, "override_prob", spec.override_prob);
+    get_int(json, "scenarios_per_class", spec.scenarios_per_class);
+    get_int(json, "fold_noise_pairs", spec.fold_noise_pairs);
+    get_double(json, "mi_prob", spec.mi_prob);
+    get_bool(json, "control_flow", spec.control_flow);
+    get_u64(json, "seed", spec.seed);
+    get_string(json, "class_prefix", spec.class_prefix);
+    get_int(json, "name_base", spec.name_base);
+    return spec;
+}
+
+std::string
+repro_to_json(const Repro& repro)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"rockfuzz_repro\": 1,\n"
+        << "  \"case_seed\": " << repro.case_seed << ",\n"
+        << "  \"oracle\": \"" << repro.oracle << "\",\n"
+        << "  \"spec\": " << spec_to_json(repro.spec) << "\n"
+        << "}\n";
+    return out.str();
+}
+
+Repro
+repro_from_json(const std::string& json)
+{
+    std::string spec_json = extract_object(json, "spec");
+    // Strip the spec object so its "seed" key cannot shadow the
+    // top-level case seed.
+    std::string top = json;
+    top.replace(top.find(spec_json), spec_json.size(), "{}");
+
+    Repro repro;
+    std::string raw;
+    check(find_value(top, "rockfuzz_repro", raw),
+          "not a rockfuzz repro file");
+    check(find_value(top, "case_seed", raw),
+          "repro JSON missing \"case_seed\"");
+    get_u64(top, "case_seed", repro.case_seed);
+    get_string(top, "oracle", repro.oracle);
+    check(!repro.oracle.empty(), "repro JSON missing \"oracle\"");
+    repro.spec = spec_from_json(spec_json);
+    return repro;
+}
+
+void
+write_repro_file(const Repro& repro, const std::string& path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    check(out.good(), "cannot write repro file " + path);
+    out << repro_to_json(repro);
+    check(out.good(), "failed writing repro file " + path);
+}
+
+Repro
+read_repro_file(const std::string& path)
+{
+    std::ifstream in(path);
+    check(in.good(), "cannot read repro file " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return repro_from_json(buffer.str());
+}
+
+} // namespace rock::fuzz

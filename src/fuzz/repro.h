@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Self-contained failure reproducers.
+ *
+ * A repro file is a single JSON object carrying the case seed, the
+ * failing oracle and the full (shrunk) GeneratorSpec -- everything
+ * `rockfuzz --replay FILE` needs to re-run the exact case, with no
+ * dependence on harness defaults that may drift between revisions.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "corpus/generator.h"
+
+namespace rock::fuzz {
+
+/** One shrunk failure, ready to be replayed. */
+struct Repro {
+    /** Meta-distribution seed the failure was found at. */
+    std::uint64_t case_seed = 0;
+    /** Name of the oracle that failed (oracles.h registry). */
+    std::string oracle;
+    /** The (shrunk) failing spec. */
+    corpus::GeneratorSpec spec;
+};
+
+/** Serialize @p spec as a one-line JSON object (all fields). */
+std::string spec_to_json(const corpus::GeneratorSpec& spec);
+
+/**
+ * Parse a spec serialized by spec_to_json(). Unknown keys are
+ * ignored; missing keys keep their defaults. Fatal on malformed
+ * JSON scalars.
+ */
+corpus::GeneratorSpec spec_from_json(const std::string& json);
+
+/** Serialize a repro (pretty, one key per line). */
+std::string repro_to_json(const Repro& repro);
+
+/** Parse a repro file body. Fatal on missing seed/oracle/spec. */
+Repro repro_from_json(const std::string& json);
+
+/** Write @p repro to @p path. Fatal on I/O failure. */
+void write_repro_file(const Repro& repro, const std::string& path);
+
+/** Read a repro from @p path. Fatal on I/O or format failure. */
+Repro read_repro_file(const std::string& path);
+
+} // namespace rock::fuzz

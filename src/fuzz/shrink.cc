@@ -1,0 +1,128 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "fuzz/oracles.h"
+
+namespace rock::fuzz {
+namespace {
+
+using corpus::GeneratorSpec;
+
+/** Scalar size; every accepted shrink step strictly decreases it. */
+long
+spec_size(const GeneratorSpec& spec)
+{
+    long size = 0;
+    size += 10000L * spec.num_classes;
+    size += 200L * spec.num_trees;
+    size += 100L * spec.max_depth;
+    size += 50L * spec.max_children;
+    size += 50L * spec.root_methods;
+    size += 50L * spec.scenarios_per_class;
+    size += 50L * spec.fold_noise_pairs;
+    size += spec.mi_prob > 0.0 ? 40 : 0;
+    size += spec.new_method_prob > 0.0 ? 20 : 0;
+    size += spec.override_prob > 0.0 ? 20 : 0;
+    size += spec.control_flow ? 10 : 0;
+    return size;
+}
+
+/** Keep a spec satisfying the generator's preconditions. */
+void
+clamp(GeneratorSpec& spec)
+{
+    spec.num_classes = std::max(1, spec.num_classes);
+    spec.num_trees =
+        std::max(1, std::min(spec.num_trees, spec.num_classes));
+    spec.max_depth = std::max(1, spec.max_depth);
+    spec.max_children = std::max(1, spec.max_children);
+    spec.root_methods = std::max(1, spec.root_methods);
+    spec.scenarios_per_class = std::max(1, spec.scenarios_per_class);
+    spec.fold_noise_pairs = std::max(0, spec.fold_noise_pairs);
+}
+
+/** Strictly-smaller candidate variants, most aggressive first. */
+std::vector<GeneratorSpec>
+candidates(const GeneratorSpec& spec)
+{
+    std::vector<GeneratorSpec> out;
+    auto propose = [&](auto&& edit) {
+        GeneratorSpec cand = spec;
+        edit(cand);
+        clamp(cand);
+        if (spec_size(cand) < spec_size(spec))
+            out.push_back(cand);
+    };
+
+    propose([](GeneratorSpec& s) { s.num_classes /= 2; });
+    propose([](GeneratorSpec& s) { s.num_classes -= 1; });
+    propose([](GeneratorSpec& s) { s.num_trees = 1; });
+    propose([](GeneratorSpec& s) { s.max_depth /= 2; });
+    propose([](GeneratorSpec& s) { s.max_children /= 2; });
+    propose([](GeneratorSpec& s) { s.root_methods = 1; });
+    propose([](GeneratorSpec& s) { s.scenarios_per_class = 1; });
+    propose([](GeneratorSpec& s) { s.fold_noise_pairs /= 2; });
+    propose([](GeneratorSpec& s) { s.fold_noise_pairs = 0; });
+    propose([](GeneratorSpec& s) { s.mi_prob = 0.0; });
+    propose([](GeneratorSpec& s) { s.new_method_prob = 0.0; });
+    propose([](GeneratorSpec& s) { s.override_prob = 0.0; });
+    propose([](GeneratorSpec& s) { s.control_flow = false; });
+    return out;
+}
+
+} // namespace
+
+bool
+spec_fails_oracle(const corpus::GeneratorSpec& spec,
+                  const std::string& oracle_name,
+                  const CaseConfig& config)
+{
+    FuzzCase fuzz_case;
+    try {
+        fuzz_case = run_case(spec, config);
+    } catch (const std::exception&) {
+        return oracle_name == kNoCrashOracle;
+    }
+    if (oracle_name == kNoCrashOracle)
+        return false;
+    const Oracle* oracle = find_oracle(oracle_name);
+    if (oracle == nullptr)
+        return false;
+    OracleContext ctx{fuzz_case, config};
+    try {
+        return !oracle->check(ctx).ok;
+    } catch (const std::exception&) {
+        // An oracle blowing up on a case is a failure of that case.
+        return true;
+    }
+}
+
+ShrinkOutcome
+shrink_spec(const corpus::GeneratorSpec& failing,
+            const std::string& oracle_name, const CaseConfig& config,
+            int max_runs)
+{
+    ShrinkOutcome outcome;
+    outcome.spec = failing;
+
+    bool progress = true;
+    while (progress && outcome.runs < max_runs) {
+        progress = false;
+        for (const GeneratorSpec& cand : candidates(outcome.spec)) {
+            if (outcome.runs >= max_runs)
+                break;
+            ++outcome.runs;
+            if (spec_fails_oracle(cand, oracle_name, config)) {
+                outcome.spec = cand;
+                ++outcome.accepted_steps;
+                progress = true;
+                break; // restart the ladder from the smaller spec
+            }
+        }
+    }
+    return outcome;
+}
+
+} // namespace rock::fuzz

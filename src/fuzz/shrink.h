@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Greedy spec shrinking: reduce a failing GeneratorSpec to a minimal
+ * reproducer that still fails the *same* oracle.
+ *
+ * Classic QuickCheck-style greedy descent over a fixed candidate
+ * ladder: each pass proposes strictly-smaller variants (halve the
+ * class count, collapse to one tree, halve depth/fan-out, strip
+ * noise and probabilities), re-runs the case, and accepts the first
+ * variant on which the target oracle still fails. Terminates because
+ * every accepted step strictly decreases a scalar spec size.
+ */
+#pragma once
+
+#include <string>
+
+#include "fuzz/case.h"
+
+namespace rock::fuzz {
+
+/** Result of one shrink run. */
+struct ShrinkOutcome {
+    /** Minimal spec that still fails the target oracle. */
+    corpus::GeneratorSpec spec;
+    /** Accepted reduction steps. */
+    int accepted_steps = 0;
+    /** Total candidate cases executed. */
+    int runs = 0;
+};
+
+/**
+ * Does @p spec fail oracle @p oracle_name under @p config?
+ * kNoCrashOracle matches any exception thrown while running the
+ * case; an exception thrown *inside* another oracle also counts as
+ * that oracle failing.
+ */
+bool spec_fails_oracle(const corpus::GeneratorSpec& spec,
+                       const std::string& oracle_name,
+                       const CaseConfig& config);
+
+/**
+ * Shrink @p failing, which must currently fail @p oracle_name, to a
+ * smaller still-failing spec. Runs at most @p max_runs candidate
+ * cases.
+ */
+ShrinkOutcome shrink_spec(const corpus::GeneratorSpec& failing,
+                          const std::string& oracle_name,
+                          const CaseConfig& config,
+                          int max_runs = 150);
+
+} // namespace rock::fuzz

@@ -12,6 +12,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "corpus/benchmarks.h"
 #include "corpus/examples.h"
 #include "corpus/generator.h"
@@ -121,6 +123,43 @@ TEST(Determinism, HardwareConcurrencyKnob)
         toyc::compile(example.program, example.options);
     expect_identical(run_with(compiled.image, 1),
                      run_with(compiled.image, 0));
+}
+
+TEST(Determinism, OversubscribedThreadCounts)
+{
+    // Way more workers than work items: a 5-class program has far
+    // fewer functions/types than 33 threads, so most workers see an
+    // empty stride. The merge must not depend on which ones did.
+    corpus::GeneratorSpec spec;
+    spec.num_classes = 5;
+    spec.num_trees = 1;
+    spec.max_depth = 2;
+    spec.seed = 21;
+    toyc::CompileResult compiled =
+        toyc::compile(corpus::generate_program(spec));
+    ReconstructionResult serial = run_with(compiled.image, 1);
+    for (int threads : {5, 16, 33}) {
+        SCOPED_TRACE(threads);
+        expect_identical(serial, run_with(compiled.image, threads));
+    }
+}
+
+TEST(Determinism, SerialMatchesTwiceHardwareConcurrency)
+{
+    // Oversubscription relative to the machine itself (2x the core
+    // count) must still be bit-identical to the serial path.
+    unsigned hw = std::thread::hardware_concurrency();
+    int threads = static_cast<int>(hw == 0 ? 8 : 2 * hw);
+    corpus::GeneratorSpec spec;
+    spec.num_classes = 24;
+    spec.num_trees = 2;
+    spec.mi_prob = 0.15;
+    spec.fold_noise_pairs = 1;
+    spec.seed = 22;
+    toyc::CompileResult compiled =
+        toyc::compile(corpus::generate_program(spec));
+    expect_identical(run_with(compiled.image, 1),
+                     run_with(compiled.image, threads));
 }
 
 TEST(Determinism, StageTimingPopulatedForEveryStage)

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Meta-tests of the property-fuzzing harness (src/fuzz): the
+ * registry is well-formed, a clean pipeline passes every oracle, an
+ * injected pipeline bug is caught and shrinks to a tiny reproducer,
+ * and repro files round-trip and replay.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "fuzz/case.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/oracles.h"
+#include "fuzz/repro.h"
+#include "fuzz/shrink.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace rock;
+using corpus::GeneratorSpec;
+
+TEST(FuzzRegistry, WellFormed)
+{
+    const auto& registry = fuzz::oracle_registry();
+    ASSERT_GE(registry.size(), 8u);
+    std::set<std::string> names;
+    for (const auto& oracle : registry) {
+        EXPECT_FALSE(oracle.name.empty());
+        EXPECT_FALSE(oracle.description.empty());
+        EXPECT_TRUE(oracle.check != nullptr);
+        EXPECT_TRUE(names.insert(oracle.name).second)
+            << "duplicate oracle " << oracle.name;
+        EXPECT_EQ(fuzz::find_oracle(oracle.name), &oracle);
+    }
+    EXPECT_EQ(fuzz::find_oracle("no-such-oracle"), nullptr);
+    // The implicit crash oracle must not shadow a registered one.
+    EXPECT_EQ(fuzz::find_oracle(fuzz::kNoCrashOracle), nullptr);
+}
+
+TEST(FuzzSampling, DeterministicAndValid)
+{
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+        GeneratorSpec a = fuzz::sample_spec(seed);
+        GeneratorSpec b = fuzz::sample_spec(seed);
+        EXPECT_EQ(a, b) << "seed " << seed;
+        EXPECT_GE(a.num_trees, 1);
+        EXPECT_GE(a.num_classes, a.num_trees);
+        EXPECT_GE(a.max_depth, 1);
+        EXPECT_GE(a.max_children, 1);
+        EXPECT_GE(a.root_methods, 1);
+        EXPECT_GE(a.scenarios_per_class, 1);
+        EXPECT_GE(a.fold_noise_pairs, 0);
+        EXPECT_GE(a.mi_prob, 0.0);
+        EXPECT_EQ(a.seed, seed);
+    }
+    // Distinct seeds explore distinct shapes.
+    EXPECT_NE(fuzz::sample_spec(1), fuzz::sample_spec(2));
+}
+
+TEST(FuzzCampaign, CleanPipelinePassesEveryOracle)
+{
+    fuzz::FuzzOptions options;
+    options.seeds = 4;
+    options.first_seed = 101;
+    fuzz::FuzzReport report = fuzz::run_fuzz(options);
+    EXPECT_TRUE(report.ok())
+        << (report.failures.empty()
+                ? std::string()
+                : report.failures[0].oracle + ": " +
+                      report.failures[0].detail);
+    EXPECT_EQ(report.cases_run, 4);
+    // Every registered oracle ran on every case.
+    for (const auto& oracle : fuzz::oracle_registry())
+        EXPECT_EQ(report.oracle_passes.at(oracle.name), 4)
+            << oracle.name;
+}
+
+TEST(FuzzCampaign, BudgetStopsEarlyButRunsAtLeastOneCase)
+{
+    fuzz::FuzzOptions options;
+    options.seeds = 50;
+    options.budget_ms = 0.001;
+    fuzz::FuzzReport report = fuzz::run_fuzz(options);
+    EXPECT_EQ(report.cases_run, 1);
+    EXPECT_TRUE(report.budget_exhausted);
+}
+
+TEST(FuzzMeta, InjectedBugIsCaughtAndShrinksSmall)
+{
+    // Deliberately break the pipeline output: drop every rule-3
+    // forced edge, the bug class of paper Section 5.2.
+    fuzz::CaseConfig config;
+    config.hooks = fuzz::injection_by_name("drop-forced-edges");
+
+    fuzz::FuzzOptions options;
+    options.seeds = 6;
+    options.first_seed = 1;
+    options.only = {"forced-parents"};
+    options.max_failures = 1;
+    fuzz::FuzzReport report = fuzz::run_fuzz(options, config);
+
+    ASSERT_FALSE(report.failures.empty())
+        << "the forced-parents oracle missed an injected bug";
+    const fuzz::FuzzFailure& failure = report.failures[0];
+    EXPECT_EQ(failure.oracle, "forced-parents");
+    EXPECT_FALSE(failure.detail.empty());
+    // Shrinking must reach a near-minimal hierarchy.
+    EXPECT_LE(failure.shrunk.num_classes, 6);
+    EXPECT_GE(failure.shrink_steps, 1);
+    // The shrunk spec still reproduces the failure.
+    EXPECT_TRUE(fuzz::spec_fails_oracle(failure.shrunk,
+                                        "forced-parents", config));
+    // ... and the unshrunk one does too.
+    EXPECT_TRUE(fuzz::spec_fails_oracle(failure.spec,
+                                        "forced-parents", config));
+}
+
+TEST(FuzzMeta, OrphanInjectionTripsStructureOracle)
+{
+    fuzz::CaseConfig config;
+    config.hooks = fuzz::injection_by_name("orphan-last-type");
+    fuzz::FuzzOptions options;
+    options.seeds = 6;
+    options.only = {"structure"};
+    options.max_failures = 1;
+    options.shrink = false;
+    fuzz::FuzzReport report = fuzz::run_fuzz(options, config);
+    ASSERT_FALSE(report.failures.empty());
+    EXPECT_EQ(report.failures[0].oracle, "structure");
+}
+
+TEST(FuzzMeta, UnknownInjectionIsFatal)
+{
+    EXPECT_THROW(fuzz::injection_by_name("no-such-bug"),
+                 support::FatalError);
+}
+
+TEST(FuzzRepro, SpecJsonRoundTripsEveryField)
+{
+    GeneratorSpec spec = fuzz::sample_spec(17);
+    spec.class_prefix = "Q";
+    spec.name_base = 4096;
+    spec.new_method_prob = 0.12345678901234567;
+    GeneratorSpec parsed =
+        fuzz::spec_from_json(fuzz::spec_to_json(spec));
+    EXPECT_EQ(parsed, spec);
+}
+
+TEST(FuzzRepro, FileRoundTripAndReplay)
+{
+    fuzz::Repro repro;
+    repro.case_seed = 23;
+    repro.oracle = "forced-parents";
+    repro.spec = fuzz::sample_spec(23);
+
+    std::string path = ::testing::TempDir() + "rockfuzz_test.json";
+    fuzz::write_repro_file(repro, path);
+    fuzz::Repro loaded = fuzz::read_repro_file(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(loaded.case_seed, repro.case_seed);
+    EXPECT_EQ(loaded.oracle, repro.oracle);
+    EXPECT_EQ(loaded.spec, repro.spec);
+
+    // A clean pipeline replays green...
+    fuzz::FuzzReport clean = fuzz::replay(loaded);
+    EXPECT_TRUE(clean.ok());
+    // ... and the injected bug reproduces on replay.
+    fuzz::CaseConfig config;
+    config.hooks = fuzz::injection_by_name("drop-forced-edges");
+    fuzz::FuzzReport broken =
+        fuzz::replay(loaded, config, {"forced-parents"});
+    EXPECT_FALSE(broken.ok());
+}
+
+TEST(FuzzRepro, MalformedJsonIsFatal)
+{
+    EXPECT_THROW(fuzz::repro_from_json("{}"), support::FatalError);
+    EXPECT_THROW(fuzz::repro_from_json("not json at all"),
+                 support::FatalError);
+    EXPECT_THROW(
+        fuzz::repro_from_json(
+            "{\"rockfuzz_repro\": 1, \"case_seed\": 5, "
+            "\"spec\": {\"num_classes\": 3"),
+        support::FatalError);
+    EXPECT_THROW(fuzz::read_repro_file("/nonexistent/nope.json"),
+                 support::FatalError);
+}
+
+TEST(FuzzShrink, PreservesGeneratorPreconditions)
+{
+    // Shrinking an always-failing predicate walks the full ladder;
+    // every intermediate spec must stay generator-valid (this would
+    // throw inside generate_program otherwise).
+    fuzz::CaseConfig config;
+    config.hooks = fuzz::injection_by_name("drop-forced-edges");
+    GeneratorSpec spec = fuzz::sample_spec(3);
+    fuzz::ShrinkOutcome outcome =
+        fuzz::shrink_spec(spec, "forced-parents", config);
+    EXPECT_GE(outcome.spec.num_trees, 1);
+    EXPECT_GE(outcome.spec.num_classes, outcome.spec.num_trees);
+    EXPECT_LE(outcome.runs, 150);
+    EXPECT_LE(outcome.spec.num_classes, spec.num_classes);
+}
+
+} // namespace

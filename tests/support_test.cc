@@ -244,6 +244,90 @@ TEST(Parallel, EmptyAndSingleItemLoops)
     EXPECT_EQ(calls, 1);
 }
 
+TEST(Parallel, ZeroItemLoopAcrossPoolSizes)
+{
+    // An empty index space must return immediately (no worker
+    // wake-up deadlock) for the inline pool, a normal pool, and an
+    // oversubscribed one -- and leave the pool usable.
+    for (int threads : {1, 2, 8, 19}) {
+        SCOPED_TRACE(threads);
+        ThreadPool pool(threads);
+        int calls = 0;
+        pool.parallel_for(0, [&](std::size_t) { ++calls; });
+        EXPECT_EQ(calls, 0);
+        std::atomic<int> after{0};
+        pool.parallel_for(3, [&](std::size_t) { ++after; });
+        EXPECT_EQ(after.load(), 3);
+    }
+}
+
+TEST(Parallel, OversubscribedPoolCoversEveryItem)
+{
+    // More workers than items: most strides are empty, every item
+    // still runs exactly once.
+    ThreadPool pool(16);
+    std::vector<int> hits(5, 0);
+    pool.parallel_for(hits.size(),
+                      [&](std::size_t i) { hits[i] += 1; });
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }));
+}
+
+TEST(Parallel, AllWorkersThrowingStillRecovers)
+{
+    // Every stride throws on its first item; exactly one exception
+    // reaches the caller and the pool keeps working afterwards.
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallel_for(8,
+                                   [](std::size_t i) {
+                                       throw std::runtime_error(
+                                           "item " +
+                                           std::to_string(i));
+                                   }),
+                 std::runtime_error);
+    std::atomic<int> count{0};
+    pool.parallel_for(8, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(Parallel, InlinePoolPropagatesExceptionAndSurvives)
+{
+    // threads=1 runs inline on the caller; the exception path must
+    // behave exactly like the threaded one.
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallel_for(4,
+                                   [](std::size_t i) {
+                                       if (i == 2)
+                                           throw std::logic_error(
+                                               "inline");
+                                   }),
+                 std::logic_error);
+    int calls = 0;
+    pool.parallel_for(4, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 4);
+}
+
+TEST(Parallel, HeterogeneousStageReuse)
+{
+    // The pipeline drives one pool through stages of very different
+    // shapes (many tiny items, then few heavy ones, then none).
+    ThreadPool pool(3);
+    std::vector<int> small(200, 0);
+    pool.parallel_for(small.size(),
+                      [&](std::size_t i) { small[i] = 1; });
+    std::vector<long> heavy(2, 0);
+    pool.parallel_for(heavy.size(), [&](std::size_t i) {
+        long acc = 0;
+        for (int j = 0; j < 10000; ++j)
+            acc += static_cast<long>(i) + j;
+        heavy[i] = acc;
+    });
+    pool.parallel_for(0, [&](std::size_t) { FAIL(); });
+    EXPECT_EQ(std::accumulate(small.begin(), small.end(), 0), 200);
+    EXPECT_EQ(heavy[0] + 10000 * static_cast<long>(1),
+              heavy[1]);
+}
+
 TEST(Parallel, OneShotHelperMatchesPool)
 {
     std::vector<int> hits(37, 0);

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * rockfuzz -- property-based fuzzing of the reconstruction pipeline.
+ *
+ * Samples generator specs from a seeded meta-distribution, compiles
+ * each through toyc, runs the full pipeline, and checks the oracle
+ * registry (structural invariants, metamorphic properties,
+ * differential pipelines). Failures are shrunk to minimal specs and
+ * written as self-contained repro files.
+ *
+ * Usage:
+ *   rockfuzz [options]
+ *   rockfuzz --replay FILE
+ *
+ * Options:
+ *   --seeds N        cases to run (default 100)
+ *   --first-seed S   first case seed (default 1)
+ *   --budget-ms M    wall-clock budget; stop early when exceeded
+ *   --threads N      pipeline threads for the primary runs
+ *   --oracle NAME    run only this oracle (repeatable)
+ *   --no-shrink      keep failing specs unshrunk
+ *   --repro-dir DIR  write repro files there (default ".")
+ *   --replay FILE    re-run one repro file instead of a campaign
+ *   --inject-bug B   apply a named fault injection (harness demo)
+ *   --list-oracles   print the oracle registry and exit
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+#include "fuzz/oracles.h"
+#include "fuzz/repro.h"
+#include "support/error.h"
+
+namespace {
+
+void
+print_report(const rock::fuzz::FuzzReport& report,
+             const std::string& repro_dir)
+{
+    using rock::fuzz::spec_to_json;
+
+    for (const auto& failure : report.failures) {
+        std::fprintf(stderr,
+                     "rockfuzz: FAIL seed %llu oracle '%s': %s\n",
+                     static_cast<unsigned long long>(
+                         failure.case_seed),
+                     failure.oracle.c_str(), failure.detail.c_str());
+        std::fprintf(stderr, "rockfuzz:   spec   %s\n",
+                     spec_to_json(failure.spec).c_str());
+        std::fprintf(stderr,
+                     "rockfuzz:   shrunk %s (%d shrink steps)\n",
+                     spec_to_json(failure.shrunk).c_str(),
+                     failure.shrink_steps);
+        std::string path =
+            repro_dir + "/rockfuzz-repro-" +
+            std::to_string(failure.case_seed) + ".json";
+        try {
+            rock::fuzz::write_repro_file(failure.repro(), path);
+            std::fprintf(stderr,
+                         "rockfuzz:   repro written to %s "
+                         "(rockfuzz --replay %s)\n",
+                         path.c_str(), path.c_str());
+        } catch (const rock::support::FatalError& e) {
+            std::fprintf(stderr,
+                         "rockfuzz:   cannot write repro: %s\n",
+                         e.what());
+        }
+    }
+    std::printf("rockfuzz: %d/%d cases, %ld oracle checks passed, "
+                "%zu failure(s)%s in %.0f ms\n",
+                report.cases_run, report.cases_planned,
+                report.total_passes(), report.failures.size(),
+                report.budget_exhausted ? " (budget exhausted)" : "",
+                report.elapsed_ms);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace rock;
+
+    fuzz::FuzzOptions options;
+    fuzz::CaseConfig config;
+    std::string repro_dir = ".";
+    std::string replay_file;
+    std::string inject;
+    bool list_oracles = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--seeds" && i + 1 < argc) {
+            options.seeds = std::atoi(argv[++i]);
+        } else if (arg == "--first-seed" && i + 1 < argc) {
+            options.first_seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--budget-ms" && i + 1 < argc) {
+            options.budget_ms = std::atof(argv[++i]);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            config.rock.threads = std::atoi(argv[++i]);
+        } else if (arg == "--oracle" && i + 1 < argc) {
+            options.only.push_back(argv[++i]);
+        } else if (arg == "--no-shrink") {
+            options.shrink = false;
+        } else if (arg == "--repro-dir" && i + 1 < argc) {
+            repro_dir = argv[++i];
+        } else if (arg == "--replay" && i + 1 < argc) {
+            replay_file = argv[++i];
+        } else if (arg == "--inject-bug" && i + 1 < argc) {
+            inject = argv[++i];
+        } else if (arg == "--list-oracles") {
+            list_oracles = true;
+        } else {
+            std::fprintf(stderr,
+                         "rockfuzz: unknown option '%s'\n"
+                         "usage: rockfuzz [--seeds N] [--first-seed "
+                         "S] [--budget-ms M] [--threads N] [--oracle "
+                         "NAME] [--no-shrink] [--repro-dir DIR] "
+                         "[--replay FILE] [--inject-bug B] "
+                         "[--list-oracles]\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    if (list_oracles) {
+        for (const auto& oracle : fuzz::oracle_registry())
+            std::printf("%-24s %s\n", oracle.name.c_str(),
+                        oracle.description.c_str());
+        return 0;
+    }
+
+    try {
+        if (!inject.empty())
+            config.hooks = fuzz::injection_by_name(inject);
+
+        for (const auto& name : options.only) {
+            rock::support::check(
+                fuzz::find_oracle(name) != nullptr,
+                "unknown oracle '" + name +
+                    "' (see rockfuzz --list-oracles)");
+        }
+
+        fuzz::FuzzReport report;
+        if (!replay_file.empty()) {
+            fuzz::Repro repro = fuzz::read_repro_file(replay_file);
+            std::printf("rockfuzz: replaying seed %llu (oracle "
+                        "'%s')\n",
+                        static_cast<unsigned long long>(
+                            repro.case_seed),
+                        repro.oracle.c_str());
+            report = fuzz::replay(repro, config, options.only);
+        } else {
+            report = fuzz::run_fuzz(options, config);
+        }
+        print_report(report, repro_dir);
+        return report.ok() ? 0 : 1;
+    } catch (const support::FatalError& e) {
+        std::fprintf(stderr, "rockfuzz: error: %s\n", e.what());
+        return 2;
+    }
+}
