@@ -66,13 +66,15 @@ main()
             std::printf(
                 "{\"bench\":\"pipeline_scaling\",\"classes\":%d,"
                 "\"functions\":%zu,\"types\":%zu,\"threads\":%d,"
+                "\"verify_ms\":%.3f,"
                 "\"analyze_ms\":%.3f,\"structural_ms\":%.3f,"
                 "\"train_ms\":%.3f,\"distances_ms\":%.3f,"
                 "\"arborescence_ms\":%.3f,\"total_ms\":%.3f,"
                 "\"speedup_vs_serial\":%.3f,"
                 "\"identical_to_serial\":%s}\n",
                 classes, compiled.image.functions.size(),
-                result.structural.types.size(), threads, t.analyze_ms,
+                result.structural.types.size(), threads, t.verify_ms,
+                t.analyze_ms,
                 t.structural_ms, t.train_ms, t.distances_ms,
                 t.arborescence_ms, t.total_ms,
                 t.total_ms > 0.0 ? serial_ms / t.total_ms : 0.0,

@@ -39,7 +39,70 @@ decode(const std::vector<std::uint8_t>& bytes, std::size_t offset)
                 (static_cast<std::uint32_t>(bytes[offset + 5]) << 8) |
                 (static_cast<std::uint32_t>(bytes[offset + 6]) << 16) |
                 (static_cast<std::uint32_t>(bytes[offset + 7]) << 24);
+    if (!valid_register_operands(instr))
+        return std::nullopt;
     return instr;
+}
+
+std::vector<int>
+reg_uses(const Instr& instr)
+{
+    switch (instr.op) {
+      case Op::MovReg:
+      case Op::Load:
+        return {instr.b};
+      case Op::Store:
+        return {instr.a, instr.b};
+      case Op::AddImm:
+        return {instr.b};
+      case Op::CallInd:
+      case Op::RetVal:
+      case Op::Jnz:
+      case Op::Jz:
+        return {instr.a};
+      case Op::SetArg:
+        return {instr.b}; // `a` is an argument slot, not a register
+      default:
+        return {};
+    }
+}
+
+int
+reg_def(const Instr& instr)
+{
+    switch (instr.op) {
+      case Op::MovImm:
+      case Op::MovReg:
+      case Op::Load:
+      case Op::AddImm:
+      case Op::GetArg: // `b` is an argument slot, not a register
+      case Op::GetRet:
+        return instr.a;
+      default:
+        return -1;
+    }
+}
+
+bool
+valid_register_operands(const Instr& instr)
+{
+    for (int r : reg_uses(instr)) {
+        if (r >= kNumRegs)
+            return false;
+    }
+    return reg_def(instr) < kNumRegs; // -1 (no def) is always fine
+}
+
+bool
+is_jump(Op op)
+{
+    return op == Op::Jmp || op == Op::Jnz || op == Op::Jz;
+}
+
+bool
+is_block_end(Op op)
+{
+    return op == Op::Ret || op == Op::RetVal || op == Op::Jmp;
 }
 
 std::string

@@ -88,11 +88,39 @@ void encode(const Instr& instr, std::vector<std::uint8_t>& out);
 /**
  * Decode one instruction from @p bytes at @p offset.
  *
- * @return std::nullopt when fewer than 8 bytes remain or the opcode
- *         byte is not a valid Op.
+ * @return std::nullopt when fewer than 8 bytes remain, the opcode
+ *         byte is not a valid Op, or a register operand field the op
+ *         actually reads/writes names a register >= kNumRegs.
+ *         Operand fields the op ignores (e.g. `c` everywhere, `b` of
+ *         a Jnz) tolerate arbitrary stale bytes: encode() writes the
+ *         Instr fields verbatim and makes no promise about unused
+ *         ones, so decode must not reject them.
  */
 std::optional<Instr> decode(const std::vector<std::uint8_t>& bytes,
                             std::size_t offset);
+
+/**
+ * Register numbers @p instr reads (the `this`/source operands).
+ * Non-register small operands -- SetArg's slot index `a`, GetArg's
+ * slot index `b` -- are never included.
+ */
+std::vector<int> reg_uses(const Instr& instr);
+
+/** Register @p instr writes, or -1 when it writes none. */
+int reg_def(const Instr& instr);
+
+/**
+ * @return true when every register operand field @p instr reads or
+ *         writes names a register < kNumRegs (the validity contract
+ *         decode() enforces).
+ */
+bool valid_register_operands(const Instr& instr);
+
+/** @return true for the control-transfer ops Jmp / Jnz / Jz. */
+bool is_jump(Op op);
+
+/** @return true for ops that never fall through (Ret, RetVal, Jmp). */
+bool is_block_end(Op op);
 
 /** Human-readable mnemonic for @p op. */
 std::string op_name(Op op);

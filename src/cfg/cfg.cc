@@ -1,0 +1,226 @@
+#include "cfg/cfg.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/str.h"
+
+namespace rock::cfg {
+
+namespace {
+
+/** Is @p target an instruction-aligned address inside @p fn? */
+bool
+in_function(const bir::FunctionEntry& fn, std::uint32_t target)
+{
+    return target >= fn.addr && target < fn.addr + fn.size &&
+           (target - fn.addr) % bir::kInstrSize == 0;
+}
+
+} // namespace
+
+int
+Cfg::block_at(std::uint32_t addr) const
+{
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        if (addr >= blocks[b].start && addr < blocks[b].end)
+            return static_cast<int>(b);
+    }
+    return -1;
+}
+
+bool
+Cfg::well_formed() const
+{
+    if (truncated)
+        return false;
+    for (const auto& slot : slots) {
+        if (!slot.instr)
+            return false;
+    }
+    return true;
+}
+
+std::vector<int>
+Cfg::reachable() const
+{
+    std::vector<int> out;
+    if (blocks.empty())
+        return out;
+    std::vector<bool> seen(blocks.size(), false);
+    std::vector<int> stack{0};
+    seen[0] = true;
+    while (!stack.empty()) {
+        int b = stack.back();
+        stack.pop_back();
+        for (int s : blocks[static_cast<std::size_t>(b)].succs) {
+            if (!seen[static_cast<std::size_t>(s)]) {
+                seen[static_cast<std::size_t>(s)] = true;
+                stack.push_back(s);
+            }
+        }
+    }
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        if (seen[b])
+            out.push_back(static_cast<int>(b));
+    }
+    return out;
+}
+
+Cfg
+build_cfg(const bir::BinaryImage& image, const bir::FunctionEntry& fn)
+{
+    Cfg cfg;
+    cfg.func = fn;
+
+    // Clamp the body to the code section; anything past it (or a
+    // trailing sub-instruction fragment) is recorded as truncation.
+    std::uint64_t sec_end =
+        static_cast<std::uint64_t>(image.code_base) + image.code.size();
+    std::uint64_t body_end =
+        static_cast<std::uint64_t>(fn.addr) + fn.size;
+    if (fn.addr < image.code_base || body_end > sec_end) {
+        cfg.truncated = true;
+        body_end = std::min<std::uint64_t>(body_end, sec_end);
+    }
+    std::uint32_t usable =
+        body_end > fn.addr
+            ? static_cast<std::uint32_t>(body_end - fn.addr)
+            : 0;
+    if (usable % bir::kInstrSize != 0)
+        cfg.truncated = true;
+    std::size_t n = usable / bir::kInstrSize;
+
+    cfg.slots.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Slot slot;
+        slot.addr = fn.addr +
+                    static_cast<std::uint32_t>(i) * bir::kInstrSize;
+        slot.instr = bir::decode(image.code, slot.addr - image.code_base);
+        cfg.slots.push_back(std::move(slot));
+    }
+    if (n == 0)
+        return cfg;
+
+    // Leaders.
+    std::set<std::uint32_t> leaders{fn.addr};
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& slot = cfg.slots[i];
+        if (!slot.instr)
+            continue;
+        bir::Op op = slot.instr->op;
+        if (bir::is_jump(op) && in_function(fn, slot.instr->imm))
+            leaders.insert(slot.instr->imm);
+        if ((bir::is_jump(op) || bir::is_block_end(op)) && i + 1 < n)
+            leaders.insert(cfg.slots[i + 1].addr);
+    }
+
+    // Blocks in address order.
+    cfg.slot_block.assign(n, -1);
+    for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+        auto next = std::next(it);
+        BasicBlock block;
+        block.start = *it;
+        block.end = next == leaders.end()
+                        ? fn.addr + static_cast<std::uint32_t>(n) *
+                                        bir::kInstrSize
+                        : *next;
+        block.first =
+            static_cast<int>((block.start - fn.addr) / bir::kInstrSize);
+        block.last =
+            static_cast<int>((block.end - fn.addr) / bir::kInstrSize);
+        int id = static_cast<int>(cfg.blocks.size());
+        for (int s = block.first; s < block.last; ++s)
+            cfg.slot_block[static_cast<std::size_t>(s)] = id;
+        cfg.blocks.push_back(std::move(block));
+    }
+
+    // Edges.
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        BasicBlock& block = cfg.blocks[b];
+        std::set<int> succs;
+        const Slot& tail =
+            cfg.slots[static_cast<std::size_t>(block.last - 1)];
+        bool falls_through = true;
+        if (tail.instr) {
+            bir::Op op = tail.instr->op;
+            if (bir::is_jump(op) && in_function(fn, tail.instr->imm))
+                succs.insert(cfg.block_at(tail.instr->imm));
+            if (bir::is_block_end(op))
+                falls_through = false;
+            // A jump out of the function transfers control away; a
+            // *conditional* one still falls through on the other arm.
+        }
+        if (falls_through && b + 1 < cfg.blocks.size())
+            succs.insert(static_cast<int>(b + 1));
+        block.succs.assign(succs.begin(), succs.end());
+    }
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        for (int s : cfg.blocks[b].succs)
+            cfg.blocks[static_cast<std::size_t>(s)].preds.push_back(
+                static_cast<int>(b));
+    }
+    return cfg;
+}
+
+std::vector<Cfg>
+build_all_cfgs(const bir::BinaryImage& image)
+{
+    std::vector<Cfg> out;
+    out.reserve(image.functions.size());
+    for (const auto& fn : image.functions)
+        out.push_back(build_cfg(image, fn));
+    return out;
+}
+
+std::string
+to_dot(const Cfg& cfg, const bir::BinaryImage& image, int cluster_id)
+{
+    std::ostringstream out;
+    std::string prefix =
+        support::format("f%x_", cfg.func.addr);
+    if (cluster_id >= 0) {
+        out << "  subgraph cluster_" << cluster_id << " {\n"
+            << "    label=\"" << image.name_of(cfg.func.addr) << " @ "
+            << support::hex(cfg.func.addr) << "\";\n";
+    } else {
+        out << "digraph cfg {\n  node [shape=box, fontname=\"monospace\"];\n";
+    }
+    std::string indent = cluster_id >= 0 ? "    " : "  ";
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const BasicBlock& block = cfg.blocks[b];
+        out << indent << prefix << "b" << b << " [label=\""
+            << support::hex(block.start) << ":\\l";
+        for (int s = block.first; s < block.last; ++s) {
+            const Slot& slot = cfg.slots[static_cast<std::size_t>(s)];
+            out << (slot.instr ? bir::to_string(*slot.instr)
+                               : std::string("<undecodable>"))
+                << "\\l";
+        }
+        out << "\"];\n";
+        for (int s : block.succs) {
+            out << indent << prefix << "b" << b << " -> " << prefix
+                << "b" << s << ";\n";
+        }
+    }
+    if (cluster_id >= 0)
+        out << "  }\n";
+    else
+        out << "}\n";
+    return out.str();
+}
+
+std::string
+to_dot(const bir::BinaryImage& image)
+{
+    std::ostringstream out;
+    out << "digraph cfg {\n  node [shape=box, fontname=\"monospace\"];\n";
+    int cluster = 0;
+    for (const auto& fn : image.functions)
+        out << to_dot(build_cfg(image, fn), image, cluster++);
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace rock::cfg

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A small generic dataflow framework over recovered CFGs.
+ *
+ * A *problem* is any type P providing:
+ *
+ *   using Domain = ...;                 // a lattice value
+ *   Domain boundary() const;            // entry value (forward) /
+ *                                       // exit value (backward)
+ *   Domain top() const;                 // meet identity, the initial
+ *                                       // value of every other block
+ *   void meet(Domain& into,             // into = into /\ from
+ *             const Domain& from) const;
+ *   Domain transfer(const Cfg& cfg,     // apply one whole block
+ *                   int block,
+ *                   Domain in) const;
+ *
+ * solve() iterates blocks in reverse postorder (forward problems) or
+ * postorder (backward problems) until fixpoint, which converges in a
+ * handful of sweeps on reducible intra-procedural graphs. Blocks
+ * unreachable in the chosen direction keep `top()` as their input, so
+ * a *must* (intersection) problem vacuously holds on dead code --
+ * callers that care report unreachability separately (cfg/verify.h).
+ *
+ * Instantiations shipped with the framework: reaching definitions,
+ * liveness and constant propagation (cfg/analyses.h), plus the
+ * "a call definitely happened" must-analysis inside the verifier.
+ */
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "cfg/cfg.h"
+#include "cfg/dominators.h"
+
+namespace rock::cfg {
+
+/** Sweep direction of a dataflow problem. */
+enum class Direction {
+    Forward,  ///< facts flow entry -> exit (meet over predecessors)
+    Backward, ///< facts flow exit -> entry (meet over successors)
+};
+
+/** Per-block input/output facts of a solved problem. */
+template <class Domain>
+struct BlockFacts {
+    Domain in;
+    Domain out;
+};
+
+/**
+ * Solve @p problem over @p cfg to fixpoint.
+ *
+ * @return one BlockFacts per block, indexed by block id. For forward
+ *         problems `in` is the fact at block entry; for backward
+ *         problems `in` is the fact at block *exit* (the transfer
+ *         input) and `out` the fact at block entry.
+ */
+template <class P>
+std::vector<BlockFacts<typename P::Domain>>
+solve(const Cfg& cfg, const P& problem, Direction dir)
+{
+    using Domain = typename P::Domain;
+    const std::size_t n = cfg.blocks.size();
+    std::vector<BlockFacts<Domain>> facts(
+        n, BlockFacts<Domain>{problem.top(), problem.top()});
+    if (n == 0)
+        return facts;
+
+    std::vector<int> order = reverse_postorder(cfg);
+    if (dir == Direction::Backward)
+        std::reverse(order.begin(), order.end());
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : order) {
+            auto& fb = facts[static_cast<std::size_t>(b)];
+            Domain in = problem.top();
+            const auto& edges =
+                dir == Direction::Forward
+                    ? cfg.blocks[static_cast<std::size_t>(b)].preds
+                    : cfg.blocks[static_cast<std::size_t>(b)].succs;
+            bool boundary =
+                dir == Direction::Forward
+                    ? b == 0
+                    : cfg.blocks[static_cast<std::size_t>(b)]
+                          .succs.empty();
+            if (boundary)
+                in = problem.boundary();
+            for (int e : edges)
+                problem.meet(in,
+                             facts[static_cast<std::size_t>(e)].out);
+            Domain out = problem.transfer(cfg, b, in);
+            if (!(in == fb.in) || !(out == fb.out)) {
+                fb.in = std::move(in);
+                fb.out = std::move(out);
+                changed = true;
+            }
+        }
+    }
+    return facts;
+}
+
+} // namespace rock::cfg

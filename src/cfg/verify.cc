@@ -1,0 +1,370 @@
+#include "cfg/verify.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "cfg/analyses.h"
+#include "support/str.h"
+
+namespace rock::cfg {
+
+namespace {
+
+using support::format;
+using support::hex;
+
+/**
+ * Field-extract a slot's raw bytes without any validity checking --
+ * the permissive twin of bir::decode, used to tell *why* a slot was
+ * rejected (bad opcode vs bad register field).
+ */
+bir::Instr
+raw_extract(const bir::BinaryImage& image, std::uint32_t addr)
+{
+    std::size_t off = addr - image.code_base;
+    bir::Instr instr;
+    instr.op = static_cast<bir::Op>(image.code[off]);
+    instr.a = image.code[off + 1];
+    instr.b = image.code[off + 2];
+    instr.c = image.code[off + 3];
+    instr.imm = static_cast<std::uint32_t>(image.code[off + 4]) |
+                (static_cast<std::uint32_t>(image.code[off + 5]) << 8) |
+                (static_cast<std::uint32_t>(image.code[off + 6]) << 16) |
+                (static_cast<std::uint32_t>(image.code[off + 7]) << 24);
+    return instr;
+}
+
+bool
+valid_opcode(const bir::BinaryImage& image, std::uint32_t addr)
+{
+    return image.code[addr - image.code_base] <=
+           static_cast<std::uint8_t>(bir::Op::Jz);
+}
+
+bool
+aligned(const bir::BinaryImage& image, std::uint32_t target)
+{
+    return (target - image.code_base) % bir::kInstrSize == 0;
+}
+
+/** Forward must-analysis: has a call definitely executed by here? */
+struct CallSeenProblem {
+    using Domain = bool;
+
+    Domain boundary() const { return false; }
+    Domain top() const { return true; } // meet identity for AND
+    void meet(Domain& into, const Domain& from) const
+    {
+        into = into && from;
+    }
+    Domain transfer(const Cfg& graph, int block, Domain in) const
+    {
+        const BasicBlock& bb =
+            graph.blocks[static_cast<std::size_t>(block)];
+        for (int s = bb.first; s < bb.last; ++s) {
+            const auto& instr =
+                graph.slots[static_cast<std::size_t>(s)].instr;
+            if (instr && (instr->op == bir::Op::Call ||
+                          instr->op == bir::Op::CallInd))
+                return true;
+        }
+        return in;
+    }
+};
+
+/** Does any real (non-uninit) definition appear in @p defs? */
+bool
+has_real_def(const std::set<int>& defs)
+{
+    for (int d : defs) {
+        if (d != kUninitDef)
+            return true;
+    }
+    return false;
+}
+
+void
+check_transfers(const bir::BinaryImage& image, const Cfg& cfg,
+                const Slot& slot, std::vector<Diagnostic>& out)
+{
+    const bir::Instr& instr = *slot.instr;
+    const bir::FunctionEntry& fn = cfg.func;
+    auto diag = [&](DiagKind kind, std::string detail) {
+        out.push_back(
+            {kind, fn.addr, slot.addr, std::move(detail)});
+    };
+
+    if (bir::is_jump(instr.op)) {
+        std::uint32_t target = instr.imm;
+        if (!image.in_code(target)) {
+            diag(DiagKind::TargetOutOfCode,
+                 format("%s target %s is outside the code section",
+                        bir::op_name(instr.op).c_str(),
+                        hex(target).c_str()));
+        } else if (!aligned(image, target)) {
+            diag(DiagKind::TargetMisaligned,
+                 format("%s target %s is not %u-byte aligned",
+                        bir::op_name(instr.op).c_str(),
+                        hex(target).c_str(), bir::kInstrSize));
+        } else if (target < fn.addr || target >= fn.addr + fn.size) {
+            diag(DiagKind::JumpEscapesFunction,
+                 format("%s target %s escapes the containing "
+                        "function [%s, %s)",
+                        bir::op_name(instr.op).c_str(),
+                        hex(target).c_str(), hex(fn.addr).c_str(),
+                        hex(fn.addr + fn.size).c_str()));
+        }
+    } else if (instr.op == bir::Op::Call) {
+        std::uint32_t target = instr.imm;
+        if (target == bir::kAllocStub || target == bir::kPurecallStub)
+            return; // imported runtime stubs are valid callees
+        if (!image.in_code(target)) {
+            diag(DiagKind::TargetOutOfCode,
+                 format("call target %s is outside the code section",
+                        hex(target).c_str()));
+        } else if (!aligned(image, target)) {
+            diag(DiagKind::TargetMisaligned,
+                 format("call target %s is not %u-byte aligned",
+                        hex(target).c_str(), bir::kInstrSize));
+        } else if (!image.is_function_start(target)) {
+            diag(DiagKind::CallNotFunctionEntry,
+                 format("call target %s is not a function entry",
+                        hex(target).c_str()));
+        }
+    }
+}
+
+} // namespace
+
+const char*
+diag_name(DiagKind kind)
+{
+    switch (kind) {
+      case DiagKind::Undecodable: return "undecodable";
+      case DiagKind::BadRegister: return "bad-register";
+      case DiagKind::TargetOutOfCode: return "target-out-of-code";
+      case DiagKind::TargetMisaligned: return "target-misaligned";
+      case DiagKind::JumpEscapesFunction:
+        return "jump-escapes-function";
+      case DiagKind::CallNotFunctionEntry:
+        return "call-not-function-entry";
+      case DiagKind::CallIndUndefined: return "callind-undefined";
+      case DiagKind::GetRetNoCall: return "getret-no-call";
+      case DiagKind::UseWithoutDef: return "use-without-def";
+      case DiagKind::VtableSlotInvalid: return "vtable-slot-invalid";
+      case DiagKind::UnreachableBlock: return "unreachable-block";
+    }
+    return "?";
+}
+
+std::string
+to_string(const Diagnostic& diag)
+{
+    return format("%s: [%s] %s", hex(diag.addr).c_str(),
+                  diag_name(diag.kind), diag.detail.c_str());
+}
+
+std::vector<Diagnostic>
+verify_function(const bir::BinaryImage& image,
+                const bir::FunctionEntry& fn)
+{
+    std::vector<Diagnostic> out;
+    Cfg cfg = build_cfg(image, fn);
+
+    if (cfg.truncated) {
+        out.push_back(
+            {DiagKind::Undecodable, fn.addr,
+             fn.addr + static_cast<std::uint32_t>(cfg.slots.size()) *
+                           bir::kInstrSize,
+             format("function body of %u bytes is truncated (not a "
+                    "multiple of %u or past the code section)",
+                    fn.size, bir::kInstrSize)});
+    }
+
+    // Decode failures, split into bad-opcode vs bad-register-field.
+    for (const Slot& slot : cfg.slots) {
+        if (slot.instr)
+            continue;
+        if (!valid_opcode(image, slot.addr)) {
+            out.push_back(
+                {DiagKind::Undecodable, fn.addr, slot.addr,
+                 format("opcode byte 0x%02x decodes to no "
+                        "instruction",
+                        image.code[slot.addr - image.code_base])});
+            continue;
+        }
+        bir::Instr raw = raw_extract(image, slot.addr);
+        for (int r : bir::reg_uses(raw)) {
+            if (r >= bir::kNumRegs)
+                out.push_back(
+                    {DiagKind::BadRegister, fn.addr, slot.addr,
+                     format("%s reads register %d (>= %d)",
+                            bir::op_name(raw.op).c_str(), r,
+                            bir::kNumRegs)});
+        }
+        if (bir::reg_def(raw) >= bir::kNumRegs)
+            out.push_back(
+                {DiagKind::BadRegister, fn.addr, slot.addr,
+                 format("%s writes register %d (>= %d)",
+                        bir::op_name(raw.op).c_str(),
+                        bir::reg_def(raw), bir::kNumRegs)});
+    }
+
+    if (cfg.blocks.empty()) {
+        std::sort(out.begin(), out.end(),
+                  [](const Diagnostic& a, const Diagnostic& b) {
+                      return std::tie(a.addr, a.kind, a.detail) <
+                             std::tie(b.addr, b.kind, b.detail);
+                  });
+        return out;
+    }
+
+    ReachingDefs reaching = reaching_definitions(cfg);
+    ConstProp consts = constant_propagation(cfg);
+    CallSeenProblem call_problem;
+    auto call_seen = solve(cfg, call_problem, Direction::Forward);
+
+    std::vector<int> reachable = cfg.reachable();
+    std::set<int> reachable_set(reachable.begin(), reachable.end());
+
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const BasicBlock& block = cfg.blocks[b];
+        if (!reachable_set.count(static_cast<int>(b))) {
+            out.push_back(
+                {DiagKind::UnreachableBlock, fn.addr, block.start,
+                 format("block [%s, %s) is unreachable from the "
+                        "function entry",
+                        hex(block.start).c_str(),
+                        hex(block.end).c_str())});
+            continue; // dataflow facts are vacuous on dead code
+        }
+        bool call_before = call_seen[b].in;
+        for (int s = block.first; s < block.last; ++s) {
+            const Slot& slot = cfg.slots[static_cast<std::size_t>(s)];
+            if (!slot.instr) {
+                call_before = false; // opaque: be conservative below
+                continue;
+            }
+            const bir::Instr& instr = *slot.instr;
+            check_transfers(image, cfg, slot, out);
+
+            if (instr.op == bir::Op::CallInd) {
+                std::set<int> defs = reaching.reaching(cfg, s, instr.a);
+                if (!defs.empty() && !has_real_def(defs)) {
+                    out.push_back(
+                        {DiagKind::CallIndUndefined, fn.addr,
+                         slot.addr,
+                         format("icall through r%d, which is never "
+                                "defined on any path",
+                                instr.a)});
+                } else {
+                    ConstVal val = consts.value_at(cfg, s, instr.a);
+                    if (val.kind == ConstVal::Const &&
+                        !image.is_function_start(val.value)) {
+                        out.push_back(
+                            {DiagKind::CallIndUndefined, fn.addr,
+                             slot.addr,
+                             format("icall through r%d, provably %s, "
+                                    "which is not a function entry",
+                                    instr.a,
+                                    hex(val.value).c_str())});
+                    }
+                }
+            } else {
+                for (int r : bir::reg_uses(instr)) {
+                    std::set<int> defs = reaching.reaching(cfg, s, r);
+                    if (!defs.empty() && !has_real_def(defs)) {
+                        out.push_back(
+                            {DiagKind::UseWithoutDef, fn.addr,
+                             slot.addr,
+                             format("%s reads r%d, which has no "
+                                    "reaching definition",
+                                    bir::op_name(instr.op).c_str(),
+                                    r)});
+                    }
+                }
+            }
+
+            if (instr.op == bir::Op::GetRet && !call_before) {
+                out.push_back(
+                    {DiagKind::GetRetNoCall, fn.addr, slot.addr,
+                     format("getret r%d with no call on some path "
+                            "from the function entry",
+                            instr.a)});
+            }
+            if (instr.op == bir::Op::Call ||
+                instr.op == bir::Op::CallInd)
+                call_before = true;
+        }
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                  return std::tie(a.addr, a.kind, a.detail) <
+                         std::tie(b.addr, b.kind, b.detail);
+              });
+    return out;
+}
+
+std::vector<Diagnostic>
+verify_image(const bir::BinaryImage& image, support::ThreadPool& pool)
+{
+    // Per-function lints: one slot per function, merged in table
+    // order so the result is independent of the worker count.
+    std::vector<std::vector<Diagnostic>> per_function(
+        image.functions.size());
+    pool.parallel_for(image.functions.size(), [&](std::size_t f) {
+        per_function[f] = verify_function(image, image.functions[f]);
+    });
+    std::vector<Diagnostic> out;
+    for (auto& diags : per_function)
+        out.insert(out.end(),
+                   std::make_move_iterator(diags.begin()),
+                   std::make_move_iterator(diags.end()));
+
+    // Image-level lint: every address a function materializes and
+    // stores (the vtable-pointer signature, matching
+    // analysis::scan_vtables) must lead with a function entry.
+    std::map<std::uint32_t, std::uint32_t> candidates; // addr -> func
+    for (const auto& fn : image.functions) {
+        Cfg cfg = build_cfg(image, fn);
+        std::set<int> stored_regs;
+        for (const Slot& slot : cfg.slots) {
+            if (slot.instr && slot.instr->op == bir::Op::Store)
+                stored_regs.insert(slot.instr->b);
+        }
+        for (const Slot& slot : cfg.slots) {
+            if (slot.instr && slot.instr->op == bir::Op::MovImm &&
+                image.in_data(slot.instr->imm) &&
+                stored_regs.count(slot.instr->a))
+                candidates.emplace(slot.instr->imm, fn.addr);
+        }
+    }
+    for (const auto& [addr, func] : candidates) {
+        std::optional<std::uint32_t> slot0 = image.read_data_word(addr);
+        if (!slot0) {
+            out.push_back(
+                {DiagKind::VtableSlotInvalid, func, addr,
+                 format("stored vtable pointer %s has no readable "
+                        "slot 0",
+                        hex(addr).c_str())});
+        } else if (!image.is_function_start(*slot0)) {
+            out.push_back(
+                {DiagKind::VtableSlotInvalid, func, addr,
+                 format("vtable %s slot 0 holds %s, which is not a "
+                        "function entry",
+                        hex(addr).c_str(), hex(*slot0).c_str())});
+        }
+    }
+    return out;
+}
+
+std::vector<Diagnostic>
+verify_image(const bir::BinaryImage& image, int threads)
+{
+    support::ThreadPool pool(support::resolve_threads(threads));
+    return verify_image(image, pool);
+}
+
+} // namespace rock::cfg

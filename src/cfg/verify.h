@@ -1,0 +1,95 @@
+/**
+ * @file
+ * rockcheck -- static well-formedness verification of VM32 images.
+ *
+ * Nothing upstream of this layer can vouch that a compiled/stripped
+ * image is even well-formed before the pipeline consumes it; the
+ * verifier lints every function body and vtable against the recovered
+ * CFG and dataflow facts (cfg/analyses.h). It is a *linter*, not a
+ * gate: diagnostics describe images no correct toolchain emits, so
+ * the toyc compiler, the corpus generator and the fuzzer are all held
+ * to "rockcheck clean" (the fuzz oracle), while targeted bit-flips
+ * must trip it (tests/cfg_test.cc).
+ *
+ * Diagnostic kinds (docs/STATIC_ANALYSIS.md has the full table):
+ *
+ *   Undecodable          bytes in a body that decode to no instruction
+ *   BadRegister          register operand field >= kNumRegs
+ *   TargetOutOfCode      jump/call target outside the code section
+ *   TargetMisaligned     jump/call target not kInstrSize-aligned
+ *   JumpEscapesFunction  in-code jump target outside its function
+ *   CallNotFunctionEntry direct call to a non-entry code address
+ *   CallIndUndefined     CallInd through a never-defined register or
+ *                        a provably-constant non-entry address
+ *   GetRetNoCall         GetRet with no call on some path before it
+ *   UseWithoutDef        register read with no reaching definition
+ *   VtableSlotInvalid    stored vtable whose slot 0 is no entry point
+ *   UnreachableBlock     basic block unreachable from function entry
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bir/image.h"
+#include "cfg/cfg.h"
+#include "support/parallel.h"
+
+namespace rock::cfg {
+
+/** What a diagnostic is about. */
+enum class DiagKind {
+    Undecodable,
+    BadRegister,
+    TargetOutOfCode,
+    TargetMisaligned,
+    JumpEscapesFunction,
+    CallNotFunctionEntry,
+    CallIndUndefined,
+    GetRetNoCall,
+    UseWithoutDef,
+    VtableSlotInvalid,
+    UnreachableBlock,
+};
+
+/** Stable lint-style name of @p kind ("undecodable", ...). */
+const char* diag_name(DiagKind kind);
+
+/** One verifier finding. */
+struct Diagnostic {
+    DiagKind kind = DiagKind::Undecodable;
+    /** Containing function entry (0 for image-level findings). */
+    std::uint32_t func_addr = 0;
+    /** Instruction or data address the finding anchors to. */
+    std::uint32_t addr = 0;
+    std::string detail;
+
+    bool operator==(const Diagnostic&) const = default;
+};
+
+/** "0x1040: [bad-register] store reads register 255" etc. */
+std::string to_string(const Diagnostic& diag);
+
+/**
+ * Verify one function body against its recovered CFG.
+ * Diagnostics are ordered by address, then kind.
+ */
+std::vector<Diagnostic>
+verify_function(const bir::BinaryImage& image,
+                const bir::FunctionEntry& fn);
+
+/**
+ * Verify the whole image: every function body plus the image-level
+ * vtable checks. Output is ordered (functions in table order, then
+ * vtable findings by address) and independent of @p pool's size --
+ * the usual bit-identical guarantee.
+ */
+std::vector<Diagnostic> verify_image(const bir::BinaryImage& image,
+                                     support::ThreadPool& pool);
+
+/** As above with a transient pool of resolve_threads(@p threads). */
+std::vector<Diagnostic> verify_image(const bir::BinaryImage& image,
+                                     int threads = 1);
+
+} // namespace rock::cfg

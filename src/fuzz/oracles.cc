@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bir/serialize.h"
+#include "cfg/verify.h"
 #include "eval/ground_truth.h"
 #include "rock/classify.h"
 #include "rock/relaxed.h"
@@ -761,6 +762,101 @@ check_relaxed_consistent(const OracleContext& ctx)
     return pass();
 }
 
+// ---- rockcheck oracle --------------------------------------------------
+
+bool
+has_kind(const std::vector<cfg::Diagnostic>& diags,
+         cfg::DiagKind kind)
+{
+    for (const auto& diag : diags) {
+        if (diag.kind == kind)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Every compiled-and-stripped image is rockcheck clean, and
+ * deterministic targeted corruptions of it trip the matching
+ * diagnostic. Exercises both directions of the verifier: no false
+ * positives on toolchain output, no false negatives on damage the
+ * diagnostics are specified to catch.
+ */
+OracleVerdict
+check_rockcheck(const OracleContext& ctx)
+{
+    const bir::BinaryImage& image = ctx.fuzz_case.compiled.image;
+    std::vector<cfg::Diagnostic> clean = cfg::verify_image(image);
+    if (!clean.empty())
+        return fail("well-formed image tripped rockcheck: " +
+                    cfg::to_string(clean.front()));
+
+    auto expect = [](const bir::BinaryImage& corrupted,
+                     cfg::DiagKind kind,
+                     const char* what) -> OracleVerdict {
+        if (!has_kind(cfg::verify_image(corrupted), kind))
+            return fail(support::format(
+                "%s did not raise %s", what, cfg::diag_name(kind)));
+        return pass();
+    };
+
+    // Invalid opcode in the entry slot of the first function.
+    if (!image.functions.empty() &&
+        image.functions.front().size >= bir::kInstrSize) {
+        bir::BinaryImage bad = image;
+        bad.code[bad.functions.front().addr - bad.code_base] = 0xff;
+        OracleVerdict v = expect(bad, cfg::DiagKind::Undecodable,
+                                 "opcode corruption");
+        if (!v.ok)
+            return v;
+    }
+
+    // Register operand field pushed past kNumRegs on the first
+    // register-writing instruction, and a jump immediate knocked off
+    // instruction alignment on the first jump.
+    std::size_t def_off = image.code.size();
+    std::size_t jump_off = image.code.size();
+    for (std::size_t off = 0; off + bir::kInstrSize <= image.code.size();
+         off += bir::kInstrSize) {
+        std::optional<bir::Instr> instr = bir::decode(image.code, off);
+        if (!instr)
+            continue;
+        if (def_off == image.code.size() && bir::reg_def(*instr) >= 0)
+            def_off = off;
+        if (jump_off == image.code.size() && bir::is_jump(instr->op))
+            jump_off = off;
+    }
+    if (def_off < image.code.size()) {
+        bir::BinaryImage bad = image;
+        bad.code[def_off + 1] = 0xff; // the `a` (destination) field
+        OracleVerdict v = expect(bad, cfg::DiagKind::BadRegister,
+                                 "register-field corruption");
+        if (!v.ok)
+            return v;
+    }
+    if (jump_off < image.code.size()) {
+        bir::BinaryImage bad = image;
+        bad.code[jump_off + 4] += 1; // imm low byte: misaligns target
+        OracleVerdict v = expect(bad, cfg::DiagKind::TargetMisaligned,
+                                 "jump-target corruption");
+        if (!v.ok)
+            return v;
+    }
+
+    // First discovered vtable's slot 0 bumped off its function entry.
+    const auto& vtables = ctx.fuzz_case.result.analysis.vtables;
+    if (!vtables.empty() && !vtables.front().slots.empty()) {
+        bir::BinaryImage bad = image;
+        std::size_t off = vtables.front().addr - bad.data_base;
+        bad.data[off] += 1; // entry addresses are 8-aligned: +1 isn't
+        OracleVerdict v = expect(bad, cfg::DiagKind::VtableSlotInvalid,
+                                 "vtable-slot corruption");
+        if (!v.ok)
+            return v;
+    }
+    return pass();
+}
+
 OracleVerdict
 check_classify_deterministic(const OracleContext& ctx)
 {
@@ -839,6 +935,11 @@ oracle_registry()
          "VMI serialize -> deserialize -> reconstruct is "
          "bit-identical",
          check_serialize_differential},
+        {"rockcheck",
+         "compiled images are verifier-clean; targeted opcode, "
+         "register, jump and vtable corruptions trip the matching "
+         "diagnostic",
+         check_rockcheck},
         {"relaxed-consistent",
          "k-parent relaxation reproduces the strict hierarchy at k=1 "
          "and only adds feasible, acyclic extra parents",

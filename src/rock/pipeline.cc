@@ -195,8 +195,20 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     ReconstructionResult result;
     auto t_total = clock_type::now();
 
-    // ---- Behavioral analysis (parallel over functions) -----------------
+    // ---- Image verification (parallel over functions) ------------------
     auto t_stage = clock_type::now();
+    if (config.verify) {
+        result.diagnostics = cfg::verify_image(image, pool);
+        result.timing.verify_ms = ms_since(t_stage);
+        if (!result.diagnostics.empty()) {
+            ROCK_LOG_WARN << "rockcheck: " << result.diagnostics.size()
+                          << " diagnostic(s) on the input image, e.g. "
+                          << cfg::to_string(result.diagnostics.front());
+        }
+    }
+
+    // ---- Behavioral analysis (parallel over functions) -----------------
+    t_stage = clock_type::now();
     analysis::SymExecConfig symexec = config.symexec;
     symexec.threads = threads;
     result.analysis = analysis::analyze(image, symexec);

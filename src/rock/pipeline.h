@@ -23,6 +23,7 @@
 
 #include "analysis/analyze.h"
 #include "bir/image.h"
+#include "cfg/verify.h"
 #include "divergence/metrics.h"
 #include "graph/enumerate.h"
 #include "rock/hierarchy.h"
@@ -48,6 +49,14 @@ struct RockConfig {
     /** Merge secondary-vtable parents into primary types (MI). */
     bool handle_multiple_inheritance = true;
     /**
+     * Run the rockcheck verifier (cfg/verify.h) over the image before
+     * analyzing it and surface its findings in
+     * ReconstructionResult::diagnostics. A lint, not a gate: the
+     * pipeline reconstructs whatever it can either way. On by
+     * default; turn off to shave the (cheap, parallel) pre-pass.
+     */
+    bool verify = true;
+    /**
      * Worker threads for every parallel stage (symbolic execution,
      * SLM training, pairwise distances, per-family arborescences):
      * 1 = serial (default), 0 = hardware concurrency, N = exactly N.
@@ -65,6 +74,8 @@ struct RockConfig {
  * bench/pipeline_scaling emits these as machine-readable JSON.
  */
 struct StageTiming {
+    /** rockcheck image verification (0 when RockConfig::verify off). */
+    double verify_ms = 0.0;
     /** Vtable scan + two-phase per-function symbolic execution. */
     double analyze_ms = 0.0;
     /** Family clustering + impossible-parent elimination. */
@@ -126,6 +137,10 @@ struct ReconstructionResult {
     structural::StructuralResult structural;
     /** Raw behavioral analysis output. */
     analysis::AnalysisResult analysis;
+    /** rockcheck findings on the input image (empty when clean or
+     *  when RockConfig::verify is off). Well-formed images -- all of
+     *  toyc's output -- produce none; see cfg/verify.h. */
+    std::vector<cfg::Diagnostic> diagnostics;
     /** Pairwise edge weights actually computed:
      *  (parent idx, child idx) -> distance. Same keys as the old
      *  std::map-based field (find / at / size / range-for all still

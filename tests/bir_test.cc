@@ -57,6 +57,94 @@ TEST(Isa, DecodeRejectsBadOpcode)
     EXPECT_FALSE(decode(bytes, 0).has_value());
 }
 
+TEST(Isa, DecodeRejectsRegisterFieldOutOfRange)
+{
+    // Every register operand an op actually reads or writes must name
+    // a register < kNumRegs.
+    Instr instr;
+    instr.op = Op::MovImm;
+    instr.a = kNumRegs; // first invalid destination
+    std::vector<std::uint8_t> bytes;
+    encode(instr, bytes);
+    EXPECT_FALSE(decode(bytes, 0).has_value());
+
+    instr = {};
+    instr.op = Op::Store;
+    instr.a = 1;
+    instr.b = 0xff; // source register out of range
+    bytes.clear();
+    encode(instr, bytes);
+    EXPECT_FALSE(decode(bytes, 0).has_value());
+
+    instr = {};
+    instr.op = Op::Jnz;
+    instr.a = 200; // condition register out of range
+    bytes.clear();
+    encode(instr, bytes);
+    EXPECT_FALSE(decode(bytes, 0).has_value());
+}
+
+TEST(Isa, DecodeToleratesStaleIgnoredFields)
+{
+    // Fields an op ignores (c everywhere, b of a Jnz, everything of a
+    // Nop) carry whatever bytes the encoder left; decode must accept
+    // them -- encode() writes Instr fields verbatim and real images
+    // may hold stale values there.
+    Instr instr;
+    instr.op = Op::Nop;
+    instr.a = 0xff;
+    instr.b = 0xff;
+    instr.c = 0xff;
+    std::vector<std::uint8_t> bytes;
+    encode(instr, bytes);
+    EXPECT_TRUE(decode(bytes, 0).has_value());
+
+    instr = {};
+    instr.op = Op::Jnz;
+    instr.a = 3;
+    instr.b = 0xee; // ignored by Jnz
+    instr.c = 0xdd;
+    bytes.clear();
+    encode(instr, bytes);
+    EXPECT_TRUE(decode(bytes, 0).has_value());
+
+    // SetArg's `a` and GetArg's `b` are argument slots, not
+    // registers: large values are not the decoder's business.
+    instr = {};
+    instr.op = Op::SetArg;
+    instr.a = 0x80; // slot index
+    instr.b = 2;    // register, valid
+    bytes.clear();
+    encode(instr, bytes);
+    EXPECT_TRUE(decode(bytes, 0).has_value());
+}
+
+TEST(Isa, RegisterOperandClassification)
+{
+    Instr instr;
+    instr.op = Op::Store;
+    instr.a = 4;
+    instr.b = 9;
+    EXPECT_EQ(reg_uses(instr), (std::vector<int>{4, 9}));
+    EXPECT_EQ(reg_def(instr), -1);
+
+    instr.op = Op::GetRet;
+    instr.a = 6;
+    EXPECT_TRUE(reg_uses(instr).empty());
+    EXPECT_EQ(reg_def(instr), 6);
+
+    instr.op = Op::SetArg; // a is a slot, b the source register
+    instr.a = 3;
+    instr.b = 7;
+    EXPECT_EQ(reg_uses(instr), (std::vector<int>{7}));
+    EXPECT_EQ(reg_def(instr), -1);
+
+    EXPECT_TRUE(is_jump(Op::Jz));
+    EXPECT_FALSE(is_jump(Op::Call));
+    EXPECT_TRUE(is_block_end(Op::Jmp));
+    EXPECT_FALSE(is_block_end(Op::Jnz));
+}
+
 TEST(Isa, ImmediateIsLittleEndian)
 {
     Instr instr;

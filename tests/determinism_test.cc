@@ -173,6 +173,8 @@ TEST(Determinism, StageTimingPopulatedForEveryStage)
     for (int threads : {1, 4}) {
         SCOPED_TRACE(threads);
         ReconstructionResult result = run_with(compiled.image, threads);
+        EXPECT_GT(result.timing.verify_ms, 0.0);
+        EXPECT_TRUE(result.diagnostics.empty()); // toyc output is clean
         EXPECT_GT(result.timing.analyze_ms, 0.0);
         EXPECT_GT(result.timing.structural_ms, 0.0);
         EXPECT_GT(result.timing.train_ms, 0.0);

@@ -36,6 +36,20 @@ TEST(Pipeline, DistancesOnlyOnFeasibleEdges)
     }
 }
 
+TEST(Pipeline, VerifyStageRunsByDefault)
+{
+    ReconstructionResult result = run(corpus::streams_program());
+    // Compiled images are rockcheck clean, and the stage is timed.
+    EXPECT_TRUE(result.diagnostics.empty());
+    EXPECT_GT(result.timing.verify_ms, 0.0);
+
+    RockConfig off;
+    off.verify = false;
+    ReconstructionResult skipped = run(corpus::streams_program(), off);
+    EXPECT_TRUE(skipped.diagnostics.empty());
+    EXPECT_EQ(skipped.timing.verify_ms, 0.0);
+}
+
 TEST(Pipeline, AmbiguousFamiliesCounted)
 {
     ReconstructionResult streams = run(corpus::streams_program());

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate for the repository, in two legs:
+#
+#  1. the tier-1 verify line (ROADMAP.md): default build, full ctest
+#     suite, 200-seed rockfuzz campaign;
+#  2. an ASan+UBSan build (-DROCK_SANITIZE=address,undefined) of the
+#     same suite -- including the explicit determinism_asan /
+#     determinism_ubsan / cfg_asan / cfg_ubsan entries -- plus a
+#     50-seed rockfuzz smoke under instrumentation.
+#
+# Usage: tools/ci.sh   (from anywhere; JOBS=N overrides parallelism)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+echo "==> tier-1: build + tests + 200-seed fuzz"
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+./build/tools/rockfuzz --seeds 200 --repro-dir /tmp
+
+echo "==> sanitizers: ASan+UBSan build + tests + 50-seed fuzz"
+cmake -B build-asan -S . -DROCK_SANITIZE=address,undefined
+cmake --build build-asan -j "$JOBS"
+(cd build-asan && ctest --output-on-failure -j "$JOBS")
+./build-asan/tools/rockfuzz --seeds 50 --repro-dir /tmp
+
+echo "==> ci.sh: all green"

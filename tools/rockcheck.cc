@@ -1,0 +1,108 @@
+/**
+ * @file
+ * rockcheck -- lint VM32 images for static well-formedness.
+ *
+ * Usage:
+ *   rockcheck IMAGE.vmi...            lint image files
+ *   rockcheck --builtin               lint every built-in corpus image
+ *                                     (5 examples + 19 Table-2
+ *                                     benchmarks, compiled in-process)
+ *
+ * Options:
+ *   --threads N   verifier worker threads (0 = hardware concurrency)
+ *
+ * Prints one line per diagnostic (see cfg/verify.h for the kinds) and
+ * a per-image verdict. Exit status: 0 when every image is clean, 1
+ * when any diagnostic fired, 2 on usage or I/O errors.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bir/serialize.h"
+#include "cfg/verify.h"
+#include "corpus/benchmarks.h"
+#include "corpus/examples.h"
+#include "support/error.h"
+#include "toyc/compiler.h"
+
+namespace {
+
+using namespace rock;
+
+/** Lint one image; print findings. @return diagnostic count. */
+std::size_t
+check_image(const std::string& name, const bir::BinaryImage& image,
+            int threads)
+{
+    std::vector<cfg::Diagnostic> diags =
+        cfg::verify_image(image, threads);
+    for (const auto& diag : diags)
+        std::printf("%s: %s\n", name.c_str(),
+                    cfg::to_string(diag).c_str());
+    std::printf("%s: %zu function(s), %zu diagnostic(s)%s\n",
+                name.c_str(), image.functions.size(), diags.size(),
+                diags.empty() ? " -- clean" : "");
+    return diags.size();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> inputs;
+    bool builtin = false;
+    int threads = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--builtin") {
+            builtin = true;
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = std::atoi(argv[++i]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "rockcheck: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty() && !builtin) {
+        std::fprintf(stderr,
+                     "usage: rockcheck IMAGE.vmi... | rockcheck "
+                     "--builtin [--threads N]\n");
+        return 2;
+    }
+
+    std::size_t total = 0;
+    try {
+        for (const std::string& input : inputs) {
+            bir::BinaryImage image = bir::read_image_file(input);
+            total += check_image(input, image, threads);
+        }
+        if (builtin) {
+            std::vector<corpus::CorpusProgram> programs = {
+                corpus::streams_program(),
+                corpus::datasources_program(),
+                corpus::echoparams_program(),
+                corpus::cgrid_program(),
+                corpus::multiple_inheritance_program(),
+            };
+            for (const auto& prog : programs) {
+                toyc::CompileResult built =
+                    toyc::compile(prog.program, prog.options);
+                total += check_image(prog.name, built.image, threads);
+            }
+            for (const auto& bench : corpus::table2_benchmarks()) {
+                toyc::CompileResult built = toyc::compile(
+                    bench.program.program, bench.program.options);
+                total += check_image(bench.name, built.image, threads);
+            }
+        }
+    } catch (const support::FatalError& e) {
+        std::fprintf(stderr, "rockcheck: error: %s\n", e.what());
+        return 2;
+    }
+    return total == 0 ? 0 : 1;
+}

@@ -3,17 +3,20 @@
  * rockdump -- inspect a VMI binary image.
  *
  * Usage:
- *   rockdump IMAGE.vmi [--disasm] [--vtables] [--tracelets]
+ *   rockdump IMAGE.vmi [--disasm] [--vtables] [--tracelets] [--cfg]
  *
  * With no flags, prints a summary (sections, functions, discovered
  * vtables). --disasm adds the full listing; --vtables the slot
- * tables; --tracelets the per-type object tracelets.
+ * tables; --tracelets the per-type object tracelets. --cfg prints
+ * the recovered control-flow graphs as GraphViz DOT (one cluster per
+ * function; pipe into `dot -Tsvg`) and nothing else.
  */
 #include <cstdio>
 #include <string>
 
 #include "analysis/analyze.h"
 #include "bir/serialize.h"
+#include "cfg/cfg.h"
 #include "support/error.h"
 #include "support/str.h"
 
@@ -26,6 +29,7 @@ main(int argc, char** argv)
     bool disasm = false;
     bool vtables = false;
     bool tracelets = false;
+    bool cfg_dot = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--disasm") {
@@ -34,6 +38,8 @@ main(int argc, char** argv)
             vtables = true;
         } else if (arg == "--tracelets") {
             tracelets = true;
+        } else if (arg == "--cfg") {
+            cfg_dot = true;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "rockdump: unknown option '%s'\n",
                          arg.c_str());
@@ -45,12 +51,18 @@ main(int argc, char** argv)
     if (input.empty()) {
         std::fprintf(stderr,
                      "usage: rockdump IMAGE.vmi [--disasm] "
-                     "[--vtables] [--tracelets]\n");
+                     "[--vtables] [--tracelets] [--cfg]\n");
         return 2;
     }
 
     try {
         bir::BinaryImage image = bir::read_image_file(input);
+        if (cfg_dot) {
+            // DOT mode is exclusive: emit a machine-consumable graph
+            // and nothing else, so the output pipes into `dot`.
+            std::printf("%s", cfg::to_dot(image).c_str());
+            return 0;
+        }
         std::printf("%s:\n", input.c_str());
         std::printf("  code: %zu bytes at %s\n", image.code.size(),
                     support::hex(image.code_base).c_str());
