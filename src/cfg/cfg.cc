@@ -10,11 +10,19 @@ namespace rock::cfg {
 
 namespace {
 
-/** Is @p target an instruction-aligned address inside @p fn? */
+/**
+ * Is @p target an instruction-aligned address inside the materialized
+ * slot range [fn.addr, @p slots_end)? For a truncated body that range
+ * is tighter than [fn.addr, fn.addr + fn.size): jumps into the
+ * unmaterialized tail must not become leaders or edges, or the block
+ * passes would index past Cfg::slots. The verifier reports such jumps
+ * via the truncation diagnostic.
+ */
 bool
-in_function(const bir::FunctionEntry& fn, std::uint32_t target)
+in_materialized(const bir::FunctionEntry& fn, std::uint32_t slots_end,
+                std::uint32_t target)
 {
-    return target >= fn.addr && target < fn.addr + fn.size &&
+    return target >= fn.addr && target < slots_end &&
            (target - fn.addr) % bir::kInstrSize == 0;
 }
 
@@ -91,6 +99,8 @@ build_cfg(const bir::BinaryImage& image, const bir::FunctionEntry& fn)
     if (usable % bir::kInstrSize != 0)
         cfg.truncated = true;
     std::size_t n = usable / bir::kInstrSize;
+    std::uint32_t slots_end =
+        fn.addr + static_cast<std::uint32_t>(n) * bir::kInstrSize;
 
     cfg.slots.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -110,7 +120,8 @@ build_cfg(const bir::BinaryImage& image, const bir::FunctionEntry& fn)
         if (!slot.instr)
             continue;
         bir::Op op = slot.instr->op;
-        if (bir::is_jump(op) && in_function(fn, slot.instr->imm))
+        if (bir::is_jump(op) &&
+            in_materialized(fn, slots_end, slot.instr->imm))
             leaders.insert(slot.instr->imm);
         if ((bir::is_jump(op) || bir::is_block_end(op)) && i + 1 < n)
             leaders.insert(cfg.slots[i + 1].addr);
@@ -122,10 +133,7 @@ build_cfg(const bir::BinaryImage& image, const bir::FunctionEntry& fn)
         auto next = std::next(it);
         BasicBlock block;
         block.start = *it;
-        block.end = next == leaders.end()
-                        ? fn.addr + static_cast<std::uint32_t>(n) *
-                                        bir::kInstrSize
-                        : *next;
+        block.end = next == leaders.end() ? slots_end : *next;
         block.first =
             static_cast<int>((block.start - fn.addr) / bir::kInstrSize);
         block.last =
@@ -145,8 +153,12 @@ build_cfg(const bir::BinaryImage& image, const bir::FunctionEntry& fn)
         bool falls_through = true;
         if (tail.instr) {
             bir::Op op = tail.instr->op;
-            if (bir::is_jump(op) && in_function(fn, tail.instr->imm))
-                succs.insert(cfg.block_at(tail.instr->imm));
+            if (bir::is_jump(op) &&
+                in_materialized(fn, slots_end, tail.instr->imm)) {
+                int target = cfg.block_at(tail.instr->imm);
+                if (target >= 0) // leaders make this total; stay safe
+                    succs.insert(target);
+            }
             if (bir::is_block_end(op))
                 falls_through = false;
             // A jump out of the function transfers control away; a

@@ -18,7 +18,9 @@
  *
  * Leader rules:
  *  - the function entry,
- *  - the target of every in-function, instruction-aligned Jmp/Jnz/Jz,
+ *  - the target of every instruction-aligned Jmp/Jnz/Jz landing in
+ *    the materialized slot range (for a truncated body that is
+ *    tighter than the claimed [addr, addr + size)),
  *  - the slot following any Jmp/Jnz/Jz/Ret/RetVal.
  *
  * Edge rules:
@@ -29,8 +31,9 @@
  *    fallthrough. Calls return, and treating a corrupt slot as opaque
  *    keeps the reachable region maximal (fewer cascading diagnostics).
  *
- * Jumps whose target is out-of-function or misaligned contribute no
- * edge; the verifier reports them.
+ * Jumps whose target is out-of-function, misaligned, or in the
+ * unmaterialized tail of a truncated body contribute no edge; the
+ * verifier reports them.
  */
 #pragma once
 

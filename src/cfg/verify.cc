@@ -19,6 +19,21 @@ using support::hex;
  * the permissive twin of bir::decode, used to tell *why* a slot was
  * rejected (bad opcode vs bad register field).
  */
+/**
+ * Can kInstrSize raw bytes be read at @p addr? build_cfg materializes
+ * slots below code_base for entries whose addr precedes the section
+ * (decode refuses them), so the raw helpers below must not assume the
+ * offset is in range: the uint32 subtraction would wrap.
+ */
+bool
+raw_readable(const bir::BinaryImage& image, std::uint32_t addr)
+{
+    if (!image.in_code(addr))
+        return false;
+    std::size_t off = addr - image.code_base;
+    return off + bir::kInstrSize <= image.code.size();
+}
+
 bir::Instr
 raw_extract(const bir::BinaryImage& image, std::uint32_t addr)
 {
@@ -135,6 +150,32 @@ check_transfers(const bir::BinaryImage& image, const Cfg& cfg,
     }
 }
 
+/** Stored-vtable-pointer candidates: data address -> storing function
+ *  (the signature analysis::scan_vtables matches). */
+using VtableCandidates = std::map<std::uint32_t, std::uint32_t>;
+
+/**
+ * Scan @p cfg for addresses the function materializes and stores.
+ * emplace keeps the first storer, so merging per-function maps in
+ * table order is deterministic.
+ */
+void
+collect_vtable_candidates(const bir::BinaryImage& image, const Cfg& cfg,
+                          VtableCandidates& out)
+{
+    std::set<int> stored_regs;
+    for (const Slot& slot : cfg.slots) {
+        if (slot.instr && slot.instr->op == bir::Op::Store)
+            stored_regs.insert(slot.instr->b);
+    }
+    for (const Slot& slot : cfg.slots) {
+        if (slot.instr && slot.instr->op == bir::Op::MovImm &&
+            image.in_data(slot.instr->imm) &&
+            stored_regs.count(slot.instr->a))
+            out.emplace(slot.instr->imm, cfg.func.addr);
+    }
+}
+
 } // namespace
 
 const char*
@@ -165,12 +206,22 @@ to_string(const Diagnostic& diag)
                   diag_name(diag.kind), diag.detail.c_str());
 }
 
+namespace {
+
+/**
+ * verify_function, plus (when @p candidates is non-null) the stored
+ * vtable-pointer scan over the same recovered CFG, so verify_image's
+ * parallel pass builds each function's CFG exactly once.
+ */
 std::vector<Diagnostic>
-verify_function(const bir::BinaryImage& image,
-                const bir::FunctionEntry& fn)
+verify_function_impl(const bir::BinaryImage& image,
+                     const bir::FunctionEntry& fn,
+                     VtableCandidates* candidates)
 {
     std::vector<Diagnostic> out;
     Cfg cfg = build_cfg(image, fn);
+    if (candidates)
+        collect_vtable_candidates(image, cfg, *candidates);
 
     if (cfg.truncated) {
         out.push_back(
@@ -186,6 +237,14 @@ verify_function(const bir::BinaryImage& image,
     for (const Slot& slot : cfg.slots) {
         if (slot.instr)
             continue;
+        if (!raw_readable(image, slot.addr)) {
+            out.push_back(
+                {DiagKind::Undecodable, fn.addr, slot.addr,
+                 format("instruction slot at %s lies outside the "
+                        "code section",
+                        hex(slot.addr).c_str())});
+            continue;
+        }
         if (!valid_opcode(image, slot.addr)) {
             out.push_back(
                 {DiagKind::Undecodable, fn.addr, slot.addr,
@@ -307,15 +366,30 @@ verify_function(const bir::BinaryImage& image,
     return out;
 }
 
+} // namespace
+
+std::vector<Diagnostic>
+verify_function(const bir::BinaryImage& image,
+                const bir::FunctionEntry& fn)
+{
+    return verify_function_impl(image, fn, nullptr);
+}
+
 std::vector<Diagnostic>
 verify_image(const bir::BinaryImage& image, support::ThreadPool& pool)
 {
     // Per-function lints: one slot per function, merged in table
-    // order so the result is independent of the worker count.
+    // order so the result is independent of the worker count. The
+    // same pass collects each function's stored vtable-pointer
+    // candidates so the image-level lint below needs no second,
+    // serial CFG rebuild.
     std::vector<std::vector<Diagnostic>> per_function(
         image.functions.size());
+    std::vector<VtableCandidates> per_function_candidates(
+        image.functions.size());
     pool.parallel_for(image.functions.size(), [&](std::size_t f) {
-        per_function[f] = verify_function(image, image.functions[f]);
+        per_function[f] = verify_function_impl(
+            image, image.functions[f], &per_function_candidates[f]);
     });
     std::vector<Diagnostic> out;
     for (auto& diags : per_function)
@@ -326,21 +400,9 @@ verify_image(const bir::BinaryImage& image, support::ThreadPool& pool)
     // Image-level lint: every address a function materializes and
     // stores (the vtable-pointer signature, matching
     // analysis::scan_vtables) must lead with a function entry.
-    std::map<std::uint32_t, std::uint32_t> candidates; // addr -> func
-    for (const auto& fn : image.functions) {
-        Cfg cfg = build_cfg(image, fn);
-        std::set<int> stored_regs;
-        for (const Slot& slot : cfg.slots) {
-            if (slot.instr && slot.instr->op == bir::Op::Store)
-                stored_regs.insert(slot.instr->b);
-        }
-        for (const Slot& slot : cfg.slots) {
-            if (slot.instr && slot.instr->op == bir::Op::MovImm &&
-                image.in_data(slot.instr->imm) &&
-                stored_regs.count(slot.instr->a))
-                candidates.emplace(slot.instr->imm, fn.addr);
-        }
-    }
+    VtableCandidates candidates; // addr -> first storing function
+    for (const auto& per_fn : per_function_candidates)
+        candidates.insert(per_fn.begin(), per_fn.end());
     for (const auto& [addr, func] : candidates) {
         std::optional<std::uint32_t> slot0 = image.read_data_word(addr);
         if (!slot0) {

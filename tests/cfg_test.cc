@@ -218,6 +218,72 @@ TEST(Cfg, TruncatedBodyIsTotal)
             .count(DiagKind::Undecodable));
 }
 
+TEST(Cfg, JumpIntoTruncatedTailHasNoEdge)
+{
+    // jmp -> the 4 stray trailing bytes the function claims but the
+    // CFG cannot materialize as a slot. The jump must contribute
+    // neither a leader nor an edge (it used to produce a successor of
+    // -1 and corrupt memory).
+    BinaryImage img;
+    bir::Instr jmp;
+    jmp.op = bir::Op::Jmp;
+    jmp.imm = kCodeBase + kInstrSize;
+    bir::encode(jmp, img.code);
+    img.code.resize(kInstrSize + 4, 0);
+    img.functions.push_back({kCodeBase, kInstrSize + 4});
+
+    Cfg cfg = build_cfg(img, img.functions[0]);
+    EXPECT_TRUE(cfg.truncated);
+    ASSERT_EQ(cfg.blocks.size(), 1u);
+    EXPECT_TRUE(cfg.blocks[0].succs.empty());
+    EXPECT_TRUE(
+        kinds(verify_function(img, img.functions[0]))
+            .count(DiagKind::Undecodable));
+}
+
+TEST(Cfg, JumpBeyondClampedBodyHasNoEdge)
+{
+    // The function claims 4 slots but the code section holds only 2;
+    // a jump into the clamped-off region must not become a leader
+    // (it used to index slots and slot_block out of bounds).
+    BinaryImage img;
+    bir::Instr jnz;
+    jnz.op = bir::Op::Jnz;
+    jnz.a = 0;
+    jnz.imm = kCodeBase + 3 * kInstrSize;
+    bir::encode(jnz, img.code);
+    bir::Instr ret;
+    ret.op = bir::Op::Ret;
+    bir::encode(ret, img.code);
+    img.functions.push_back({kCodeBase, 4 * kInstrSize});
+
+    Cfg cfg = build_cfg(img, img.functions[0]);
+    EXPECT_TRUE(cfg.truncated);
+    ASSERT_EQ(cfg.blocks.size(), 2u);
+    EXPECT_EQ(cfg.blocks[0].succs, (std::vector<int>{1}));
+
+    auto diag_kinds = kinds(verify_function(img, img.functions[0]));
+    EXPECT_TRUE(diag_kinds.count(DiagKind::Undecodable));
+    EXPECT_TRUE(diag_kinds.count(DiagKind::TargetOutOfCode));
+}
+
+TEST(Verify, FunctionBelowCodeBaseIsDiagnosed)
+{
+    // load_image rejects such an entry, but in-memory callers (the
+    // fuzzer, this test) may hand verify_function one; the slot below
+    // code_base must yield a diagnostic, not a wrapped raw read.
+    BinaryImage img;
+    bir::Instr ret;
+    ret.op = bir::Op::Ret;
+    bir::encode(ret, img.code);
+    bir::encode(ret, img.code);
+    img.functions.push_back(
+        {kCodeBase - kInstrSize, 2 * kInstrSize});
+
+    auto diags = verify_function(img, img.functions[0]);
+    EXPECT_TRUE(kinds(diags).count(DiagKind::Undecodable));
+}
+
 TEST(Cfg, DotListingHasClusters)
 {
     BinaryImage img = single_function(diamond_body(1, 2));
