@@ -18,16 +18,30 @@
  * the speedup column stays ~1.0; the determinism check still runs.
  */
 #include <cstdio>
+#include <string>
 #include <thread>
 
 #include "corpus/generator.h"
+#include "obs/report.h"
 #include "rock/pipeline.h"
 #include "toyc/compiler.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace rock;
+
+    std::string metrics_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--metrics-json" && i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: pipeline_scaling "
+                                 "[--metrics-json FILE]\n");
+            return 2;
+        }
+    }
 
     bool all_identical = true;
     std::fprintf(stderr,
@@ -87,6 +101,15 @@ main()
         std::fprintf(stderr, "MISMATCH: parallel result differs from "
                              "serial baseline\n");
         return 1;
+    }
+    if (!metrics_path.empty()) {
+        try {
+            obs::write_report_file(obs::MetricsReport::capture(),
+                                   metrics_path);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "pipeline_scaling: %s\n", e.what());
+            return 2;
+        }
     }
     return 0;
 }

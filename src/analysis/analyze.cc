@@ -2,10 +2,67 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "support/log.h"
 #include "support/parallel.h"
 
 namespace rock::analysis {
+
+namespace {
+
+/** Stable metric-name suffix per event kind (docs/OBSERVABILITY.md
+ *  catalog: analysis.events.<kind>). */
+const char*
+event_kind_metric(EventKind kind)
+{
+    switch (kind) {
+    case EventKind::VirtCall: return "virt_call";
+    case EventKind::ReadField: return "read_field";
+    case EventKind::WriteField: return "write_field";
+    case EventKind::PassedThis: return "passed_this";
+    case EventKind::PassedArg: return "passed_arg";
+    case EventKind::Returned: return "returned";
+    case EventKind::CallDirect: return "call_direct";
+    }
+    return "unknown";
+}
+
+/** Work-item counts only -- everything here is a pure function of the
+ *  image, so the totals are identical for every thread count. */
+void
+record_metrics(const AnalysisResult& result, std::size_t functions)
+{
+    if (!obs::metrics_enabled())
+        return;
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("analysis.functions").add(functions);
+    // Both phases symbolically execute every function.
+    reg.counter("analysis.functions_symexec").add(2 * functions);
+    reg.counter("analysis.vtables").add(result.vtables.size());
+    reg.counter("analysis.ctor_like").add(result.ctor_types.size());
+    reg.counter("analysis.evidence_records")
+        .add(result.evidence.size());
+    reg.counter("analysis.paths")
+        .add(static_cast<std::uint64_t>(result.total_paths));
+
+    std::uint64_t tracelets = 0;
+    std::map<EventKind, std::uint64_t> events;
+    for (const auto& [type, list] : result.type_tracelets) {
+        tracelets += list.size();
+        for (const Tracelet& tracelet : list) {
+            for (const Event& event : tracelet)
+                ++events[event.kind];
+        }
+    }
+    reg.counter("analysis.tracelets").add(tracelets);
+    for (const auto& [kind, count] : events) {
+        reg.counter(std::string("analysis.events.") +
+                    event_kind_metric(kind))
+            .add(count);
+    }
+}
+
+} // namespace
 
 AnalysisResult
 analyze(const bir::BinaryImage& image, const SymExecConfig& config)
@@ -77,6 +134,8 @@ analyze(const bir::BinaryImage& image, const SymExecConfig& config)
         for (auto& ev : fa.evidence)
             result.evidence.push_back(std::move(ev));
     }
+
+    record_metrics(result, num_functions);
 
     ROCK_LOG_INFO << "analyze: " << result.vtables.size() << " vtables, "
                   << result.type_tracelets.size() << " typed, "

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "cfg/analyses.h"
+#include "obs/metrics.h"
 #include "support/str.h"
 
 namespace rock::cfg {
@@ -417,6 +418,22 @@ verify_image(const bir::BinaryImage& image, support::ThreadPool& pool)
                  format("vtable %s slot 0 holds %s, which is not a "
                         "function entry",
                         hex(addr).c_str(), hex(*slot0).c_str())});
+        }
+    }
+
+    // Verifier telemetry: function count and findings by kind (pure
+    // functions of the image -- deterministic counters).
+    if (obs::metrics_enabled()) {
+        obs::Registry& reg = obs::Registry::global();
+        reg.counter("verify.functions").add(image.functions.size());
+        reg.counter("verify.diagnostics").add(out.size());
+        std::map<DiagKind, std::uint64_t> by_kind;
+        for (const Diagnostic& diag : out)
+            ++by_kind[diag.kind];
+        for (const auto& [kind, count] : by_kind) {
+            reg.counter(std::string("verify.diagnostics.") +
+                        diag_name(kind))
+                .add(count);
         }
     }
     return out;

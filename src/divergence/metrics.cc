@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "support/error.h"
 
 namespace rock::divergence {
@@ -98,6 +99,16 @@ double
 pair_distance(MetricKind kind, const slm::LanguageModel& parent,
               const slm::LanguageModel& child, const WordSet& words)
 {
+    // Work-volume telemetry: pairs evaluated and words integrated
+    // over -- both pure functions of the feasible-edge work list.
+    {
+        static obs::Counter& pairs =
+            obs::Registry::global().counter("divergence.pairs");
+        static obs::Counter& word_count =
+            obs::Registry::global().counter("divergence.words");
+        pairs.add();
+        word_count.add(words.size());
+    }
     switch (kind) {
       case MetricKind::KL:
         return kl_divergence(parent, child, words);

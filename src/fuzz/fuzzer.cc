@@ -5,6 +5,7 @@
 
 #include "fuzz/oracles.h"
 #include "fuzz/shrink.h"
+#include "obs/metrics.h"
 #include "support/log.h"
 #include "support/rng.h"
 
@@ -74,6 +75,9 @@ run_one(std::uint64_t case_seed, const GeneratorSpec& spec,
             return failure;
         }
         ++report.oracle_passes[oracle->name];
+        static obs::Counter& checks =
+            obs::Registry::global().counter("fuzz.oracle_checks");
+        checks.add();
     }
     return failure; // oracle empty: the case passed
 }
@@ -218,6 +222,10 @@ run_fuzz(const FuzzOptions& options, const CaseConfig& config)
                     failure.spec, failure.oracle, config);
                 failure.shrunk = shrunk.spec;
                 failure.shrink_steps = shrunk.accepted_steps;
+                obs::Registry::global()
+                    .counter("fuzz.shrink_steps")
+                    .add(static_cast<std::uint64_t>(
+                        shrunk.accepted_steps));
             }
             report.failures.push_back(std::move(failure));
             if (static_cast<int>(report.failures.size()) >=
@@ -226,6 +234,12 @@ run_fuzz(const FuzzOptions& options, const CaseConfig& config)
         }
     }
     report.elapsed_ms = now_ms() - start;
+    if (obs::metrics_enabled()) {
+        obs::Registry& reg = obs::Registry::global();
+        reg.counter("fuzz.cases_run").add(
+            static_cast<std::uint64_t>(report.cases_run));
+        reg.counter("fuzz.failures").add(report.failures.size());
+    }
     return report;
 }
 

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/metrics.h"
 #include "support/error.h"
 
 namespace rock::graph {
@@ -91,6 +92,15 @@ solve(int n, const std::vector<LevelEdge>& edges, int root)
                 chosen.push_back(in_idx[static_cast<std::size_t>(v)]);
         }
         return chosen;
+    }
+
+    // Each detected cycle becomes one supernode contraction; the
+    // count is a pure function of the input graph (deterministic).
+    {
+        static obs::Counter& contractions =
+            obs::Registry::global().counter(
+                "graph.edmonds.contractions");
+        contractions.add(static_cast<std::uint64_t>(num_cycles));
     }
 
     // Contract every cycle into a supernode.

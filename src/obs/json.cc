@@ -1,0 +1,392 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace rock::obs {
+
+namespace {
+
+/** Cursor over the input with one-token-lookahead helpers. */
+class Parser {
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    Json
+    document()
+    {
+        Json value = parse_value();
+        skip_ws();
+        if (pos_ != text_.size())
+            fail("trailing garbage after document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char* what)
+    {
+        throw std::runtime_error("json: " + std::string(what) +
+                                 " at offset " + std::to_string(pos_));
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skip_ws();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consume_literal(const char* lit)
+    {
+        std::size_t n = std::strlen(lit);
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json
+    parse_value()
+    {
+        char c = peek();
+        switch (c) {
+        case '{':
+            return parse_object();
+        case '[':
+            return parse_array();
+        case '"': {
+            Json v;
+            v.kind = Json::Kind::String;
+            v.string = parse_string();
+            return v;
+        }
+        case 't':
+        case 'f': {
+            Json v;
+            v.kind = Json::Kind::Bool;
+            if (consume_literal("true"))
+                v.boolean = true;
+            else if (consume_literal("false"))
+                v.boolean = false;
+            else
+                fail("bad literal");
+            return v;
+        }
+        case 'n': {
+            if (!consume_literal("null"))
+                fail("bad literal");
+            return Json{};
+        }
+        default:
+            return parse_number();
+        }
+    }
+
+    Json
+    parse_object()
+    {
+        Json v;
+        v.kind = Json::Kind::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            if (peek() != '"')
+                fail("object key must be a string");
+            std::string key = parse_string();
+            expect(':');
+            v.object.emplace_back(std::move(key), parse_value());
+            char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return v;
+            }
+            fail("expected ',' or '}'");
+        }
+    }
+
+    Json
+    parse_array()
+    {
+        Json v;
+        v.kind = Json::Kind::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.array.push_back(parse_value());
+            char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return v;
+            }
+            fail("expected ',' or ']'");
+        }
+    }
+
+    std::string
+    parse_string()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'n': out.push_back('\n'); break;
+            case 'r': out.push_back('\r'); break;
+            case 't': out.push_back('\t'); break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // Metric/span names are ASCII; encode the BMP code
+                // point as UTF-8 (surrogate pairs unsupported).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xc0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xe0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3f)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                }
+                break;
+            }
+            default:
+                fail("unknown escape");
+            }
+        }
+        fail("unterminated string");
+    }
+
+    Json
+    parse_number()
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        Json v;
+        v.kind = Json::Kind::Number;
+        try {
+            std::size_t used = 0;
+            v.number = std::stod(text_.substr(start, pos_ - start),
+                                 &used);
+            if (used != pos_ - start)
+                fail("malformed number");
+        } catch (const std::logic_error&) {
+            fail("malformed number");
+        }
+        return v;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+void
+dump_into(const Json& v, std::string& out, int indent, int depth)
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out.push_back('\n');
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    switch (v.kind) {
+    case Json::Kind::Null:
+        out += "null";
+        break;
+    case Json::Kind::Bool:
+        out += v.boolean ? "true" : "false";
+        break;
+    case Json::Kind::Number:
+        out += json_number(v.number);
+        break;
+    case Json::Kind::String:
+        out.push_back('"');
+        out += json_escape(v.string);
+        out.push_back('"');
+        break;
+    case Json::Kind::Array:
+        out.push_back('[');
+        for (std::size_t i = 0; i < v.array.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            dump_into(v.array[i], out, indent, depth + 1);
+        }
+        if (!v.array.empty())
+            newline(depth);
+        out.push_back(']');
+        break;
+    case Json::Kind::Object:
+        out.push_back('{');
+        for (std::size_t i = 0; i < v.object.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            out.push_back('"');
+            out += json_escape(v.object[i].first);
+            out += indent > 0 ? "\": " : "\":";
+            dump_into(v.object[i].second, out, indent, depth + 1);
+        }
+        if (!v.object.empty())
+            newline(depth);
+        out.push_back('}');
+        break;
+    }
+}
+
+} // namespace
+
+Json
+Json::parse(const std::string& text)
+{
+    return Parser(text).document();
+}
+
+const Json*
+Json::find(const std::string& key) const
+{
+    for (const auto& [k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dump_into(*this, out, indent, 0);
+    return out;
+}
+
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+json_number(double value)
+{
+    if (!std::isfinite(value))
+        value = 0.0;
+    // Integers (counter values, bucket counts) print without an
+    // exponent or trailing ".0" so the schema stays diffable by eye.
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", value);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    // Trim to the shortest representation that still round-trips.
+    for (int prec = 1; prec < 17; ++prec) {
+        char shorter[40];
+        std::snprintf(shorter, sizeof shorter, "%.*g", prec, value);
+        if (std::stod(shorter) == value)
+            return shorter;
+    }
+    return buf;
+}
+
+} // namespace rock::obs

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal JSON value: parse, navigate, serialize.
+ *
+ * The observability layer needs to round-trip its own canonical
+ * metrics schema (report.h) and to read the bench JSONL lines emitted
+ * by bench/pipeline_scaling -- nothing more. This is a small strict
+ * recursive-descent parser over std::string, not a general-purpose
+ * JSON library: no comments, no trailing commas, UTF-8 passed through
+ * verbatim, numbers are IEEE doubles.
+ *
+ * obs sits below support in the link order (support::ThreadPool is
+ * itself instrumented), so errors are plain std::runtime_error rather
+ * than support::FatalError.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rock::obs {
+
+/** One JSON value (tree). Object key order is preserved. */
+struct Json {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Json> array;
+    /** Key/value pairs in document order (duplicates kept). */
+    std::vector<std::pair<std::string, Json>> object;
+
+    /**
+     * Parse @p text as one JSON document.
+     * @throws std::runtime_error (with offset) on malformed input or
+     *         trailing garbage.
+     */
+    static Json parse(const std::string& text);
+
+    /** First value under @p key, or nullptr (objects only). */
+    const Json* find(const std::string& key) const;
+
+    /** number if Kind::Number, else @p fallback. */
+    double number_or(double fallback) const
+    {
+        return kind == Kind::Number ? number : fallback;
+    }
+
+    bool is_object() const { return kind == Kind::Object; }
+    bool is_array() const { return kind == Kind::Array; }
+    bool is_number() const { return kind == Kind::Number; }
+    bool is_string() const { return kind == Kind::String; }
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 emits one line. Numbers print via shortest
+     * round-trip form ("%.17g" trimmed), so parse(dump(x)) == x.
+     */
+    std::string dump(int indent = 0) const;
+};
+
+/** Escape @p s as the *inside* of a JSON string literal (no quotes). */
+std::string json_escape(const std::string& s);
+
+/** Shortest round-trip decimal rendering of @p value (never NaN/Inf:
+ *  those clamp to 0, JSON has no spelling for them). */
+std::string json_number(double value);
+
+} // namespace rock::obs

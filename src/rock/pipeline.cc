@@ -1,9 +1,10 @@
 #include "rock/pipeline.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "graph/digraph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/log.h"
 #include "support/parallel.h"
@@ -57,16 +58,6 @@ majority_filter(std::vector<graph::Arborescence>& forests)
 
 namespace {
 
-using clock_type = std::chrono::steady_clock;
-
-double
-ms_since(clock_type::time_point start)
-{
-    return std::chrono::duration<double, std::milli>(clock_type::now() -
-                                                     start)
-        .count();
-}
-
 /** Solve one family: enumerate co-optimal forests over the weighted
  *  feasible-edge graph and majority-filter the ties. Pure function of
  *  its inputs (runs on pool workers, one family per call). */
@@ -82,7 +73,16 @@ solve_family(int family_id, std::vector<int> members,
     const int m = static_cast<int>(fam.members.size());
     *ambiguous_out = 0;
 
+    // Family counters: one-per-call and per-forest counts are pure
+    // functions of the input, so the totals survive any scheduling.
+    static obs::Counter& solved =
+        obs::Registry::global().counter("arborescence.families_solved");
+    solved.add();
+
     if (m == 1) {
+        static obs::Counter& singleton = obs::Registry::global().counter(
+            "arborescence.singleton_families");
+        singleton.add();
         fam.alternatives.push_back({-1});
         return fam;
     }
@@ -140,8 +140,23 @@ solve_family(int family_id, std::vector<int> members,
     ties.epsilon = config.tie_epsilon;
     ties.max_results = config.max_alternatives;
     auto forests = graph::enumerate_min_forests(weighted, ties);
+    const std::size_t cooptimal = forests.size();
     detail::majority_filter(forests);
     ROCK_ASSERT(!forests.empty(), "no forest survived filtering");
+    {
+        static obs::Counter& enumerated = obs::Registry::global().counter(
+            "arborescence.cooptimal_forests");
+        static obs::Counter& resolved = obs::Registry::global().counter(
+            "arborescence.ties_majority_resolved");
+        enumerated.add(cooptimal);
+        resolved.add(cooptimal - forests.size());
+        if (fam.structurally_ambiguous) {
+            static obs::Counter& structurally =
+                obs::Registry::global().counter(
+                    "arborescence.structurally_ambiguous");
+            structurally.add();
+        }
+    }
 
     for (const auto& forest : forests) {
         std::vector<int> parents(static_cast<std::size_t>(m), -1);
@@ -193,13 +208,19 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     support::ThreadPool pool(threads);
 
     ReconstructionResult result;
-    auto t_total = clock_type::now();
+    // Every stage runs under a span; StageTiming is populated from the
+    // span tree (spans are the source of truth, the struct is the
+    // stable legacy surface). Spans are ended explicitly so wall_ms()
+    // is final before it is copied.
+    obs::Span total_span("pipeline.reconstruct");
+    obs::Registry::global().counter("pipeline.runs").add();
 
     // ---- Image verification (parallel over functions) ------------------
-    auto t_stage = clock_type::now();
     if (config.verify) {
+        obs::Span span("pipeline.verify");
         result.diagnostics = cfg::verify_image(image, pool);
-        result.timing.verify_ms = ms_since(t_stage);
+        span.end();
+        result.timing.verify_ms = span.wall_ms();
         if (!result.diagnostics.empty()) {
             ROCK_LOG_WARN << "rockcheck: " << result.diagnostics.size()
                           << " diagnostic(s) on the input image, e.g. "
@@ -208,18 +229,20 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     }
 
     // ---- Behavioral analysis (parallel over functions) -----------------
-    t_stage = clock_type::now();
+    obs::Span analyze_span("pipeline.analyze");
     analysis::SymExecConfig symexec = config.symexec;
     symexec.threads = threads;
     result.analysis = analysis::analyze(image, symexec);
-    result.timing.analyze_ms = ms_since(t_stage);
+    analyze_span.end();
+    result.timing.analyze_ms = analyze_span.wall_ms();
 
     // ---- Structural analysis (serial; cheap) ---------------------------
-    t_stage = clock_type::now();
+    obs::Span structural_span("pipeline.structural");
     result.structural = structural::structural_analysis(
         result.analysis.vtables, result.analysis.evidence,
         result.analysis.ctor_types);
-    result.timing.structural_ms = ms_since(t_stage);
+    structural_span.end();
+    result.timing.structural_ms = structural_span.wall_ms();
 
     const auto& types = result.structural.types;
     const int n = static_cast<int>(types.size());
@@ -228,7 +251,7 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     // Alphabet interning mutates shared state, so it runs serially in
     // type order (deterministic symbol ids); the expensive part --
     // training -- is parallel, each type writing its own model slot.
-    t_stage = clock_type::now();
+    obs::Span train_span("pipeline.train");
     analysis::Alphabet& alphabet = result.alphabet;
     auto& seqs = result.type_sequences;
     seqs.assign(static_cast<std::size_t>(n), {});
@@ -247,7 +270,8 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t t) {
         models[t] = slm::train_model(config.slm, alphabet_size, seqs[t]);
     });
-    result.timing.train_ms = ms_since(t_stage);
+    train_span.end();
+    result.timing.train_ms = train_span.wall_ms();
 
     // ---- Pairwise distances on feasible edges --------------------------
     // Precompute the full work list -- every non-forced feasible
@@ -255,7 +279,7 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     // (family, member, parent) order -- then evaluate it in parallel
     // into a pre-sized weight array: no locking on the hot path, and
     // the resulting map is key-identical to the old lazy evaluation.
-    t_stage = clock_type::now();
+    obs::Span distances_span("pipeline.distances");
     const int num_families = result.structural.num_families();
     std::vector<std::vector<int>> family_members(
         static_cast<std::size_t>(num_families));
@@ -264,6 +288,7 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
             result.structural.family_members(f);
 
     std::vector<std::pair<int, int>> edges;
+    std::uint64_t pairs_pruned = 0;
     for (int f = 0; f < num_families; ++f) {
         const auto& members = family_members[static_cast<std::size_t>(f)];
         if (members.size() < 2)
@@ -278,8 +303,17 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
                     forced->second == p;
                 if (!is_forced)
                     edges.emplace_back(p, child);
+                else
+                    ++pairs_pruned;
             }
         }
+    }
+    {
+        // DKL pairs actually scheduled vs. pruned away by structural
+        // certainty (forced rule-3 parents cost nothing to keep).
+        obs::Registry& reg = obs::Registry::global();
+        reg.counter("divergence.pairs_scheduled").add(edges.size());
+        reg.counter("divergence.pairs_pruned_forced").add(pairs_pruned);
     }
     std::vector<double> edge_weights(edges.size(), 0.0);
     pool.parallel_for(edges.size(), [&](std::size_t e) {
@@ -297,10 +331,11 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     result.distances.reserve(edges.size());
     for (std::size_t e = 0; e < edges.size(); ++e)
         result.distances.emplace(edges[e], edge_weights[e]);
-    result.timing.distances_ms = ms_since(t_stage);
+    distances_span.end();
+    result.timing.distances_ms = distances_span.wall_ms();
 
     // ---- Per-family arborescences (parallel over families) -------------
-    t_stage = clock_type::now();
+    obs::Span arborescence_span("pipeline.arborescence");
     result.families.resize(static_cast<std::size_t>(num_families));
     std::vector<int> ambiguous(static_cast<std::size_t>(num_families), 0);
     pool.parallel_for(
@@ -312,11 +347,23 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
         });
     for (int flag : ambiguous)
         result.ambiguous_families += flag;
-    result.timing.arborescence_ms = ms_since(t_stage);
+    arborescence_span.end();
+    result.timing.arborescence_ms = arborescence_span.wall_ms();
 
     std::vector<int> first(result.families.size(), 0);
     result.hierarchy = result.hierarchy_with(first);
-    result.timing.total_ms = ms_since(t_total);
+    total_span.end();
+    result.timing.total_ms = total_span.wall_ms();
+
+    if (obs::metrics_enabled()) {
+        obs::Registry& reg = obs::Registry::global();
+        reg.counter("pipeline.types").add(
+            static_cast<std::uint64_t>(n));
+        reg.counter("pipeline.families").add(
+            static_cast<std::uint64_t>(num_families));
+        reg.counter("pipeline.ambiguous_families").add(
+            static_cast<std::uint64_t>(result.ambiguous_families));
+    }
 
     ROCK_LOG_INFO << "reconstruct: " << n << " types, " << num_families
                   << " families (" << result.ambiguous_families

@@ -72,6 +72,12 @@ struct RockConfig {
  * Wall-clock profile of one reconstruction, one entry per pipeline
  * stage (milliseconds). Populated on every reconstruct() call;
  * bench/pipeline_scaling emits these as machine-readable JSON.
+ *
+ * Deprecated-but-stable: since the obs layer landed, each field is
+ * copied from the corresponding "pipeline.<stage>" obs::Span
+ * (obs/trace.h), which is the source of truth -- new consumers should
+ * read the span tree via obs::MetricsReport instead. Equality between
+ * the two surfaces is pinned by tests/obs_test.cc.
  */
 struct StageTiming {
     /** rockcheck image verification (0 when RockConfig::verify off). */

@@ -62,4 +62,18 @@ ContextTrie::count_of_counts() const
     return result;
 }
 
+std::size_t
+ContextTrie::node_count() const
+{
+    auto walk = [](auto&& self, const Node& node) -> std::size_t {
+        std::size_t total = 1;
+        for (const auto& [symbol, child] : node.children) {
+            (void)symbol;
+            total += self(self, *child);
+        }
+        return total;
+    };
+    return walk(walk, root_);
+}
+
 } // namespace rock::slm

@@ -46,6 +46,10 @@ class ContextTrie {
     /** Count-of-counts per context order (for Good-Turing). */
     std::vector<std::map<int, long>> count_of_counts() const;
 
+    /** Total stored nodes including the root (model-size metric:
+     *  obs counter `slm.trie_nodes`). */
+    std::size_t node_count() const;
+
   private:
     int depth_;
     Node root_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "slm/katz.h"
 #include "slm/ngram.h"
 #include "slm/ppm.h"
@@ -56,8 +57,29 @@ train_model(const ModelConfig& config, int alphabet_size,
             const std::vector<std::vector<int>>& sequences)
 {
     auto model = make_model(config, alphabet_size);
-    for (const auto& seq : sequences)
+    std::uint64_t symbols = 0;
+    for (const auto& seq : sequences) {
         model->train(seq);
+        symbols += seq.size();
+    }
+    if (obs::metrics_enabled()) {
+        obs::Registry& reg = obs::Registry::global();
+        static obs::Counter& trained =
+            reg.counter("slm.models_trained");
+        static obs::Counter& seqs =
+            reg.counter("slm.training_sequences");
+        static obs::Counter& syms =
+            reg.counter("slm.training_symbols");
+        trained.add();
+        seqs.add(sequences.size());
+        syms.add(symbols);
+        if (const auto* ppm = dynamic_cast<const PpmModel*>(
+                model.get())) {
+            static obs::Counter& nodes =
+                reg.counter("slm.trie_nodes");
+            nodes.add(ppm->trie().node_count());
+        }
+    }
     return model;
 }
 

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "obs/metrics.h"
 #include "support/error.h"
 
 namespace rock::slm {
@@ -89,6 +90,14 @@ PpmModel::prob(int symbol, const std::vector<int>& context) const
         }
         if (usable)
             return escape_acc * sym_p;
+        // Hot path: one relaxed add per escape taken; the escape
+        // count is a pure function of (model, query) so the total
+        // stays deterministic across thread counts.
+        {
+            static obs::Counter& escapes =
+                obs::Registry::global().counter("slm.escapes");
+            escapes.add();
+        }
         escape_acc *= esc_p;
         if (exclusion_) {
             for (const auto& [seen, count] : node.counts) {

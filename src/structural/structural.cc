@@ -4,6 +4,7 @@
 
 #include "bir/image.h"
 #include "graph/union_find.h"
+#include "obs/metrics.h"
 #include "support/error.h"
 #include "support/log.h"
 
@@ -176,6 +177,22 @@ structural_analysis(const std::vector<VTableInfo>& vtables,
             result.possible_parents[static_cast<std::size_t>(c)]
                 .insert(p);
         }
+    }
+
+    if (obs::metrics_enabled()) {
+        obs::Registry& reg = obs::Registry::global();
+        std::uint64_t feasible = 0;
+        for (const auto& cands : result.possible_parents)
+            feasible += cands.size();
+        reg.counter("structural.types").add(
+            static_cast<std::uint64_t>(n));
+        reg.counter("structural.families").add(
+            static_cast<std::uint64_t>(result.num_families()));
+        reg.counter("structural.forced_parents").add(
+            result.forced_parents.size());
+        reg.counter("structural.secondary_vtables").add(
+            result.secondary_of.size());
+        reg.counter("structural.feasible_parent_edges").add(feasible);
     }
 
     ROCK_LOG_INFO << "structural: " << n << " types, "

@@ -1,8 +1,48 @@
 #include "support/parallel.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace rock::support {
+
+namespace {
+
+/**
+ * Pool telemetry. Loop/item counts depend only on the call sequence,
+ * never on the worker count, so they live in the deterministic
+ * counter section; busy time and utilization are scheduling facts and
+ * go to the timing section (docs/OBSERVABILITY.md).
+ */
+struct PoolMetrics {
+    obs::Counter& loops =
+        obs::Registry::global().counter("threadpool.loops");
+    obs::Counter& items =
+        obs::Registry::global().counter("threadpool.items");
+    obs::Gauge& workers =
+        obs::Registry::global().gauge("threadpool.workers");
+    obs::Gauge& utilization =
+        obs::Registry::global().gauge("threadpool.utilization");
+    obs::Histogram& busy_ms = obs::Registry::global().histogram(
+        "threadpool.worker_busy_ms");
+};
+
+PoolMetrics&
+pool_metrics()
+{
+    static PoolMetrics m;
+    return m;
+}
+
+double
+ms_between(std::chrono::steady_clock::time_point a,
+           std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+} // namespace
 
 int
 resolve_threads(int threads)
@@ -47,23 +87,41 @@ void
 ThreadPool::parallel_for(std::size_t count,
                          const std::function<void(std::size_t)>& body)
 {
+    PoolMetrics& metrics = pool_metrics();
+    metrics.loops.add();
+    metrics.items.add(count);
+    metrics.workers.set(static_cast<double>(num_workers_));
+
     // Serial pool, tiny loop: run inline so `threads=1` executes the
     // exact instruction stream of a plain for loop.
     if (workers_.empty() || count < 2) {
+        auto t0 = std::chrono::steady_clock::now();
         for (std::size_t i = 0; i < count; ++i)
             body(i);
+        double busy =
+            ms_between(t0, std::chrono::steady_clock::now());
+        metrics.busy_ms.observe(busy);
+        metrics.utilization.set(1.0);
         return;
     }
 
+    auto t0 = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lock(mutex_);
     body_ = &body;
     count_ = count;
     error_ = nullptr;
+    busy_ms_accum_ = 0.0;
     active_ = num_workers_;
     ++generation_;
     work_cv_.notify_all();
     done_cv_.wait(lock, [this] { return active_ == 0; });
     body_ = nullptr;
+    double wall = ms_between(t0, std::chrono::steady_clock::now());
+    if (wall > 0.0) {
+        metrics.utilization.set(
+            busy_ms_accum_ /
+            (wall * static_cast<double>(num_workers_)));
+    }
     if (error_) {
         std::exception_ptr err = error_;
         error_ = nullptr;
@@ -90,6 +148,7 @@ ThreadPool::worker_loop(std::size_t worker_index)
             count = count_;
             body = body_;
         }
+        auto t0 = std::chrono::steady_clock::now();
         try {
             // Static stride partition: worker w owns w, w+W, w+2W...
             // The assignment depends only on (index, pool size), never
@@ -101,8 +160,12 @@ ThreadPool::worker_loop(std::size_t worker_index)
             if (!error_)
                 error_ = std::current_exception();
         }
+        double busy =
+            ms_between(t0, std::chrono::steady_clock::now());
+        pool_metrics().busy_ms.observe(busy);
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            busy_ms_accum_ += busy;
             if (--active_ == 0)
                 done_cv_.notify_all();
         }

@@ -91,6 +91,9 @@ class ThreadPool {
     std::size_t count_ = 0;
     const std::function<void(std::size_t)>* body_ = nullptr;
     std::exception_ptr error_;
+    /** Worker busy-ms summed over the current generation (feeds the
+     *  `threadpool.utilization` gauge; see src/obs). */
+    double busy_ms_accum_ = 0.0;
     bool stop_ = false;
 };
 

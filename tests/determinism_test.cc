@@ -17,6 +17,7 @@
 #include "corpus/benchmarks.h"
 #include "corpus/examples.h"
 #include "corpus/generator.h"
+#include "obs/metrics.h"
 #include "rock/pipeline.h"
 #include "toyc/compiler.h"
 
@@ -160,6 +161,35 @@ TEST(Determinism, SerialMatchesTwiceHardwareConcurrency)
         toyc::compile(corpus::generate_program(spec));
     expect_identical(run_with(compiled.image, 1),
                      run_with(compiled.image, threads));
+}
+
+TEST(Determinism, MetricsCountersBitIdenticalAcrossThreadCounts)
+{
+    // The obs determinism contract: every counter counts work items
+    // (pure functions of the input image), never scheduling
+    // artifacts, so the whole counter map is bit-identical for
+    // threads in {1, 2, hardware}.
+    corpus::GeneratorSpec spec;
+    spec.num_classes = 24;
+    spec.num_trees = 2;
+    spec.max_depth = 3;
+    spec.scenarios_per_class = 2;
+    spec.mi_prob = 0.1;
+    spec.seed = 13;
+    toyc::CompileResult compiled =
+        toyc::compile(corpus::generate_program(spec));
+
+    auto counters_with = [&](int threads) {
+        obs::Registry::global().reset();
+        run_with(compiled.image, threads);
+        return obs::Registry::global().counter_values();
+    };
+    std::map<std::string, std::uint64_t> serial = counters_with(1);
+    EXPECT_GE(serial.size(), 15u);
+    for (int threads : {2, 0}) { // 0 = hardware concurrency
+        SCOPED_TRACE(threads);
+        EXPECT_EQ(serial, counters_with(threads));
+    }
 }
 
 TEST(Determinism, StageTimingPopulatedForEveryStage)

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * The obs layer: metrics registry, span tracing, JSON round-trip, and
+ * the rockstat regression-diff core.
+ *
+ * The suite shares the process-global Registry, so every test that
+ * reads totals resets it first; gtest runs tests in one thread, so no
+ * cross-test interleaving can corrupt a snapshot.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "corpus/generator.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "rock/pipeline.h"
+#include "support/parallel.h"
+#include "toyc/compiler.h"
+
+namespace {
+
+using namespace rock;
+
+// ---- metrics registry ------------------------------------------------
+
+TEST(Metrics, CounterSumExactUnderParallelFor)
+{
+    obs::Registry::global().reset();
+    obs::Counter& c =
+        obs::Registry::global().counter("test.parallel_sum");
+    support::ThreadPool pool(4);
+    constexpr std::size_t kItems = 20000;
+    pool.parallel_for(kItems, [&](std::size_t i) {
+        c.add();
+        if (i % 2 == 0)
+            c.add(2);
+    });
+    EXPECT_EQ(c.value(), kItems + 2 * (kItems / 2));
+}
+
+TEST(Metrics, RegistryReturnsSameInstancePerName)
+{
+    obs::Counter& a = obs::Registry::global().counter("test.same");
+    obs::Counter& b = obs::Registry::global().counter("test.same");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Metrics, CrossKindNameCollisionThrows)
+{
+    obs::Registry::global().counter("test.collision");
+    EXPECT_THROW(obs::Registry::global().gauge("test.collision"),
+                 std::runtime_error);
+    EXPECT_THROW(obs::Registry::global().histogram("test.collision"),
+                 std::runtime_error);
+}
+
+TEST(Metrics, DisabledRecordingIsDropped)
+{
+    obs::Registry::global().reset();
+    obs::Counter& c = obs::Registry::global().counter("test.disabled");
+    obs::set_metrics_enabled(false);
+    c.add(5);
+    obs::set_metrics_enabled(true);
+    EXPECT_EQ(c.value(), 0u);
+    c.add(5);
+    EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Metrics, HistogramBucketBoundaries)
+{
+    obs::Registry::global().reset();
+    obs::Histogram& h = obs::Registry::global().histogram(
+        "test.hist", {1.0, 10.0, 100.0});
+    // A value equal to a bound lands in that bound's bucket (first
+    // bucket with value <= bound); above the last bound -> overflow.
+    h.observe(0.5);   // bucket 0
+    h.observe(1.0);   // bucket 0 (boundary inclusive)
+    h.observe(1.001); // bucket 1
+    h.observe(10.0);  // bucket 1
+    h.observe(99.9);  // bucket 2
+    h.observe(100.1); // overflow
+    std::vector<std::uint64_t> expected = {2, 2, 1, 1};
+    EXPECT_EQ(h.counts(), expected);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.001 + 10.0 + 99.9 + 100.1,
+                1e-9);
+}
+
+TEST(Metrics, HistogramRejectsNonIncreasingBounds)
+{
+    EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::runtime_error);
+    EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::runtime_error);
+}
+
+TEST(Metrics, ResetZeroesInPlaceAndKeepsReferencesValid)
+{
+    obs::Counter& c = obs::Registry::global().counter("test.reset");
+    c.add(7);
+    obs::Registry::global().reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.add(1); // the same reference keeps recording
+    EXPECT_EQ(c.value(), 1u);
+}
+
+// ---- span tracing ----------------------------------------------------
+
+TEST(Trace, SpanNestingAndOrdering)
+{
+    obs::Registry::global().reset();
+    {
+        obs::Span outer("test.outer");
+        {
+            obs::Span inner("test.inner");
+        }
+        obs::Span sibling("test.sibling");
+        sibling.end();
+    }
+    auto log = obs::span_log();
+    ASSERT_EQ(log.size(), 3u);
+    // Open order: parents precede children; ids match positions.
+    EXPECT_EQ(log[0].name, "test.outer");
+    EXPECT_EQ(log[0].id, 0);
+    EXPECT_EQ(log[0].parent, -1);
+    EXPECT_EQ(log[1].name, "test.inner");
+    EXPECT_EQ(log[1].parent, 0);
+    EXPECT_EQ(log[2].name, "test.sibling");
+    EXPECT_EQ(log[2].parent, 0);
+    // The parent's wall time covers both children.
+    EXPECT_GE(log[0].wall_ms, log[1].wall_ms);
+    EXPECT_GE(log[0].wall_ms, log[2].wall_ms);
+}
+
+TEST(Trace, EndIsIdempotentAndExposesWallMs)
+{
+    obs::Registry::global().reset();
+    obs::Span span("test.idempotent");
+    span.end();
+    double first = span.wall_ms();
+    span.end();
+    EXPECT_EQ(span.wall_ms(), first);
+    EXPECT_EQ(obs::span_log().size(), 1u);
+}
+
+TEST(Trace, DisabledSpansRecordNothing)
+{
+    obs::Registry::global().reset();
+    obs::set_metrics_enabled(false);
+    {
+        obs::Span span("test.invisible");
+    }
+    obs::set_metrics_enabled(true);
+    EXPECT_TRUE(obs::span_log().empty());
+}
+
+// ---- JSON + report ---------------------------------------------------
+
+TEST(Report, JsonRoundTripIsExact)
+{
+    obs::Registry::global().reset();
+    obs::Registry::global().counter("test.rt_counter").add(42);
+    obs::Registry::global().gauge("test.rt_gauge").set(2.5);
+    obs::Registry::global()
+        .histogram("test.rt_hist", {1.0, 5.0})
+        .observe(3.25);
+    {
+        obs::Span span("test.rt_span");
+    }
+    obs::MetricsReport report = obs::MetricsReport::capture();
+    obs::MetricsReport parsed =
+        obs::MetricsReport::from_json(report.to_json());
+    EXPECT_EQ(parsed, report);
+    // Canonical form: serializing twice is byte-identical.
+    EXPECT_EQ(parsed.to_json(), report.to_json());
+}
+
+TEST(Report, FromJsonRejectsWrongSchemaAndGarbage)
+{
+    EXPECT_THROW(obs::MetricsReport::from_json("{}"),
+                 std::runtime_error);
+    EXPECT_THROW(obs::MetricsReport::from_json("not json"),
+                 std::runtime_error);
+    EXPECT_THROW(obs::MetricsReport::from_json(
+                     "{\"schema\":\"rock-metrics-v0\"}"),
+                 std::runtime_error);
+}
+
+TEST(Json, ParserHandlesEscapesAndNumbers)
+{
+    obs::Json v = obs::Json::parse(
+        "{\"s\":\"a\\\"b\\\\c\\n\",\"n\":-1.5e2,\"t\":true,"
+        "\"z\":null,\"a\":[1,2]}");
+    EXPECT_EQ(v.find("s")->string, "a\"b\\c\n");
+    EXPECT_EQ(v.find("n")->number, -150.0);
+    EXPECT_TRUE(v.find("t")->boolean);
+    EXPECT_EQ(v.find("z")->kind, obs::Json::Kind::Null);
+    EXPECT_EQ(v.find("a")->array.size(), 2u);
+    EXPECT_THROW(obs::Json::parse("{\"unterminated\":"),
+                 std::runtime_error);
+}
+
+// ---- regression diffing (rockstat core) ------------------------------
+
+obs::MetricsReport
+small_report()
+{
+    obs::MetricsReport r;
+    r.counters = {{"alpha", 100}, {"beta", 5}};
+    obs::SpanRecord span;
+    span.name = "stage";
+    span.wall_ms = 100.0;
+    r.spans.push_back(span);
+    return r;
+}
+
+TEST(Diff, SelfDiffIsClean)
+{
+    obs::MetricsReport r = small_report();
+    EXPECT_TRUE(obs::diff_reports(r, r).empty());
+}
+
+TEST(Diff, DoubledCounterIsARegression)
+{
+    obs::MetricsReport base = small_report();
+    obs::MetricsReport cur = small_report();
+    cur.counters["alpha"] = 200;
+    auto regs = obs::diff_reports(base, cur);
+    ASSERT_EQ(regs.size(), 1u);
+    EXPECT_EQ(regs[0].metric, "counter:alpha");
+    EXPECT_EQ(regs[0].baseline, 100.0);
+    EXPECT_EQ(regs[0].current, 200.0);
+}
+
+TEST(Diff, CounterToleranceAllowsBoundedDrift)
+{
+    obs::MetricsReport base = small_report();
+    obs::MetricsReport cur = small_report();
+    cur.counters["alpha"] = 109;
+    obs::DiffOptions options;
+    options.counter_rel_tol = 0.10;
+    EXPECT_TRUE(obs::diff_reports(base, cur, options).empty());
+    cur.counters["alpha"] = 111;
+    EXPECT_EQ(obs::diff_reports(base, cur, options).size(), 1u);
+}
+
+TEST(Diff, MissingCounterOnEitherSideIsReported)
+{
+    obs::MetricsReport base = small_report();
+    obs::MetricsReport cur = small_report();
+    cur.counters.erase("beta");
+    cur.counters["gamma"] = 1;
+    EXPECT_EQ(obs::diff_reports(base, cur).size(), 2u);
+}
+
+TEST(Diff, SpanGateIsOneSidedWithSlack)
+{
+    obs::MetricsReport base = small_report();
+    obs::MetricsReport cur = small_report();
+    // Default gate: 25% relative + 5ms slack over a 100ms baseline.
+    cur.spans[0].wall_ms = 129.0;
+    EXPECT_TRUE(obs::diff_reports(base, cur).empty());
+    cur.spans[0].wall_ms = 131.0;
+    auto regs = obs::diff_reports(base, cur);
+    ASSERT_EQ(regs.size(), 1u);
+    EXPECT_EQ(regs[0].metric, "span:stage");
+    // Getting faster never fails.
+    cur.spans[0].wall_ms = 1.0;
+    EXPECT_TRUE(obs::diff_reports(base, cur).empty());
+    // counters_only skips the timing gate entirely.
+    cur.spans[0].wall_ms = 10000.0;
+    obs::DiffOptions counters_only;
+    counters_only.counters_only = true;
+    EXPECT_TRUE(obs::diff_reports(base, cur, counters_only).empty());
+}
+
+TEST(Diff, BenchLinesPairByIdentityAndGateTimings)
+{
+    const std::string base =
+        "{\"bench\":\"x\",\"classes\":40,\"threads\":1,"
+        "\"total_ms\":100.0,\"identical_to_serial\":true}\n"
+        "{\"bench\":\"x\",\"classes\":40,\"threads\":2,"
+        "\"total_ms\":60.0,\"identical_to_serial\":true}\n";
+    EXPECT_TRUE(obs::diff_bench_lines(base, base).empty());
+
+    // >25%+5ms growth on one paired line.
+    const std::string slow =
+        "{\"bench\":\"x\",\"classes\":40,\"threads\":1,"
+        "\"total_ms\":140.0,\"identical_to_serial\":true}\n"
+        "{\"bench\":\"x\",\"classes\":40,\"threads\":2,"
+        "\"total_ms\":60.0,\"identical_to_serial\":true}\n";
+    EXPECT_EQ(obs::diff_bench_lines(base, slow).size(), 1u);
+
+    // A flipped boolean (determinism check!) always fails.
+    const std::string broken =
+        "{\"bench\":\"x\",\"classes\":40,\"threads\":1,"
+        "\"total_ms\":100.0,\"identical_to_serial\":true}\n"
+        "{\"bench\":\"x\",\"classes\":40,\"threads\":2,"
+        "\"total_ms\":60.0,\"identical_to_serial\":false}\n";
+    EXPECT_EQ(obs::diff_bench_lines(base, broken).size(), 1u);
+
+    // A baseline line with no current partner is reported.
+    const std::string missing =
+        "{\"bench\":\"x\",\"classes\":40,\"threads\":1,"
+        "\"total_ms\":100.0,\"identical_to_serial\":true}\n";
+    EXPECT_EQ(obs::diff_bench_lines(base, missing).size(), 1u);
+}
+
+// ---- end-to-end: the pipeline under observation ----------------------
+
+core::ReconstructionResult
+run_generated(int threads)
+{
+    corpus::GeneratorSpec spec;
+    spec.num_classes = 20;
+    spec.num_trees = 2;
+    spec.max_depth = 3;
+    spec.scenarios_per_class = 2;
+    spec.seed = 11;
+    toyc::CompileResult compiled =
+        toyc::compile(corpus::generate_program(spec));
+    core::RockConfig config;
+    config.threads = threads;
+    return core::reconstruct(compiled.image, config);
+}
+
+TEST(EndToEnd, ReconstructEmitsMetricsAcrossEveryStage)
+{
+    obs::Registry::global().reset();
+    run_generated(2);
+    obs::MetricsReport report = obs::MetricsReport::capture();
+
+    // The acceptance bar: >= 15 distinct named metrics spanning all
+    // stages of the pipeline.
+    EXPECT_GE(report.counters.size(), 15u);
+    for (const char* name :
+         {"pipeline.runs", "pipeline.types", "verify.functions",
+          "analysis.functions_symexec", "analysis.tracelets",
+          "structural.feasible_parent_edges", "slm.models_trained",
+          "slm.trie_nodes", "slm.escapes", "divergence.pairs",
+          "arborescence.families_solved", "threadpool.items"}) {
+        EXPECT_TRUE(report.counters.count(name)) << name;
+        if (std::string(name) != "verify.diagnostics")
+            EXPECT_GT(report.counters[name], 0u) << name;
+    }
+    // One span per pipeline stage, rooted at pipeline.reconstruct.
+    auto totals = report.span_totals();
+    for (const char* span :
+         {"pipeline.reconstruct", "pipeline.verify",
+          "pipeline.analyze", "pipeline.structural", "pipeline.train",
+          "pipeline.distances", "pipeline.arborescence"}) {
+        EXPECT_TRUE(totals.count(span)) << span;
+    }
+}
+
+TEST(EndToEnd, StageTimingMatchesSpanTree)
+{
+    // StageTiming is deprecated-but-kept: its fields must be copied
+    // verbatim from the per-stage spans (one reconstruct per reset ->
+    // span totals equal the copied fields exactly).
+    obs::Registry::global().reset();
+    core::ReconstructionResult result = run_generated(1);
+    auto totals = obs::MetricsReport::capture().span_totals();
+    EXPECT_EQ(result.timing.verify_ms, totals.at("pipeline.verify"));
+    EXPECT_EQ(result.timing.analyze_ms, totals.at("pipeline.analyze"));
+    EXPECT_EQ(result.timing.structural_ms,
+              totals.at("pipeline.structural"));
+    EXPECT_EQ(result.timing.train_ms, totals.at("pipeline.train"));
+    EXPECT_EQ(result.timing.distances_ms,
+              totals.at("pipeline.distances"));
+    EXPECT_EQ(result.timing.arborescence_ms,
+              totals.at("pipeline.arborescence"));
+    EXPECT_EQ(result.timing.total_ms,
+              totals.at("pipeline.reconstruct"));
+}
+
+} // namespace

@@ -1,28 +1,105 @@
 #!/usr/bin/env bash
-# CI gate for the repository, in two legs:
+# CI gate for the repository, in three legs:
 #
-#  1. the tier-1 verify line (ROADMAP.md): default build, full ctest
-#     suite, 200-seed rockfuzz campaign;
-#  2. an ASan+UBSan build (-DROCK_SANITIZE=address,undefined) of the
-#     same suite -- including the explicit determinism_asan /
+#  1. tier1: the tier-1 verify line (ROADMAP.md): default build, full
+#     ctest suite, 200-seed rockfuzz campaign;
+#  2. sanitize: an ASan+UBSan build (-DROCK_SANITIZE=address,undefined)
+#     of the same suite -- including the explicit determinism_asan /
 #     determinism_ubsan / cfg_asan / cfg_ubsan entries -- plus a
-#     50-seed rockfuzz smoke under instrumentation.
+#     50-seed rockfuzz smoke under instrumentation;
+#  3. perf: bench/pipeline_scaling + a rockhier --metrics-json run,
+#     gated against the committed BENCH_pipeline_scaling.json /
+#     BASELINE_rockhier_counters.json baselines with tools/rockstat
+#     (>25% wall-time growth or *any* deterministic-counter drift
+#     fails).
 #
-# Usage: tools/ci.sh   (from anywhere; JOBS=N overrides parallelism)
+# Usage:
+#   tools/ci.sh [--quick] [--only LEG]
+#     --quick      skip the sanitizer leg (fast local pre-push check)
+#     --only LEG   run a single leg: tier1 | sanitize | perf
+#   JOBS=N overrides build/test parallelism (default: nproc).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "==> tier-1: build + tests + 200-seed fuzz"
-cmake -B build -S .
-cmake --build build -j "$JOBS"
-(cd build && ctest --output-on-failure -j "$JOBS")
-./build/tools/rockfuzz --seeds 200 --repro-dir /tmp
+run_tier1=1
+run_sanitize=1
+run_perf=1
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --quick)
+        run_sanitize=0
+        ;;
+      --only)
+        [ $# -ge 2 ] || { echo "ci.sh: --only needs a leg" >&2; exit 2; }
+        run_tier1=0 run_sanitize=0 run_perf=0
+        case "$2" in
+          tier1)    run_tier1=1 ;;
+          sanitize) run_sanitize=1 ;;
+          perf)     run_perf=1 ;;
+          *) echo "ci.sh: unknown leg '$2'" >&2; exit 2 ;;
+        esac
+        shift
+        ;;
+      *)
+        echo "usage: tools/ci.sh [--quick] [--only tier1|sanitize|perf]" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
 
-echo "==> sanitizers: ASan+UBSan build + tests + 50-seed fuzz"
-cmake -B build-asan -S . -DROCK_SANITIZE=address,undefined
-cmake --build build-asan -j "$JOBS"
-(cd build-asan && ctest --output-on-failure -j "$JOBS")
-./build-asan/tools/rockfuzz --seeds 50 --repro-dir /tmp
+# Fuzz repro hygiene: campaigns write repro files into a private
+# tempdir that is removed on success and printed (and kept) on
+# failure, instead of littering /tmp.
+repro_dir="$(mktemp -d "${TMPDIR:-/tmp}/rockfuzz-repro.XXXXXX")"
+cleanup() {
+    status=$?
+    if [ "$status" -ne 0 ] && [ -n "$(ls -A "$repro_dir" 2>/dev/null)" ]; then
+        echo "ci.sh: fuzz repro files kept in $repro_dir" >&2
+    else
+        rm -rf "$repro_dir"
+    fi
+}
+trap cleanup EXIT
+
+if [ "$run_tier1" -eq 1 ]; then
+    echo "==> tier-1: build + tests + 200-seed fuzz"
+    cmake -B build -S .
+    cmake --build build -j "$JOBS"
+    (cd build && ctest --output-on-failure -j "$JOBS")
+    ./build/tools/rockfuzz --seeds 200 --repro-dir "$repro_dir"
+fi
+
+if [ "$run_sanitize" -eq 1 ]; then
+    echo "==> sanitizers: ASan+UBSan build + tests + 50-seed fuzz"
+    cmake -B build-asan -S . -DROCK_SANITIZE=address,undefined
+    cmake --build build-asan -j "$JOBS"
+    (cd build-asan && ctest --output-on-failure -j "$JOBS")
+    ./build-asan/tools/rockfuzz --seeds 50 --repro-dir "$repro_dir"
+fi
+
+if [ "$run_perf" -eq 1 ]; then
+    echo "==> perf: pipeline_scaling + metrics gate vs committed baselines"
+    # The perf leg reuses the tier-1 build tree (configuring it when
+    # --only perf skipped tier1).
+    cmake -B build -S .
+    cmake --build build -j "$JOBS" --target pipeline_scaling rockhier rockstat
+    perf_dir="$(mktemp -d "${TMPDIR:-/tmp}/rockperf.XXXXXX")"
+    cmake --build build -j "$JOBS" --target rockc
+    ./build/bench/pipeline_scaling > "$perf_dir/bench.jsonl"
+    ./build/tools/rockc --benchmark Smoothing -o "$perf_dir/smoothing.vmi"
+    ./build/tools/rockhier "$perf_dir/smoothing.vmi" --threads 2 \
+        --metrics-json "$perf_dir/rockhier-metrics.json" > /dev/null
+    # Wall-time gate: committed bench trajectory, 25% relative + 5ms
+    # absolute slack (micro-stage noise).
+    ./build/tools/rockstat --baseline BENCH_pipeline_scaling.json \
+        "$perf_dir/bench.jsonl"
+    # Counter gate: deterministic counters must match the committed
+    # snapshot exactly, on any machine (timing ignored).
+    ./build/tools/rockstat --baseline BASELINE_rockhier_counters.json \
+        "$perf_dir/rockhier-metrics.json" --counters-only
+    rm -rf "$perf_dir"
+fi
 
 echo "==> ci.sh: all green"

@@ -4,27 +4,33 @@
  * report committed as EXPERIMENTS.md.
  *
  * Usage:
- *   rockbench            (print to stdout)
- *   rockbench --write F  (write to file F)
+ *   rockbench                  (print to stdout)
+ *   rockbench --write F        (write to file F)
+ *   rockbench --metrics-json F (also write an obs::MetricsReport)
  */
 #include <cstdio>
 #include <fstream>
 #include <string>
 
 #include "experiments/experiments.h"
+#include "obs/report.h"
 #include "support/error.h"
 
 int
 main(int argc, char** argv)
 {
     std::string output;
+    std::string metrics_path;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--write" && i + 1 < argc) {
             output = argv[++i];
+        } else if (arg == "--metrics-json" && i + 1 < argc) {
+            metrics_path = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: rockbench [--write FILE]\n");
+                         "usage: rockbench [--write FILE] "
+                         "[--metrics-json FILE]\n");
             return 2;
         }
     }
@@ -43,8 +49,15 @@ main(int argc, char** argv)
             out << report;
             std::printf("rockbench: wrote %s\n", output.c_str());
         }
+        if (!metrics_path.empty()) {
+            rock::obs::write_report_file(
+                rock::obs::MetricsReport::capture(), metrics_path);
+        }
         return 0;
     } catch (const rock::support::FatalError& e) {
+        std::fprintf(stderr, "rockbench: error: %s\n", e.what());
+        return 1;
+    } catch (const std::exception& e) {
         std::fprintf(stderr, "rockbench: error: %s\n", e.what());
         return 1;
     }

@@ -9,7 +9,9 @@
  *                                     benchmarks, compiled in-process)
  *
  * Options:
- *   --threads N   verifier worker threads (0 = hardware concurrency)
+ *   --threads N      verifier worker threads (0 = hardware
+ *                    concurrency)
+ *   --metrics-json F write an obs::MetricsReport of the run to F
  *
  * Prints one line per diagnostic (see cfg/verify.h for the kinds) and
  * a per-image verdict. Exit status: 0 when every image is clean, 1
@@ -23,6 +25,7 @@
 #include "cfg/verify.h"
 #include "corpus/benchmarks.h"
 #include "corpus/examples.h"
+#include "obs/report.h"
 #include "support/error.h"
 #include "toyc/compiler.h"
 
@@ -52,6 +55,7 @@ int
 main(int argc, char** argv)
 {
     std::vector<std::string> inputs;
+    std::string metrics_path;
     bool builtin = false;
     int threads = 1;
     for (int i = 1; i < argc; ++i) {
@@ -60,6 +64,8 @@ main(int argc, char** argv)
             builtin = true;
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = std::atoi(argv[++i]);
+        } else if (arg == "--metrics-json" && i + 1 < argc) {
+            metrics_path = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "rockcheck: unknown option '%s'\n",
                          arg.c_str());
@@ -71,7 +77,8 @@ main(int argc, char** argv)
     if (inputs.empty() && !builtin) {
         std::fprintf(stderr,
                      "usage: rockcheck IMAGE.vmi... | rockcheck "
-                     "--builtin [--threads N]\n");
+                     "--builtin [--threads N] "
+                     "[--metrics-json FILE]\n");
         return 2;
     }
 
@@ -103,6 +110,15 @@ main(int argc, char** argv)
     } catch (const support::FatalError& e) {
         std::fprintf(stderr, "rockcheck: error: %s\n", e.what());
         return 2;
+    }
+    if (!metrics_path.empty()) {
+        try {
+            obs::write_report_file(obs::MetricsReport::capture(),
+                                   metrics_path);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "rockcheck: error: %s\n", e.what());
+            return 2;
+        }
     }
     return total == 0 ? 0 : 1;
 }

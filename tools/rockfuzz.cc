@@ -23,6 +23,7 @@
  *   --replay FILE    re-run one repro file instead of a campaign
  *   --inject-bug B   apply a named fault injection (harness demo)
  *   --list-oracles   print the oracle registry and exit
+ *   --metrics-json F write an obs::MetricsReport of the campaign to F
  */
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +34,7 @@
 #include "fuzz/fuzzer.h"
 #include "fuzz/oracles.h"
 #include "fuzz/repro.h"
+#include "obs/report.h"
 #include "support/error.h"
 
 namespace {
@@ -90,6 +92,7 @@ main(int argc, char** argv)
     std::string repro_dir = ".";
     std::string replay_file;
     std::string inject;
+    std::string metrics_path;
     bool list_oracles = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -114,6 +117,8 @@ main(int argc, char** argv)
             inject = argv[++i];
         } else if (arg == "--list-oracles") {
             list_oracles = true;
+        } else if (arg == "--metrics-json" && i + 1 < argc) {
+            metrics_path = argv[++i];
         } else {
             std::fprintf(stderr,
                          "rockfuzz: unknown option '%s'\n"
@@ -121,7 +126,7 @@ main(int argc, char** argv)
                          "S] [--budget-ms M] [--threads N] [--oracle "
                          "NAME] [--no-shrink] [--repro-dir DIR] "
                          "[--replay FILE] [--inject-bug B] "
-                         "[--list-oracles]\n",
+                         "[--list-oracles] [--metrics-json FILE]\n",
                          arg.c_str());
             return 2;
         }
@@ -158,8 +163,15 @@ main(int argc, char** argv)
             report = fuzz::run_fuzz(options, config);
         }
         print_report(report, repro_dir);
+        if (!metrics_path.empty()) {
+            obs::write_report_file(obs::MetricsReport::capture(),
+                                   metrics_path);
+        }
         return report.ok() ? 0 : 1;
     } catch (const support::FatalError& e) {
+        std::fprintf(stderr, "rockfuzz: error: %s\n", e.what());
+        return 2;
+    } catch (const std::exception& e) {
         std::fprintf(stderr, "rockfuzz: error: %s\n", e.what());
         return 2;
     }

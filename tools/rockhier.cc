@@ -14,12 +14,15 @@
  *                    the result is identical for any N)
  *   --dot            emit Graphviz instead of the ASCII tree
  *   --families       also print families and feasible parents
+ *   --metrics-json F write an obs::MetricsReport (rock-metrics-v1)
+ *                    of the run to F
  */
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "bir/serialize.h"
+#include "obs/report.h"
 #include "rock/pipeline.h"
 #include "rock/relaxed.h"
 #include "support/error.h"
@@ -31,13 +34,16 @@ main(int argc, char** argv)
     using namespace rock;
 
     std::string input;
+    std::string metrics_path;
     core::RockConfig config;
     int k = 1;
     bool dot = false;
     bool families = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--metric" && i + 1 < argc) {
+        if (arg == "--metrics-json" && i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else if (arg == "--metric" && i + 1 < argc) {
             config.metric = divergence::metric_from_name(argv[++i]);
         } else if (arg == "--depth" && i + 1 < argc) {
             config.slm.depth = std::atoi(argv[++i]);
@@ -63,7 +69,8 @@ main(int argc, char** argv)
         std::fprintf(stderr,
                      "usage: rockhier IMAGE.vmi [--metric NAME] "
                      "[--depth N] [--tracelet N] [--k N] "
-                     "[--threads N] [--dot] [--families]\n");
+                     "[--threads N] [--dot] [--families] "
+                     "[--metrics-json FILE]\n");
         return 2;
     }
 
@@ -110,8 +117,16 @@ main(int argc, char** argv)
             std::printf("%s", hierarchy.to_dot("rock").c_str());
         else
             std::printf("%s", hierarchy.to_string().c_str());
+
+        if (!metrics_path.empty()) {
+            obs::write_report_file(obs::MetricsReport::capture(),
+                                   metrics_path);
+        }
         return 0;
     } catch (const support::FatalError& e) {
+        std::fprintf(stderr, "rockhier: error: %s\n", e.what());
+        return 1;
+    } catch (const std::exception& e) {
         std::fprintf(stderr, "rockhier: error: %s\n", e.what());
         return 1;
     }

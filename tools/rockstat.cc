@@ -1,0 +1,143 @@
+/**
+ * @file
+ * rockstat -- diff two metrics captures and gate on regressions.
+ *
+ * Accepts either format the repo emits:
+ *  - canonical metrics reports ("rock-metrics-v1", from any tool's
+ *    --metrics-json flag): deterministic counters compare exactly
+ *    (tolerance configurable), per-name span wall totals compare with
+ *    relative tolerance + absolute slack;
+ *  - bench JSONL captures (bench/pipeline_scaling stdout, one JSON
+ *    object per line): lines pair by bench/classes/threads, "*_ms"
+ *    fields gate on the timing tolerance, other numeric fields and
+ *    booleans compare exactly.
+ *
+ * Usage:
+ *   rockstat --baseline BASE.json CURRENT.json [options]
+ *   rockstat BASE.json CURRENT.json [options]
+ *
+ * Options:
+ *   --counter-tol R     relative drift allowed per counter (default 0
+ *                       = exact; counters are deterministic)
+ *   --time-tol R        relative wall-time growth allowed (default
+ *                       0.25, i.e. +25%)
+ *   --abs-slack-ms S    absolute slack added to every timing bound
+ *                       (default 5; absorbs micro-bench noise)
+ *   --counters-only     skip all timing comparisons (cross-machine
+ *                       counter gating)
+ *
+ * Exit status: 0 = within tolerances, 1 = regression(s) printed to
+ * stderr, 2 = usage or I/O error.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/report.h"
+
+namespace {
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot read '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** A metrics report is one object carrying the schema tag; anything
+ *  else JSON-ish is treated as bench JSONL. */
+bool
+is_metrics_report(const std::string& text)
+{
+    return text.find("\"rock-metrics-v1\"") != std::string::npos;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace rock::obs;
+
+    std::vector<std::string> files;
+    DiffOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--baseline" && i + 1 < argc) {
+            files.insert(files.begin(), argv[++i]);
+        } else if (arg == "--counter-tol" && i + 1 < argc) {
+            options.counter_rel_tol = std::atof(argv[++i]);
+        } else if (arg == "--time-tol" && i + 1 < argc) {
+            options.time_rel_tol = std::atof(argv[++i]);
+        } else if (arg == "--abs-slack-ms" && i + 1 < argc) {
+            options.time_abs_slack_ms = std::atof(argv[++i]);
+        } else if (arg == "--counters-only") {
+            options.counters_only = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "rockstat: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2) {
+        std::fprintf(
+            stderr,
+            "usage: rockstat [--baseline] BASE.json CURRENT.json "
+            "[--counter-tol R] [--time-tol R] [--abs-slack-ms S] "
+            "[--counters-only]\n");
+        return 2;
+    }
+
+    try {
+        std::string base_text = slurp(files[0]);
+        std::string cur_text = slurp(files[1]);
+        bool base_report = is_metrics_report(base_text);
+        bool cur_report = is_metrics_report(cur_text);
+        if (base_report != cur_report) {
+            std::fprintf(stderr,
+                         "rockstat: '%s' and '%s' are different "
+                         "formats (metrics report vs bench JSONL)\n",
+                         files[0].c_str(), files[1].c_str());
+            return 2;
+        }
+
+        std::vector<Regression> regressions;
+        if (base_report) {
+            regressions = diff_reports(
+                MetricsReport::from_json(base_text),
+                MetricsReport::from_json(cur_text), options);
+        } else {
+            regressions =
+                diff_bench_lines(base_text, cur_text, options);
+        }
+
+        for (const Regression& r : regressions) {
+            std::fprintf(stderr,
+                         "rockstat: REGRESSION %s: baseline %.6g -> "
+                         "current %.6g (%s)\n",
+                         r.metric.c_str(), r.baseline, r.current,
+                         r.detail.c_str());
+        }
+        std::printf("rockstat: %s vs %s: %zu regression(s) "
+                    "[counter-tol %.3g, time-tol %.3g, slack %.3g "
+                    "ms%s]\n",
+                    files[0].c_str(), files[1].c_str(),
+                    regressions.size(), options.counter_rel_tol,
+                    options.time_rel_tol, options.time_abs_slack_ms,
+                    options.counters_only ? ", counters only" : "");
+        return regressions.empty() ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "rockstat: error: %s\n", e.what());
+        return 2;
+    }
+}
