@@ -4,22 +4,61 @@
  * the binary of Skype (of size 21.6 Mb), but we do not report these
  * results as we had no groundtruth to compare against."
  *
- * Analogue: a large generated program (1000 classes across many
- * trees, with fold noise and multiple inheritance) is compiled,
- * stripped, and pushed through the complete pipeline. The harness
- * reports sizes and wall-clock per stage; success is completing with
- * a hierarchy covering every discovered type.
+ * Analogue: a large generated program (default 5000 classes across
+ * many trees, with fold noise and multiple inheritance) is compiled,
+ * stripped, and pushed through the complete pipeline. Success is
+ * completing with a hierarchy covering every discovered type.
+ *
+ * Doubles as the near-linear-speedup gate: with --threads a,b,...
+ * the same image is reconstructed at each worker count and one JSON
+ * line per run goes to --json FILE (or stdout), carrying total and
+ * per-stage wall times, speedup_vs_serial against the sweep's
+ * threads=1 run, hw_threads, and the bit-identical check. CI feeds
+ * the file to `rockstat --check --min-speedup T:R`, which enforces
+ * the ratio only on hosts with >= T hardware threads.
+ *
+ * Usage:
+ *   skype_scale [--classes N] [--threads CSV] [--json FILE]
+ *               [--metrics-json FILE]
+ *
+ * Default is a single all-hardware-threads run (the historical
+ * behavior); --threads "1,4" runs the gate pair.
  */
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
-#include "analysis/analyze.h"
 #include "corpus/generator.h"
+#include "obs/report.h"
 #include "rock/pipeline.h"
 #include "toyc/compiler.h"
 
+namespace {
+
+std::vector<int>
+parse_threads(const std::string& csv)
+{
+    std::vector<int> out;
+    std::size_t pos = 0;
+    while (pos < csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        out.push_back(std::atoi(csv.substr(pos, comma - pos).c_str()));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char** argv)
 {
     using namespace rock;
     using clock = std::chrono::steady_clock;
@@ -29,13 +68,43 @@ main()
             .count();
     };
 
+    int classes = 5000;
+    std::vector<int> thread_counts{0}; // 0 = all hardware threads
+    std::string json_path;
+    std::string metrics_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--classes" && i + 1 < argc) {
+            classes = std::atoi(argv[++i]);
+        } else if (arg == "--threads" && i + 1 < argc) {
+            thread_counts = parse_threads(argv[++i]);
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--metrics-json" && i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: skype_scale [--classes N] "
+                         "[--threads CSV] [--json FILE] "
+                         "[--metrics-json FILE]\n");
+            return 2;
+        }
+    }
+    if (thread_counts.empty() || classes <= 0) {
+        std::fprintf(stderr, "skype_scale: bad --classes/--threads\n");
+        return 2;
+    }
+
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+
     corpus::GeneratorSpec spec;
-    spec.num_classes = 1000;
-    spec.num_trees = 24;
+    spec.num_classes = classes;
+    spec.num_trees = std::max(4, classes / 40);
     spec.max_depth = 6;
     spec.max_children = 5;
     spec.scenarios_per_class = 2;
-    spec.fold_noise_pairs = 10;
+    spec.fold_noise_pairs = classes / 100;
     spec.mi_prob = 0.05;
     spec.seed = 2018;
 
@@ -46,39 +115,108 @@ main()
 
     std::printf("large-binary run (Skype analogue)\n");
     std::printf("  classes: %d, functions: %zu, code: %.1f KB, "
-                "data: %.1f KB\n",
+                "data: %.1f KB, hw threads: %u\n",
                 spec.num_classes, compiled.image.functions.size(),
                 compiled.image.code.size() / 1024.0,
-                compiled.image.data.size() / 1024.0);
+                compiled.image.data.size() / 1024.0, hw);
     std::printf("  compile+link: %.1f ms (%zu functions folded)\n",
                 compile_ms, compiled.folded);
 
-    t0 = clock::now();
-    core::RockConfig config;
-    config.threads = 0; // all hardware threads
-    core::ReconstructionResult result =
-        core::reconstruct(compiled.image, config);
-    double reconstruct_ms = ms_since(t0);
+    std::FILE* json = nullptr;
+    if (!json_path.empty()) {
+        json = std::fopen(json_path.c_str(), "w");
+        if (!json) {
+            std::fprintf(stderr, "skype_scale: cannot open %s\n",
+                         json_path.c_str());
+            return 2;
+        }
+    }
 
-    std::printf("  reconstruct: %.1f ms\n", reconstruct_ms);
-    std::printf("  stages: analyze %.1f ms, structural %.1f ms, "
-                "train %.1f ms, distances %.1f ms, "
-                "arborescence %.1f ms\n",
-                result.timing.analyze_ms, result.timing.structural_ms,
-                result.timing.train_ms, result.timing.distances_ms,
-                result.timing.arborescence_ms);
-    std::printf("  types: %zu, families: %d (%d behaviorally "
-                "resolved), forced parents: %zu\n",
-                result.structural.types.size(),
-                result.structural.num_families(),
-                result.ambiguous_families,
-                result.structural.forced_parents.size());
-    std::printf("  symbolic paths: %ld, pairwise distances "
-                "computed: %zu\n",
-                result.analysis.total_paths, result.distances.size());
+    bool covered = true;
+    bool all_identical = true;
+    double serial_ms = 0.0;
+    std::string serial_forest;
+    for (int threads : thread_counts) {
+        core::RockConfig config;
+        config.threads = threads;
+        t0 = clock::now();
+        core::ReconstructionResult result =
+            core::reconstruct(compiled.image, config);
+        double reconstruct_ms = ms_since(t0);
+        const core::StageTiming& t = result.timing;
 
-    bool covered = result.hierarchy.size() ==
-                   static_cast<int>(result.structural.types.size());
+        if (threads == 1) {
+            serial_ms = t.total_ms;
+            serial_forest = result.hierarchy.to_string();
+        }
+        bool identical =
+            serial_forest.empty() ||
+            result.hierarchy.to_string() == serial_forest;
+        all_identical = all_identical && identical;
+
+        std::printf("  reconstruct[threads=%d]: %.1f ms "
+                    "(cfg %.1f, verify %.1f, analyze %.1f, "
+                    "structural %.1f, train %.1f, distances %.1f, "
+                    "arborescence %.1f)\n",
+                    threads, reconstruct_ms, t.cfg_ms, t.verify_ms,
+                    t.analyze_ms, t.structural_ms, t.train_ms,
+                    t.distances_ms, t.arborescence_ms);
+        std::printf("  types: %zu, families: %d (%d behaviorally "
+                    "resolved), forced parents: %zu, paths: %ld, "
+                    "distances: %zu\n",
+                    result.structural.types.size(),
+                    result.structural.num_families(),
+                    result.ambiguous_families,
+                    result.structural.forced_parents.size(),
+                    result.analysis.total_paths,
+                    result.distances.size());
+
+        covered = covered &&
+                  result.hierarchy.size() ==
+                      static_cast<int>(result.structural.types.size());
+
+        char line[1024];
+        std::snprintf(
+            line, sizeof(line),
+            "{\"bench\":\"skype_scale\",\"classes\":%d,"
+            "\"functions\":%zu,\"types\":%zu,\"threads\":%d,"
+            "\"hw_threads\":%u,"
+            "\"cfg_ms\":%.3f,\"verify_ms\":%.3f,\"analyze_ms\":%.3f,"
+            "\"structural_ms\":%.3f,\"train_ms\":%.3f,"
+            "\"distances_ms\":%.3f,\"arborescence_ms\":%.3f,"
+            "\"total_ms\":%.3f,\"speedup_vs_serial\":%.3f,"
+            "\"identical_to_serial\":%s}\n",
+            classes, compiled.image.functions.size(),
+            result.structural.types.size(), threads, hw, t.cfg_ms,
+            t.verify_ms, t.analyze_ms, t.structural_ms, t.train_ms,
+            t.distances_ms, t.arborescence_ms, t.total_ms,
+            serial_ms > 0.0 && t.total_ms > 0.0
+                ? serial_ms / t.total_ms
+                : 1.0,
+            identical ? "true" : "false");
+        if (json)
+            std::fputs(line, json);
+        else
+            std::fputs(line, stdout);
+        std::fflush(stdout);
+    }
+    if (json)
+        std::fclose(json);
+
+    if (!metrics_path.empty()) {
+        try {
+            obs::write_report_file(obs::MetricsReport::capture(),
+                                   metrics_path);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "skype_scale: %s\n", e.what());
+            return 2;
+        }
+    }
+    if (!all_identical) {
+        std::fprintf(stderr, "MISMATCH: parallel hierarchy differs "
+                             "from serial baseline\n");
+        return 1;
+    }
     std::printf("\n%s\n",
                 covered ? "OK: full pipeline completed on the "
                           "large binary"

@@ -67,6 +67,14 @@ record_metrics(const AnalysisResult& result, std::size_t functions)
 AnalysisResult
 analyze(const bir::BinaryImage& image, const SymExecConfig& config)
 {
+    cfg::CfgCache cache(image);
+    return analyze(image, config, cache);
+}
+
+AnalysisResult
+analyze(const bir::BinaryImage& image, const SymExecConfig& config,
+        cfg::CfgCache& cache)
+{
     AnalysisResult result;
     result.vtables = scan_vtables(image);
 
@@ -90,13 +98,26 @@ analyze(const bir::BinaryImage& image, const SymExecConfig& config)
             support::resolve_threads(config.threads)),
         std::max<std::size_t>(1, num_functions))));
 
+    // One decode per function for both phases, served from the shared
+    // CFG cache (the verify stage already paid for the recovery when
+    // the pipeline runs with verification on). Sweeps are chunked by
+    // instruction count so uneven corpora still balance.
+    cache.build_all(pool);
+    support::ChunkPlan plan;
+    plan.costs = cache.costs().data();
+    std::vector<std::vector<bir::Instr>> bodies(num_functions);
+    pool.parallel_for(num_functions, plan, [&](std::size_t i) {
+        bodies[i] = cache.body(i);
+    });
+
     // ---- Phase A: find ctor/dtor-like functions ------------------------
     // A function is ctor-like when, executed with its first argument
     // modeled as an object, that object ends up with a vtable address
     // stored at offset 0.
     std::vector<FunctionAnalysis> phase_a(num_functions);
-    pool.parallel_for(num_functions, [&](std::size_t i) {
-        phase_a[i] = exec.run(image.functions[i], this_callees, true);
+    pool.parallel_for(num_functions, plan, [&](std::size_t i) {
+        phase_a[i] = exec.run(image.functions[i], this_callees, true,
+                              bodies[i]);
     });
     for (std::size_t i = 0; i < num_functions; ++i) {
         for (const auto& ev : phase_a[i].evidence) {
@@ -118,11 +139,11 @@ analyze(const bir::BinaryImage& image, const SymExecConfig& config)
         full_callees.insert(fn);
 
     std::vector<FunctionAnalysis> phase_b(num_functions);
-    pool.parallel_for(num_functions, [&](std::size_t i) {
+    pool.parallel_for(num_functions, plan, [&](std::size_t i) {
         bool arg0_is_object =
             full_callees.count(image.functions[i].addr) != 0;
         phase_b[i] = exec.run(image.functions[i], full_callees,
-                              arg0_is_object);
+                              arg0_is_object, bodies[i]);
     });
     for (std::size_t i = 0; i < num_functions; ++i) {
         FunctionAnalysis& fa = phase_b[i];

@@ -27,6 +27,7 @@
 #include "analysis/symexec.h"
 #include "analysis/vtable_scan.h"
 #include "bir/image.h"
+#include "cfg/cfg_cache.h"
 
 namespace rock::analysis {
 
@@ -50,5 +51,15 @@ struct AnalysisResult {
 /** Analyze @p image: discover vtables, extract tracelets + evidence. */
 AnalysisResult analyze(const bir::BinaryImage& image,
                        const SymExecConfig& config = {});
+
+/**
+ * As above, sharing @p cache (built on demand): function bodies come
+ * from the cached CFG slots instead of being re-decoded per phase,
+ * and the per-function sweeps are cost-chunked by instruction count.
+ * The pipeline passes the same cache the verify stage built.
+ */
+AnalysisResult analyze(const bir::BinaryImage& image,
+                       const SymExecConfig& config,
+                       cfg::CfgCache& cache);
 
 } // namespace rock::analysis

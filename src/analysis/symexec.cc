@@ -113,8 +113,17 @@ SymbolicExecutor::run(const bir::FunctionEntry& fn,
                       const std::set<std::uint32_t>& this_callees,
                       bool arg0_is_object) const
 {
+    return run(fn, this_callees, arg0_is_object,
+               image_.decode_function(fn));
+}
+
+FunctionAnalysis
+SymbolicExecutor::run(const bir::FunctionEntry& fn,
+                      const std::set<std::uint32_t>& this_callees,
+                      bool arg0_is_object,
+                      const std::vector<Instr>& body) const
+{
     FunctionAnalysis result;
-    const std::vector<Instr> body = image_.decode_function(fn);
     if (body.empty())
         return result;
 

@@ -123,6 +123,16 @@ class SymbolicExecutor {
                          const std::set<std::uint32_t>& this_callees,
                          bool arg0_is_object) const;
 
+    /**
+     * As above, over an already-decoded @p body (e.g. served by a
+     * cfg::CfgCache, so both phases and the verifier share one decode
+     * per function instead of three).
+     */
+    FunctionAnalysis run(const bir::FunctionEntry& fn,
+                         const std::set<std::uint32_t>& this_callees,
+                         bool arg0_is_object,
+                         const std::vector<bir::Instr>& body) const;
+
     /** Vtables (by address) whose slots contain @p func. */
     const std::vector<std::uint32_t>&
     containing_vtables(std::uint32_t func) const;

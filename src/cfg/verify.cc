@@ -5,6 +5,7 @@
 #include <set>
 
 #include "cfg/analyses.h"
+#include "cfg/cfg_cache.h"
 #include "obs/metrics.h"
 #include "support/str.h"
 
@@ -89,16 +90,47 @@ struct CallSeenProblem {
     }
 };
 
-/** Does any real (non-uninit) definition appear in @p defs? */
-bool
-has_real_def(const std::set<int>& defs)
-{
-    for (int d : defs) {
-        if (d != kUninitDef)
-            return true;
+/**
+ * Forward may-analysis: per register, has ANY definition executed on
+ * some path from the entry? One bit per register.
+ *
+ * This is the exact predicate the verifier needs from reaching
+ * definitions: every def site is "real", and the kUninitDef pseudo-def
+ * seeds every register at entry, so for a slot in a reachable block
+ *
+ *   reaching(r) == {kUninitDef}  <=>  no path to the slot defines r
+ *                                <=>  ever-defined bit of r is clear.
+ *
+ * The full ReachingDefs (cfg/analyses.h) keeps a std::set of def
+ * sites per register per block; on lint-clean images the verifier was
+ * spending most of its time building those sets only to ask this one
+ * boolean. Two machine words per block answer it instead.
+ */
+struct EverDefinedProblem {
+    using Domain = std::uint32_t; // bit r: some def of r reached here
+
+    Domain boundary() const { return 0; }
+    Domain top() const { return 0; }
+    void meet(Domain& into, const Domain& from) const { into |= from; }
+    Domain transfer(const Cfg& graph, int block, Domain in) const
+    {
+        const BasicBlock& bb =
+            graph.blocks[static_cast<std::size_t>(block)];
+        for (int s = bb.first; s < bb.last; ++s) {
+            const auto& instr =
+                graph.slots[static_cast<std::size_t>(s)].instr;
+            if (!instr)
+                continue; // opaque slot: no known effect
+            int def = bir::reg_def(*instr);
+            if (def >= 0)
+                in |= 1u << def;
+        }
+        return in;
     }
-    return false;
-}
+};
+
+static_assert(bir::kNumRegs <= 32,
+              "EverDefinedProblem packs one bit per register");
 
 void
 check_transfers(const bir::BinaryImage& image, const Cfg& cfg,
@@ -210,17 +242,18 @@ to_string(const Diagnostic& diag)
 namespace {
 
 /**
- * verify_function, plus (when @p candidates is non-null) the stored
- * vtable-pointer scan over the same recovered CFG, so verify_image's
- * parallel pass builds each function's CFG exactly once.
+ * verify_function over an already-recovered CFG, plus (when
+ * @p candidates is non-null) the stored vtable-pointer scan over the
+ * same CFG. verify_image feeds CFGs from a shared CfgCache, so each
+ * function's CFG is built exactly once per image regardless of how
+ * many stages consume it.
  */
 std::vector<Diagnostic>
-verify_function_impl(const bir::BinaryImage& image,
-                     const bir::FunctionEntry& fn,
+verify_function_impl(const bir::BinaryImage& image, const Cfg& cfg,
                      VtableCandidates* candidates)
 {
     std::vector<Diagnostic> out;
-    Cfg cfg = build_cfg(image, fn);
+    const bir::FunctionEntry& fn = cfg.func;
     if (candidates)
         collect_vtable_candidates(image, cfg, *candidates);
 
@@ -280,7 +313,8 @@ verify_function_impl(const bir::BinaryImage& image,
         return out;
     }
 
-    ReachingDefs reaching = reaching_definitions(cfg);
+    EverDefinedProblem def_problem;
+    auto ever_defined = solve(cfg, def_problem, Direction::Forward);
     ConstProp consts = constant_propagation(cfg);
     CallSeenProblem call_problem;
     auto call_seen = solve(cfg, call_problem, Direction::Forward);
@@ -300,6 +334,7 @@ verify_function_impl(const bir::BinaryImage& image,
             continue; // dataflow facts are vacuous on dead code
         }
         bool call_before = call_seen[b].in;
+        std::uint32_t defined = ever_defined[b].in;
         for (int s = block.first; s < block.last; ++s) {
             const Slot& slot = cfg.slots[static_cast<std::size_t>(s)];
             if (!slot.instr) {
@@ -310,8 +345,7 @@ verify_function_impl(const bir::BinaryImage& image,
             check_transfers(image, cfg, slot, out);
 
             if (instr.op == bir::Op::CallInd) {
-                std::set<int> defs = reaching.reaching(cfg, s, instr.a);
-                if (!defs.empty() && !has_real_def(defs)) {
+                if (!((defined >> instr.a) & 1u)) {
                     out.push_back(
                         {DiagKind::CallIndUndefined, fn.addr,
                          slot.addr,
@@ -333,8 +367,7 @@ verify_function_impl(const bir::BinaryImage& image,
                 }
             } else {
                 for (int r : bir::reg_uses(instr)) {
-                    std::set<int> defs = reaching.reaching(cfg, s, r);
-                    if (!defs.empty() && !has_real_def(defs)) {
+                    if (!((defined >> r) & 1u)) {
                         out.push_back(
                             {DiagKind::UseWithoutDef, fn.addr,
                              slot.addr,
@@ -345,6 +378,9 @@ verify_function_impl(const bir::BinaryImage& image,
                     }
                 }
             }
+            int def = bir::reg_def(instr);
+            if (def >= 0)
+                defined |= 1u << def;
 
             if (instr.op == bir::Op::GetRet && !call_before) {
                 out.push_back(
@@ -373,24 +409,32 @@ std::vector<Diagnostic>
 verify_function(const bir::BinaryImage& image,
                 const bir::FunctionEntry& fn)
 {
-    return verify_function_impl(image, fn, nullptr);
+    Cfg cfg = build_cfg(image, fn);
+    return verify_function_impl(image, cfg, nullptr);
 }
 
 std::vector<Diagnostic>
-verify_image(const bir::BinaryImage& image, support::ThreadPool& pool)
+verify_image(const bir::BinaryImage& image, support::ThreadPool& pool,
+             CfgCache& cache)
 {
+    cache.build_all(pool);
+
     // Per-function lints: one slot per function, merged in table
     // order so the result is independent of the worker count. The
     // same pass collects each function's stored vtable-pointer
     // candidates so the image-level lint below needs no second,
-    // serial CFG rebuild.
+    // serial CFG rebuild. Chunked by instruction count: lint cost is
+    // roughly linear in it, so one huge function no longer pins the
+    // sweep to a single worker's pace.
     std::vector<std::vector<Diagnostic>> per_function(
         image.functions.size());
     std::vector<VtableCandidates> per_function_candidates(
         image.functions.size());
-    pool.parallel_for(image.functions.size(), [&](std::size_t f) {
+    support::ChunkPlan plan;
+    plan.costs = cache.costs().data();
+    pool.parallel_for(image.functions.size(), plan, [&](std::size_t f) {
         per_function[f] = verify_function_impl(
-            image, image.functions[f], &per_function_candidates[f]);
+            image, cache.at(f), &per_function_candidates[f]);
     });
     std::vector<Diagnostic> out;
     for (auto& diags : per_function)
@@ -437,6 +481,13 @@ verify_image(const bir::BinaryImage& image, support::ThreadPool& pool)
         }
     }
     return out;
+}
+
+std::vector<Diagnostic>
+verify_image(const bir::BinaryImage& image, support::ThreadPool& pool)
+{
+    CfgCache cache(image);
+    return verify_image(image, pool, cache);
 }
 
 std::vector<Diagnostic>

@@ -79,12 +79,23 @@ std::vector<Diagnostic>
 verify_function(const bir::BinaryImage& image,
                 const bir::FunctionEntry& fn);
 
+class CfgCache;
+
 /**
  * Verify the whole image: every function body plus the image-level
  * vtable checks. Output is ordered (functions in table order, then
  * vtable findings by address) and independent of @p pool's size --
  * the usual bit-identical guarantee.
+ *
+ * Ensures @p cache is built (on @p pool) and lints the cached CFGs;
+ * later stages sharing the cache (analysis::analyze) reuse them
+ * instead of rebuilding.
  */
+std::vector<Diagnostic> verify_image(const bir::BinaryImage& image,
+                                     support::ThreadPool& pool,
+                                     CfgCache& cache);
+
+/** As above with a private, discarded CfgCache. */
 std::vector<Diagnostic> verify_image(const bir::BinaryImage& image,
                                      support::ThreadPool& pool);
 

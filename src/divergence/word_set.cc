@@ -1,6 +1,7 @@
 #include "divergence/word_set.h"
 
 #include <algorithm>
+#include <iterator>
 #include <set>
 
 #include "support/error.h"
@@ -37,6 +38,30 @@ sample_word(const slm::LanguageModel& model, int len, support::Rng& rng)
         word.push_back(chosen);
     }
     return word;
+}
+
+WordSet
+sorted_unique_words(const std::vector<std::vector<int>>& seqs)
+{
+    WordSet out;
+    out.reserve(seqs.size());
+    for (const auto& seq : seqs) {
+        if (!seq.empty())
+            out.push_back(seq);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+WordSet
+merge_word_sets(const WordSet& a, const WordSet& b)
+{
+    WordSet out;
+    out.reserve(a.size() + b.size());
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(out));
+    return out;
 }
 
 WordSet

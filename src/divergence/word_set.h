@@ -58,6 +58,21 @@ WordSet build_word_set(const WordSetConfig& config,
                        const slm::LanguageModel* sampler,
                        int alphabet_size);
 
+/**
+ * Sorted, deduplicated, non-empty sequences of one type. Precompute
+ * once per type; merge_word_sets() then builds any pair's
+ * ObservedUnion word set without touching a std::set.
+ */
+WordSet sorted_unique_words(const std::vector<std::vector<int>>& seqs);
+
+/**
+ * Union of two sorted_unique_words() lists. Byte-identical to
+ * build_word_set(ObservedUnion, ...) over the same raw sequences
+ * (std::set iterates std::less == lexicographic == this merge order);
+ * tests/wordset_consistency_test.cc pins the equivalence.
+ */
+WordSet merge_word_sets(const WordSet& a, const WordSet& b);
+
 /** Draw one word of @p len from @p model (roulette per symbol). */
 std::vector<int> sample_word(const slm::LanguageModel& model, int len,
                              support::Rng& rng);

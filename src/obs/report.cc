@@ -364,8 +364,17 @@ diff_bench_lines(const std::string& baseline_jsonl,
             continue;
         }
         for (const auto& [field, bval] : b.value.object) {
-            if (field == "speedup_vs_serial")
-                continue; // derived from total_ms; gated via total_ms
+            // Ratio columns are derived from the *_ms fields (which
+            // are gated with the time tolerance themselves), and
+            // hw_threads describes the capture host, not the code
+            // under test -- all three classes vary freely across
+            // machines.
+            bool is_ratio =
+                field == "speedup_vs_serial" ||
+                (field.size() > 8 &&
+                 field.compare(field.size() - 8, 8, "_speedup") == 0);
+            if (is_ratio || field == "hw_threads")
+                continue;
             const Json* cval = match->value.find(field);
             if (!cval)
                 continue; // field added/removed across revisions

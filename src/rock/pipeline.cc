@@ -215,10 +215,21 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     obs::Span total_span("pipeline.reconstruct");
     obs::Registry::global().counter("pipeline.runs").add();
 
+    // ---- Shared CFG recovery (parallel over functions) -----------------
+    // Built once, consumed by both the verifier and the behavioral
+    // analysis; nobody downstream rebuilds a CFG or re-decodes a body.
+    cfg::CfgCache cache(image);
+    {
+        obs::Span cfg_span("pipeline.cfg");
+        cache.build_all(pool);
+        cfg_span.end();
+        result.timing.cfg_ms = cfg_span.wall_ms();
+    }
+
     // ---- Image verification (parallel over functions) ------------------
     if (config.verify) {
         obs::Span span("pipeline.verify");
-        result.diagnostics = cfg::verify_image(image, pool);
+        result.diagnostics = cfg::verify_image(image, pool, cache);
         span.end();
         result.timing.verify_ms = span.wall_ms();
         if (!result.diagnostics.empty()) {
@@ -232,7 +243,7 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     obs::Span analyze_span("pipeline.analyze");
     analysis::SymExecConfig symexec = config.symexec;
     symexec.threads = threads;
-    result.analysis = analysis::analyze(image, symexec);
+    result.analysis = analysis::analyze(image, symexec, cache);
     analyze_span.end();
     result.timing.analyze_ms = analyze_span.wall_ms();
 
@@ -267,9 +278,22 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     const int alphabet_size = std::max(1, alphabet.size());
     auto& models = result.models;
     models.resize(static_cast<std::size_t>(n));
-    pool.parallel_for(static_cast<std::size_t>(n), [&](std::size_t t) {
-        models[t] = slm::train_model(config.slm, alphabet_size, seqs[t]);
-    });
+    // Training cost is linear in a type's total symbol count; chunk
+    // accordingly so one tracelet-heavy type cannot serialize the
+    // stage.
+    std::vector<std::uint64_t> type_costs(
+        static_cast<std::size_t>(n), 1);
+    for (int t = 0; t < n; ++t) {
+        for (const auto& seq : seqs[static_cast<std::size_t>(t)])
+            type_costs[static_cast<std::size_t>(t)] += seq.size();
+    }
+    support::ChunkPlan type_plan;
+    type_plan.costs = type_costs.data();
+    pool.parallel_for(
+        static_cast<std::size_t>(n), type_plan, [&](std::size_t t) {
+            models[t] =
+                slm::train_model(config.slm, alphabet_size, seqs[t]);
+        });
     train_span.end();
     result.timing.train_ms = train_span.wall_ms();
 
@@ -315,13 +339,43 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
         reg.counter("divergence.pairs_scheduled").add(edges.size());
         reg.counter("divergence.pairs_pruned_forced").add(pairs_pruned);
     }
-    std::vector<double> edge_weights(edges.size(), 0.0);
-    pool.parallel_for(edges.size(), [&](std::size_t e) {
+    // ObservedUnion word sets: sort-deduplicate each type's sequences
+    // once (reusing the per-type cost plan), then each edge is a
+    // linear merge instead of a fresh std::set over both types.
+    const bool observed_union = config.words.strategy ==
+                                divergence::WordSetStrategy::ObservedUnion;
+    std::vector<divergence::WordSet> type_words;
+    if (observed_union) {
+        type_words.resize(static_cast<std::size_t>(n));
+        pool.parallel_for(
+            static_cast<std::size_t>(n), type_plan, [&](std::size_t t) {
+                type_words[t] = divergence::sorted_unique_words(seqs[t]);
+            });
+    }
+
+    // Edge cost ~ word-set size x per-word model walks; both scale
+    // with the two types' sequence volume.
+    std::vector<std::uint64_t> edge_costs(edges.size(), 1);
+    for (std::size_t e = 0; e < edges.size(); ++e) {
         const auto [p, c] = edges[e];
-        divergence::WordSet words = divergence::build_word_set(
-            config.words, seqs[static_cast<std::size_t>(p)],
-            seqs[static_cast<std::size_t>(c)],
-            models[static_cast<std::size_t>(p)].get(), alphabet_size);
+        edge_costs[e] = type_costs[static_cast<std::size_t>(p)] +
+                        type_costs[static_cast<std::size_t>(c)];
+    }
+    support::ChunkPlan edge_plan;
+    edge_plan.costs = edge_costs.data();
+    std::vector<double> edge_weights(edges.size(), 0.0);
+    pool.parallel_for(edges.size(), edge_plan, [&](std::size_t e) {
+        const auto [p, c] = edges[e];
+        divergence::WordSet words =
+            observed_union
+                ? divergence::merge_word_sets(
+                      type_words[static_cast<std::size_t>(p)],
+                      type_words[static_cast<std::size_t>(c)])
+                : divergence::build_word_set(
+                      config.words, seqs[static_cast<std::size_t>(p)],
+                      seqs[static_cast<std::size_t>(c)],
+                      models[static_cast<std::size_t>(p)].get(),
+                      alphabet_size);
         if (!words.empty()) {
             edge_weights[e] = divergence::pair_distance(
                 config.metric, *models[static_cast<std::size_t>(p)],
@@ -338,8 +392,20 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     obs::Span arborescence_span("pipeline.arborescence");
     result.families.resize(static_cast<std::size_t>(num_families));
     std::vector<int> ambiguous(static_cast<std::size_t>(num_families), 0);
+    // Forest enumeration is superlinear in family size; weigh chunks
+    // by members^2 so the handful of big families spread out.
+    std::vector<std::uint64_t> family_costs(
+        static_cast<std::size_t>(num_families), 1);
+    for (int f = 0; f < num_families; ++f) {
+        std::uint64_t m =
+            family_members[static_cast<std::size_t>(f)].size();
+        family_costs[static_cast<std::size_t>(f)] = 1 + m * m;
+    }
+    support::ChunkPlan family_plan;
+    family_plan.costs = family_costs.data();
     pool.parallel_for(
-        static_cast<std::size_t>(num_families), [&](std::size_t f) {
+        static_cast<std::size_t>(num_families), family_plan,
+        [&](std::size_t f) {
             result.families[f] = solve_family(
                 static_cast<int>(f), std::move(family_members[f]),
                 result.structural, result.distances, config,

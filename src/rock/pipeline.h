@@ -80,7 +80,10 @@ struct RockConfig {
  * the two surfaces is pinned by tests/obs_test.cc.
  */
 struct StageTiming {
-    /** rockcheck image verification (0 when RockConfig::verify off). */
+    /** Shared per-image CFG recovery (cfg::CfgCache::build_all). */
+    double cfg_ms = 0.0;
+    /** rockcheck image verification over the cached CFGs (0 when
+     *  RockConfig::verify off). */
     double verify_ms = 0.0;
     /** Vtable scan + two-phase per-function symbolic execution. */
     double analyze_ms = 0.0;

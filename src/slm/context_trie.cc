@@ -1,6 +1,54 @@
 #include "slm/context_trie.h"
 
+#include <algorithm>
+#include <map>
+
 namespace rock::slm {
+
+namespace {
+
+/** Lower bound over a sorted (key, value) small vector. */
+template <typename Vec>
+auto
+find_key(Vec& vec, int key)
+{
+    return std::lower_bound(
+        vec.begin(), vec.end(), key,
+        [](const auto& entry, int k) { return entry.first < k; });
+}
+
+} // namespace
+
+int&
+ContextTrie::count_slot(NodeId node, int symbol)
+{
+    auto& counts = nodes_[static_cast<std::size_t>(node)].counts;
+    auto it = find_key(counts, symbol);
+    if (it == counts.end() || it->first != symbol)
+        it = counts.insert(it, {symbol, 0});
+    return it->second;
+}
+
+ContextTrie::NodeId
+ContextTrie::child_or_create(NodeId node, int symbol)
+{
+    // Note: taking the children reference *after* any arena growth --
+    // allocating the child first would invalidate it.
+    {
+        auto& children =
+            nodes_[static_cast<std::size_t>(node)].children;
+        auto it = find_key(children, symbol);
+        if (it != children.end() && it->first == symbol)
+            return it->second;
+    }
+    NodeId fresh = static_cast<NodeId>(nodes_.size());
+    nodes_.emplace_back();
+    totals_.push_back(0);
+    auto& children = nodes_[static_cast<std::size_t>(node)].children;
+    auto it = find_key(children, symbol);
+    children.insert(it, {symbol, fresh});
+    return fresh;
+}
 
 void
 ContextTrie::add_sequence(const std::vector<int>& seq)
@@ -9,71 +57,83 @@ ContextTrie::add_sequence(const std::vector<int>& seq)
         int symbol = seq[i];
         // Update the root (order 0) and every context of length
         // 1..depth ending just before position i.
-        Node* node = &root_;
-        node->counts[symbol] += 1;
-        node->total += 1;
+        NodeId node = kRoot;
+        count_slot(node, symbol) += 1;
+        totals_[static_cast<std::size_t>(node)] += 1;
         for (int k = 1; k <= depth_ && k <= static_cast<int>(i); ++k) {
             int ctx_symbol = seq[i - static_cast<std::size_t>(k)];
-            auto& child = node->children[ctx_symbol];
-            if (!child)
-                child = std::make_unique<Node>();
-            node = child.get();
-            node->counts[symbol] += 1;
-            node->total += 1;
+            node = child_or_create(node, ctx_symbol);
+            count_slot(node, symbol) += 1;
+            totals_[static_cast<std::size_t>(node)] += 1;
         }
     }
 }
 
 void
 ContextTrie::context_chain(const std::vector<int>& context,
-                           std::vector<const Node*>& chain) const
+                           std::vector<NodeId>& chain) const
 {
-    chain.push_back(&root_);
-    const Node* node = &root_;
+    chain.push_back(kRoot);
+    NodeId node = kRoot;
     int limit = std::min<int>(depth_, static_cast<int>(context.size()));
     for (int k = 1; k <= limit; ++k) {
-        int ctx_symbol = context[context.size() - static_cast<std::size_t>(k)];
-        auto it = node->children.find(ctx_symbol);
-        if (it == node->children.end())
+        int ctx_symbol =
+            context[context.size() - static_cast<std::size_t>(k)];
+        NodeId next = child(node, ctx_symbol);
+        if (next < 0)
             break;
-        node = it->second.get();
+        node = next;
         chain.push_back(node);
     }
 }
 
-std::vector<std::map<int, long>>
+int
+ContextTrie::count_of(NodeId node, int symbol) const
+{
+    const auto& counts = nodes_[static_cast<std::size_t>(node)].counts;
+    auto it = find_key(counts, symbol);
+    if (it == counts.end() || it->first != symbol)
+        return 0;
+    return it->second;
+}
+
+ContextTrie::NodeId
+ContextTrie::child(NodeId node, int symbol) const
+{
+    const auto& children =
+        nodes_[static_cast<std::size_t>(node)].children;
+    auto it = find_key(children, symbol);
+    if (it == children.end() || it->first != symbol)
+        return -1;
+    return it->second;
+}
+
+std::vector<std::vector<std::pair<int, long>>>
 ContextTrie::count_of_counts() const
 {
-    std::vector<std::map<int, long>> result(
+    std::vector<std::map<int, long>> acc(
         static_cast<std::size_t>(depth_) + 1);
-    auto walk = [&](auto&& self, const Node& node, int order) -> void {
-        for (const auto& [symbol, count] : node.counts) {
+    auto walk = [&](auto&& self, NodeId node, int order) -> void {
+        for (const auto& [symbol, count] :
+             nodes_[static_cast<std::size_t>(node)].counts) {
             (void)symbol;
-            result[static_cast<std::size_t>(order)][count] += 1;
+            acc[static_cast<std::size_t>(order)][count] += 1;
         }
         if (order < depth_) {
-            for (const auto& [symbol, child] : node.children) {
+            for (const auto& [symbol, kid] :
+                 nodes_[static_cast<std::size_t>(node)].children) {
                 (void)symbol;
-                self(self, *child, order + 1);
+                self(self, kid, order + 1);
             }
         }
     };
-    walk(walk, root_, 0);
-    return result;
-}
+    walk(walk, kRoot, 0);
 
-std::size_t
-ContextTrie::node_count() const
-{
-    auto walk = [](auto&& self, const Node& node) -> std::size_t {
-        std::size_t total = 1;
-        for (const auto& [symbol, child] : node.children) {
-            (void)symbol;
-            total += self(self, *child);
-        }
-        return total;
-    };
-    return walk(walk, root_);
+    std::vector<std::vector<std::pair<int, long>>> result;
+    result.reserve(acc.size());
+    for (const auto& table : acc)
+        result.emplace_back(table.begin(), table.end());
+    return result;
 }
 
 } // namespace rock::slm

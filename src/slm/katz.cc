@@ -1,5 +1,7 @@
 #include "slm/katz.h"
 
+#include <algorithm>
+
 #include "support/error.h"
 
 namespace rock::slm {
@@ -15,19 +17,36 @@ KatzModel::train(const std::vector<int>& seq)
     coc_valid_ = false;
 }
 
+void
+KatzModel::finalize()
+{
+    if (coc_valid_)
+        return;
+    coc_ = trie_.count_of_counts();
+    coc_valid_ = true;
+}
+
 double
 KatzModel::discount(int order, int r) const
 {
     if (r > threshold_)
         return 1.0;
     const auto& table = coc_[static_cast<std::size_t>(order)];
-    auto nr = table.find(r);
-    auto nr1 = table.find(r + 1);
-    if (nr == table.end() || nr1 == table.end() || nr->second == 0)
+    auto lookup = [&table](int key) -> long {
+        auto it = std::lower_bound(
+            table.begin(), table.end(), key,
+            [](const auto& entry, int k) { return entry.first < k; });
+        if (it == table.end() || it->first != key)
+            return 0;
+        return it->second;
+    };
+    long nr = lookup(r);
+    long nr1 = lookup(r + 1);
+    if (nr == 0 || nr1 == 0)
         return 1.0;
     double r_star = static_cast<double>(r + 1) *
-                    static_cast<double>(nr1->second) /
-                    static_cast<double>(nr->second);
+                    static_cast<double>(nr1) /
+                    static_cast<double>(nr);
     double d = r_star / static_cast<double>(r);
     // Keep the discount sane: it must remove mass, not add it, and
     // must not zero out observed events.
@@ -37,32 +56,31 @@ KatzModel::discount(int order, int r) const
 }
 
 double
-KatzModel::prob_at(const std::vector<const ContextTrie::Node*>& chain,
+KatzModel::prob_at(const std::vector<ContextTrie::NodeId>& chain,
                    std::size_t level, int symbol) const
 {
     if (level >= chain.size()) {
         // Below order 0: uniform.
         return 1.0 / static_cast<double>(alphabet_size_);
     }
-    const ContextTrie::Node& node = *chain[level];
+    ContextTrie::NodeId node = chain[level];
     // chain is deepest-first; the node's trie order is its distance
     // from the root end of the chain.
     int order = static_cast<int>(chain.size() - 1 - level);
+    double total = static_cast<double>(trie_.total(node));
 
-    auto found = node.counts.find(symbol);
-    if (found != node.counts.end()) {
-        double d = discount(order, found->second);
-        return d * static_cast<double>(found->second) /
-               static_cast<double>(node.total);
+    int raw = trie_.count_of(node, symbol);
+    if (raw > 0) {
+        double d = discount(order, raw);
+        return d * static_cast<double>(raw) / total;
     }
 
     // Leftover mass after discounting the seen successors.
     double seen_mass = 0.0;
     double lower_seen = 0.0;
-    for (const auto& [sym, count] : node.counts) {
+    for (const auto& [sym, count] : trie_.counts(node)) {
         seen_mass += discount(order, count) *
-                     static_cast<double>(count) /
-                     static_cast<double>(node.total);
+                     static_cast<double>(count) / total;
         lower_seen += prob_at(chain, level + 1, sym);
     }
     double leftover = 1.0 - seen_mass;
@@ -84,12 +102,12 @@ KatzModel::prob(int symbol, const std::vector<int>& context) const
         coc_ = trie_.count_of_counts();
         coc_valid_ = true;
     }
-    std::vector<const ContextTrie::Node*> chain;
+    std::vector<ContextTrie::NodeId> chain;
     trie_.context_chain(context, chain);
     // Evaluate from the deepest matched context; prob_at walks toward
     // the root on back-off, so reverse the chain (deepest first).
-    std::vector<const ContextTrie::Node*> reversed(chain.rbegin(),
-                                                   chain.rend());
+    std::vector<ContextTrie::NodeId> reversed(chain.rbegin(),
+                                              chain.rend());
     return prob_at(reversed, 0, symbol);
 }
 

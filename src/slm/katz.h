@@ -8,6 +8,11 @@
  * count-of-count statistics; the freed probability mass is
  * redistributed over unseen successors proportionally to the
  * next-shorter-context model.
+ *
+ * finalize() precomputes the count-of-counts tables; the lazy
+ * rebuild in prob() remains for direct (train-then-query,
+ * single-threaded) users, but a finalized model's prob() is pure and
+ * safe to call from many threads at once.
  */
 #pragma once
 
@@ -26,21 +31,25 @@ class KatzModel final : public LanguageModel {
     void train(const std::vector<int>& seq) override;
     double prob(int symbol,
                 const std::vector<int>& context) const override;
+    /** Precompute Good-Turing count-of-counts (idempotent). */
+    void finalize() override;
     int alphabet_size() const override { return alphabet_size_; }
 
   private:
     /** Discount factor d_r for a raw count @p r at @p order. */
     double discount(int order, int r) const;
 
-    /** Probability using the chain suffix starting at @p level. */
-    double prob_at(const std::vector<const ContextTrie::Node*>& chain,
+    /** Probability using the chain suffix starting at @p level;
+     *  @p chain is deepest-first. */
+    double prob_at(const std::vector<ContextTrie::NodeId>& chain,
                    std::size_t level, int symbol) const;
 
     ContextTrie trie_;
     int alphabet_size_;
     int threshold_;
-    /** Count-of-counts per order; rebuilt lazily after training. */
-    mutable std::vector<std::map<int, long>> coc_;
+    /** Count-of-counts per order, each (r, N_r) sorted by r;
+     *  rebuilt lazily after training unless finalize() ran. */
+    mutable std::vector<std::vector<std::pair<int, long>>> coc_;
     mutable bool coc_valid_ = false;
 };
 

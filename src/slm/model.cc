@@ -62,6 +62,7 @@ train_model(const ModelConfig& config, int alphabet_size,
         model->train(seq);
         symbols += seq.size();
     }
+    model->finalize();
     if (obs::metrics_enabled()) {
         obs::Registry& reg = obs::Registry::global();
         static obs::Counter& trained =

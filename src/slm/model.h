@@ -64,6 +64,15 @@ class LanguageModel {
     virtual double prob(int symbol,
                         const std::vector<int>& context) const = 0;
 
+    /**
+     * Freeze the model after training: precompute whatever the
+     * family's query fast path needs (PPM probability vectors, Katz
+     * count-of-counts). Idempotent; never changes any probability.
+     * train_model() calls this, so a finalized model's prob() is pure
+     * and safe to share across threads. Training again un-finalizes.
+     */
+    virtual void finalize() {}
+
     /** Alphabet size the model was constructed for. */
     virtual int alphabet_size() const = 0;
 

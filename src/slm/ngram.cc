@@ -19,15 +19,12 @@ NGramModel::prob(int symbol, const std::vector<int>& context) const
 {
     ROCK_ASSERT(symbol >= 0 && symbol < alphabet_size_,
                 "symbol outside alphabet");
-    std::vector<const ContextTrie::Node*> chain;
+    std::vector<ContextTrie::NodeId> chain;
     trie_.context_chain(context, chain);
-    const ContextTrie::Node& node = *chain.back();
-    long count = 0;
-    auto found = node.counts.find(symbol);
-    if (found != node.counts.end())
-        count = found->second;
+    ContextTrie::NodeId node = chain.back();
+    long count = trie_.count_of(node, symbol);
     return (static_cast<double>(count) + alpha_) /
-           (static_cast<double>(node.total) +
+           (static_cast<double>(trie_.total(node)) +
             alpha_ * static_cast<double>(alphabet_size_));
 }
 

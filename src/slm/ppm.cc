@@ -1,11 +1,27 @@
 #include "slm/ppm.h"
 
+#include <algorithm>
 #include <set>
 
 #include "obs/metrics.h"
 #include "support/error.h"
 
 namespace rock::slm {
+
+namespace {
+
+/** Escape-taken telemetry (docs/OBSERVABILITY.md: slm.escapes). The
+ *  escape count is a pure function of (model, query) so the total
+ *  stays deterministic across thread counts. */
+void
+count_escape()
+{
+    static obs::Counter& escapes =
+        obs::Registry::global().counter("slm.escapes");
+    escapes.add();
+}
+
+} // namespace
 
 void
 PpmModel::train(const std::vector<int>& seq)
@@ -15,6 +31,65 @@ PpmModel::train(const std::vector<int>& seq)
                     "symbol outside alphabet");
     }
     trie_.add_sequence(seq);
+    finalized_ = false;
+}
+
+void
+PpmModel::finalize()
+{
+    if (finalized_)
+        return;
+    const std::size_t nodes = trie_.node_count();
+    prob_offset_.assign(nodes + 1, 0);
+    escape_p_.assign(nodes, 0.0);
+    prob_vals_.clear();
+
+    for (std::size_t id = 0; id < nodes; ++id) {
+        auto node = static_cast<ContextTrie::NodeId>(id);
+        prob_offset_[id] =
+            static_cast<std::uint32_t>(prob_vals_.size());
+        const auto& entries = trie_.counts(node);
+        long total = trie_.total(node);
+        long distinct = static_cast<long>(entries.size());
+        if (total <= 0 || distinct <= 0)
+            continue; // query path skips the node entirely
+        bool covers = distinct >= static_cast<long>(alphabet_size_);
+        double n = static_cast<double>(total);
+        double q = static_cast<double>(distinct);
+        double esc_p = 0.0;
+        if (!covers) {
+            switch (escape_) {
+              case EscapeMethod::A: esc_p = 1.0 / (n + 1.0); break;
+              case EscapeMethod::C: esc_p = q / (n + q); break;
+              case EscapeMethod::D: esc_p = q / (2.0 * n); break;
+            }
+        }
+        escape_p_[id] = esc_p;
+        for (const auto& [symbol, count] : entries) {
+            (void)symbol;
+            double c = static_cast<double>(count);
+            double sym_p = 0.0;
+            if (covers) {
+                sym_p = c / n;
+            } else {
+                switch (escape_) {
+                  case EscapeMethod::A:
+                    sym_p = c / (n + 1.0);
+                    break;
+                  case EscapeMethod::C:
+                    sym_p = c / (n + q);
+                    break;
+                  case EscapeMethod::D:
+                    sym_p = (2.0 * c - 1.0) / (2.0 * n);
+                    break;
+                }
+            }
+            prob_vals_.push_back(sym_p);
+        }
+    }
+    prob_offset_[nodes] =
+        static_cast<std::uint32_t>(prob_vals_.size());
+    finalized_ = true;
 }
 
 double
@@ -22,8 +97,41 @@ PpmModel::prob(int symbol, const std::vector<int>& context) const
 {
     ROCK_ASSERT(symbol >= 0 && symbol < alphabet_size_,
                 "symbol outside alphabet");
+    if (!finalized_ || exclusion_)
+        return general_prob(symbol, context);
 
-    std::vector<const ContextTrie::Node*> chain;
+    // Fast path: precomputed per-context probability vectors. Walk
+    // from the deepest matched context toward the root, multiplying
+    // escape probabilities until the symbol is found.
+    std::vector<ContextTrie::NodeId> chain;
+    trie_.context_chain(context, chain);
+
+    double escape_acc = 1.0;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        ContextTrie::NodeId node = *it;
+        if (trie_.total(node) <= 0)
+            continue; // nothing usable at this order
+        const auto& entries = trie_.counts(node);
+        auto found = std::lower_bound(
+            entries.begin(), entries.end(), symbol,
+            [](const auto& entry, int k) { return entry.first < k; });
+        if (found != entries.end() && found->first == symbol) {
+            std::size_t slot =
+                prob_offset_[static_cast<std::size_t>(node)] +
+                static_cast<std::size_t>(found - entries.begin());
+            return escape_acc * prob_vals_[slot];
+        }
+        count_escape();
+        escape_acc *= escape_p_[static_cast<std::size_t>(node)];
+    }
+    return escape_acc / static_cast<double>(alphabet_size_);
+}
+
+double
+PpmModel::general_prob(int symbol,
+                       const std::vector<int>& context) const
+{
+    std::vector<ContextTrie::NodeId> chain;
     trie_.context_chain(context, chain);
 
     double escape_acc = 1.0;
@@ -31,15 +139,15 @@ PpmModel::prob(int symbol, const std::vector<int>& context) const
 
     // Walk from the deepest matched context down to order 0.
     for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-        const ContextTrie::Node& node = **it;
+        ContextTrie::NodeId node = *it;
 
-        long total = node.total;
-        long distinct = static_cast<long>(node.counts.size());
+        long total = trie_.total(node);
+        long distinct = static_cast<long>(trie_.distinct(node));
         if (exclusion_ && !excluded.empty()) {
             for (int ex : excluded) {
-                auto found = node.counts.find(ex);
-                if (found != node.counts.end()) {
-                    total -= found->second;
+                int c = trie_.count_of(node, ex);
+                if (c > 0) {
+                    total -= c;
                     --distinct;
                 }
             }
@@ -57,16 +165,15 @@ PpmModel::prob(int symbol, const std::vector<int>& context) const
             remaining -= static_cast<long>(excluded.size());
         bool covers = distinct >= remaining;
 
-        auto found = node.counts.find(symbol);
-        bool usable = found != node.counts.end() &&
+        int raw_count = trie_.count_of(node, symbol);
+        bool usable = raw_count > 0 &&
                       (!exclusion_ || !excluded.count(symbol));
 
         // Symbol and escape probabilities per escape method
         // (Cleary/Witten A, Moffat C, Howard D).
         double sym_p = 0.0;
         double esc_p = 0.0;
-        double count = usable ? static_cast<double>(found->second)
-                              : 0.0;
+        double count = usable ? static_cast<double>(raw_count) : 0.0;
         double n = static_cast<double>(total);
         double q = static_cast<double>(distinct);
         if (covers) {
@@ -90,18 +197,11 @@ PpmModel::prob(int symbol, const std::vector<int>& context) const
         }
         if (usable)
             return escape_acc * sym_p;
-        // Hot path: one relaxed add per escape taken; the escape
-        // count is a pure function of (model, query) so the total
-        // stays deterministic across thread counts.
-        {
-            static obs::Counter& escapes =
-                obs::Registry::global().counter("slm.escapes");
-            escapes.add();
-        }
+        count_escape();
         escape_acc *= esc_p;
         if (exclusion_) {
-            for (const auto& [seen, count] : node.counts) {
-                (void)count;
+            for (const auto& [seen, seen_count] : trie_.counts(node)) {
+                (void)seen_count;
                 excluded.insert(seen);
             }
         }

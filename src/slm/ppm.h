@@ -13,8 +13,22 @@
  * enabled, symbols already accounted for at longer contexts are
  * removed from shorter-context distributions (full PPM-C; conditional
  * distributions then sum to exactly 1).
+ *
+ * Hot path: finalize() precomputes, for every stored context node,
+ * the per-successor conditional probabilities and the escape
+ * probability into contiguous vectors indexed by the flat trie's
+ * node ids. A finalized query (the divergence stage's inner loop) is
+ * then a context-chain walk plus one binary search and one or two
+ * contiguous-array reads per order -- no maps, no allocation. The
+ * precomputed values are the *same* IEEE expressions the on-demand
+ * path evaluates, so finalization never changes a probability
+ * (tests/flat_trie_test.cc pins byte-identity against the original
+ * pointer-trie implementation).
  */
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "slm/context_trie.h"
 #include "slm/model.h"
@@ -32,15 +46,36 @@ class PpmModel final : public LanguageModel {
     void train(const std::vector<int>& seq) override;
     double prob(int symbol,
                 const std::vector<int>& context) const override;
+    /** Build the per-context probability vectors (idempotent). */
+    void finalize() override;
     int alphabet_size() const override { return alphabet_size_; }
 
     const ContextTrie& trie() const { return trie_; }
 
   private:
+    /**
+     * The general evaluator: handles exclusion and un-finalized
+     * models. Identical arithmetic to the fast path (and to the
+     * original pointer implementation).
+     */
+    double general_prob(int symbol,
+                        const std::vector<int>& context) const;
+
     ContextTrie trie_;
     int alphabet_size_;
     bool exclusion_;
     EscapeMethod escape_;
+
+    // ---- finalize() products (valid while finalized_) -----------------
+    /** One conditional probability per (node, successor) entry,
+     *  aligned with ContextTrie::counts(node) via prob_offset_. */
+    std::vector<double> prob_vals_;
+    /** Per node: first index into prob_vals_. */
+    std::vector<std::uint32_t> prob_offset_;
+    /** Per node: escape probability (0.0 when the context covers the
+     *  whole alphabet). */
+    std::vector<double> escape_p_;
+    bool finalized_ = false;
 };
 
 } // namespace rock::slm

@@ -20,6 +20,8 @@ struct PoolMetrics {
         obs::Registry::global().counter("threadpool.loops");
     obs::Counter& items =
         obs::Registry::global().counter("threadpool.items");
+    obs::Histogram& chunks = obs::Registry::global().histogram(
+        "threadpool.loop_chunks");
     obs::Gauge& workers =
         obs::Registry::global().gauge("threadpool.workers");
     obs::Gauge& utilization =
@@ -53,6 +55,59 @@ resolve_threads(int threads)
     return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+std::vector<Chunk>
+plan_chunks(std::size_t count, std::size_t workers,
+            const ChunkPlan& plan)
+{
+    std::vector<Chunk> chunks;
+    if (count == 0)
+        return chunks;
+    std::size_t grain = std::max<std::size_t>(1, plan.grain);
+    std::size_t target_chunks =
+        std::max<std::size_t>(1, workers) *
+        std::max<std::size_t>(1, plan.chunks_per_worker);
+    target_chunks = std::min(target_chunks, (count + grain - 1) / grain);
+    target_chunks = std::max<std::size_t>(1, target_chunks);
+
+    if (!plan.costs) {
+        // Uniform items: equal-count contiguous slices.
+        std::size_t base = count / target_chunks;
+        std::size_t extra = count % target_chunks;
+        std::size_t begin = 0;
+        for (std::size_t c = 0; c < target_chunks; ++c) {
+            std::size_t len = base + (c < extra ? 1 : 0);
+            if (len == 0)
+                continue;
+            chunks.push_back({begin, begin + len});
+            begin += len;
+        }
+        return chunks;
+    }
+
+    // Cost-balanced: cut whenever the cumulative cost passes the next
+    // multiple of total/target (respecting the grain). Zero-cost items
+    // are charged 1 so degenerate cost vectors still partition.
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < count; ++i)
+        total += std::max<std::uint64_t>(1, plan.costs[i]);
+    std::uint64_t per_chunk = std::max<std::uint64_t>(
+        1, total / static_cast<std::uint64_t>(target_chunks));
+
+    std::size_t begin = 0;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        acc += std::max<std::uint64_t>(1, plan.costs[i]);
+        bool last = i + 1 == count;
+        bool full = acc >= per_chunk && (i + 1 - begin) >= grain;
+        if (last || full) {
+            chunks.push_back({begin, i + 1});
+            begin = i + 1;
+            acc = 0;
+        }
+    }
+    return chunks;
+}
+
 ThreadPool::ThreadPool(int threads)
 {
     int n = std::max(1, threads);
@@ -84,6 +139,36 @@ ThreadPool::size() const
 }
 
 void
+ThreadPool::run_generation(std::size_t count,
+                           const std::function<void(std::size_t)>& body)
+{
+    PoolMetrics& metrics = pool_metrics();
+    auto t0 = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(mutex_);
+    body_ = &body;
+    count_ = count;
+    error_ = nullptr;
+    busy_ms_accum_ = 0.0;
+    active_ = num_workers_;
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [this] { return active_ == 0; });
+    body_ = nullptr;
+    chunks_ = nullptr;
+    double wall = ms_between(t0, std::chrono::steady_clock::now());
+    if (wall > 0.0) {
+        metrics.utilization.set(
+            busy_ms_accum_ /
+            (wall * static_cast<double>(num_workers_)));
+    }
+    if (error_) {
+        std::exception_ptr err = error_;
+        error_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+void
 ThreadPool::parallel_for(std::size_t count,
                          const std::function<void(std::size_t)>& body)
 {
@@ -105,28 +190,40 @@ ThreadPool::parallel_for(std::size_t count,
         return;
     }
 
-    auto t0 = std::chrono::steady_clock::now();
-    std::unique_lock<std::mutex> lock(mutex_);
-    body_ = &body;
-    count_ = count;
-    error_ = nullptr;
-    busy_ms_accum_ = 0.0;
-    active_ = num_workers_;
-    ++generation_;
-    work_cv_.notify_all();
-    done_cv_.wait(lock, [this] { return active_ == 0; });
-    body_ = nullptr;
-    double wall = ms_between(t0, std::chrono::steady_clock::now());
-    if (wall > 0.0) {
-        metrics.utilization.set(
-            busy_ms_accum_ /
-            (wall * static_cast<double>(num_workers_)));
+    run_generation(count, body);
+}
+
+void
+ThreadPool::parallel_for(std::size_t count, const ChunkPlan& plan,
+                         const std::function<void(std::size_t)>& body)
+{
+    PoolMetrics& metrics = pool_metrics();
+    metrics.loops.add();
+    metrics.items.add(count);
+    metrics.workers.set(static_cast<double>(num_workers_));
+
+    std::vector<Chunk> chunks = plan_chunks(count, num_workers_, plan);
+    // Chunk counts depend on the pool size, so they live in the
+    // timing (non-gated) section as a histogram, not a counter.
+    metrics.chunks.observe(static_cast<double>(chunks.size()));
+
+    if (workers_.empty() || chunks.size() < 2) {
+        // Inline: chunks in index order == the plain serial loop.
+        auto t0 = std::chrono::steady_clock::now();
+        for (const Chunk& c : chunks) {
+            for (std::size_t i = c.begin; i < c.end; ++i)
+                body(i);
+        }
+        double busy =
+            ms_between(t0, std::chrono::steady_clock::now());
+        metrics.busy_ms.observe(busy);
+        metrics.utilization.set(1.0);
+        return;
     }
-    if (error_) {
-        std::exception_ptr err = error_;
-        error_ = nullptr;
-        std::rethrow_exception(err);
-    }
+
+    chunks_ = &chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    run_generation(count, body);
 }
 
 void
@@ -137,6 +234,7 @@ ThreadPool::worker_loop(std::size_t worker_index)
     for (;;) {
         std::size_t count;
         const std::function<void(std::size_t)>* body;
+        const std::vector<Chunk>* chunks;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_cv_.wait(lock, [&] {
@@ -147,14 +245,33 @@ ThreadPool::worker_loop(std::size_t worker_index)
             seen_generation = generation_;
             count = count_;
             body = body_;
+            chunks = chunks_;
         }
         auto t0 = std::chrono::steady_clock::now();
         try {
-            // Static stride partition: worker w owns w, w+W, w+2W...
-            // The assignment depends only on (index, pool size), never
-            // on scheduling, so any per-item effects are reproducible.
-            for (std::size_t i = worker_index; i < count; i += stride)
-                (*body)(i);
+            if (chunks) {
+                // Dynamic dispatch: idle workers claim the next
+                // unstarted chunk. Placement depends on scheduling;
+                // per-item effects never do (slot-confined writes).
+                for (;;) {
+                    std::size_t c = next_chunk_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (c >= chunks->size())
+                        break;
+                    const Chunk& chunk = (*chunks)[c];
+                    for (std::size_t i = chunk.begin; i < chunk.end;
+                         ++i)
+                        (*body)(i);
+                }
+            } else {
+                // Static stride partition: worker w owns w, w+W,
+                // w+2W... The assignment depends only on (index, pool
+                // size), never on scheduling, so any per-item effects
+                // are reproducible.
+                for (std::size_t i = worker_index; i < count;
+                     i += stride)
+                    (*body)(i);
+            }
         } catch (...) {
             std::lock_guard<std::mutex> lock(mutex_);
             if (!error_)

@@ -14,17 +14,32 @@
  *    loop inline on the caller, making the serial path *exactly* the
  *    code the parallel path runs.
  *
- * Determinism contract: work items are partitioned statically
- * (worker w handles indices w, w+W, w+2W, ...), every item writes
- * only its own pre-allocated output slot, and callers merge slots in
- * index order afterwards. Under that discipline the observable output
- * is bit-identical for every thread count, which
+ * Two scheduling modes are offered:
+ *
+ *  - Static stride (legacy `parallel_for(count, body)`): worker w
+ *    handles indices w, w+W, w+2W, ... Zero planning cost; fine for
+ *    uniform items.
+ *  - Cost-aware dynamic chunks (`parallel_for(count, plan, body)`):
+ *    the index space is pre-partitioned into contiguous chunks of
+ *    roughly equal *cost* (per-item costs supplied by the caller,
+ *    e.g. instruction counts), and idle workers claim the next
+ *    unstarted chunk from a shared atomic cursor -- cheap work
+ *    stealing at chunk granularity, so one expensive item cannot
+ *    serialize the tail of the loop.
+ *
+ * Determinism contract (both modes): every item writes only its own
+ * pre-allocated output slot and callers merge slots in index order
+ * afterwards. Chunk *placement* varies with scheduling, but the
+ * item->slot mapping never does, so the observable output is
+ * bit-identical for every thread count and every schedule, which
  * tests/determinism_test.cc enforces end to end.
  */
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -39,6 +54,43 @@ namespace rock::support {
  * max(1, threads).
  */
 int resolve_threads(int threads);
+
+/**
+ * How to carve an index space into dynamically scheduled chunks.
+ * Pass to ThreadPool::parallel_for(count, plan, body).
+ */
+struct ChunkPlan {
+    /**
+     * Optional per-item costs (any non-negative unit: instruction
+     * counts, byte sizes, symbol counts). When set, chunk boundaries
+     * equalize cumulative cost instead of item count; items of zero
+     * cost are charged a floor of 1 so empty items still make
+     * progress. Must contain exactly `count` entries when non-null.
+     */
+    const std::uint64_t* costs = nullptr;
+    /** Minimum items per chunk (amortizes dispatch; default 1). */
+    std::size_t grain = 1;
+    /**
+     * Target chunks per worker. >1 lets fast workers steal the slack
+     * of slow ones; the default 4 keeps dispatch overhead ~1/4W of
+     * the loop while bounding imbalance to ~1 chunk.
+     */
+    std::size_t chunks_per_worker = 4;
+};
+
+/** One contiguous [begin, end) slice of the index space. */
+struct Chunk {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+};
+
+/**
+ * Partition [0, count) into contiguous chunks of roughly equal cost
+ * for @p workers workers under @p plan. Deterministic: depends only
+ * on (count, costs, workers, plan), never on scheduling.
+ */
+std::vector<Chunk> plan_chunks(std::size_t count, std::size_t workers,
+                               const ChunkPlan& plan);
 
 /**
  * Fixed-size worker pool for index-space loops.
@@ -74,8 +126,22 @@ class ThreadPool {
     void parallel_for(std::size_t count,
                       const std::function<void(std::size_t)>& body);
 
+    /**
+     * Run @p body(i) for every i in [0, count) over cost-balanced
+     * chunks claimed dynamically by idle workers. Same blocking and
+     * exception semantics as the static overload; a worker that
+     * throws abandons the remainder of its current chunk but other
+     * chunks still run. A pool of size 1 executes the chunks in
+     * index order inline -- the exact serial instruction stream.
+     */
+    void parallel_for(std::size_t count, const ChunkPlan& plan,
+                      const std::function<void(std::size_t)>& body);
+
   private:
     void worker_loop(std::size_t worker_index);
+    void run_generation(
+        std::size_t count,
+        const std::function<void(std::size_t)>& body);
 
     /** Worker count fixed before any thread starts (1 = inline). */
     std::size_t num_workers_ = 1;
@@ -90,6 +156,10 @@ class ThreadPool {
     std::size_t active_ = 0;
     std::size_t count_ = 0;
     const std::function<void(std::size_t)>* body_ = nullptr;
+    /** Non-null selects dynamic chunk dispatch for the generation. */
+    const std::vector<Chunk>* chunks_ = nullptr;
+    /** Next unclaimed chunk index of the current generation. */
+    std::atomic<std::size_t> next_chunk_{0};
     std::exception_ptr error_;
     /** Worker busy-ms summed over the current generation (feeds the
      *  `threadpool.utilization` gauge; see src/obs). */

@@ -25,9 +25,9 @@ TEST(ContextTrie, CountsOrderZero)
 {
     ContextTrie trie(2);
     trie.add_sequence({0, 1, 0});
-    EXPECT_EQ(trie.root().counts.at(0), 2);
-    EXPECT_EQ(trie.root().counts.at(1), 1);
-    EXPECT_EQ(trie.root().total, 3);
+    EXPECT_EQ(trie.count_of(ContextTrie::kRoot, 0), 2);
+    EXPECT_EQ(trie.count_of(ContextTrie::kRoot, 1), 1);
+    EXPECT_EQ(trie.total(ContextTrie::kRoot), 3);
 }
 
 TEST(ContextTrie, CountsDeeperOrders)
@@ -35,22 +35,22 @@ TEST(ContextTrie, CountsDeeperOrders)
     ContextTrie trie(2);
     trie.add_sequence({0, 1, 0, 1});
     // Context "0": successors {1:2}.
-    std::vector<const ContextTrie::Node*> chain;
+    std::vector<ContextTrie::NodeId> chain;
     trie.context_chain({0}, chain);
     ASSERT_EQ(chain.size(), 2u);
-    EXPECT_EQ(chain[1]->counts.at(1), 2);
+    EXPECT_EQ(trie.count_of(chain[1], 1), 2);
     // Context "0 1" (most recent last): successor {0:1}.
     chain.clear();
     trie.context_chain({0, 1}, chain);
     ASSERT_EQ(chain.size(), 3u);
-    EXPECT_EQ(chain[2]->counts.at(0), 1);
+    EXPECT_EQ(trie.count_of(chain[2], 0), 1);
 }
 
 TEST(ContextTrie, ChainTruncatesAtDepth)
 {
     ContextTrie trie(1);
     trie.add_sequence({0, 1, 2});
-    std::vector<const ContextTrie::Node*> chain;
+    std::vector<ContextTrie::NodeId> chain;
     trie.context_chain({0, 1}, chain);
     EXPECT_LE(chain.size(), 2u); // root + at most depth 1
 }
@@ -61,9 +61,22 @@ TEST(ContextTrie, CountOfCountsPerOrder)
     trie.add_sequence({0, 0, 1});
     auto coc = trie.count_of_counts();
     ASSERT_EQ(coc.size(), 2u);
-    // Order 0: symbol 0 twice, symbol 1 once.
-    EXPECT_EQ(coc[0].at(2), 1);
-    EXPECT_EQ(coc[0].at(1), 1);
+    // Order 0: symbol 0 twice, symbol 1 once -> N_2 = 1, N_1 = 1,
+    // sorted by count ascending.
+    ASSERT_EQ(coc[0].size(), 2u);
+    EXPECT_EQ(coc[0][0], (std::pair<int, long>{1, 1}));
+    EXPECT_EQ(coc[0][1], (std::pair<int, long>{2, 1}));
+}
+
+TEST(ContextTrie, CountsVectorSortedBySymbol)
+{
+    ContextTrie trie(2);
+    trie.add_sequence({3, 1, 2, 1, 0});
+    const auto& counts = trie.counts(ContextTrie::kRoot);
+    ASSERT_FALSE(counts.empty());
+    for (std::size_t i = 1; i < counts.size(); ++i)
+        EXPECT_LT(counts[i - 1].first, counts[i].first);
+    EXPECT_EQ(trie.distinct(ContextTrie::kRoot), counts.size());
 }
 
 // ---------------------------------------------------------------------

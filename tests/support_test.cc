@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -335,6 +336,174 @@ TEST(Parallel, OneShotHelperMatchesPool)
                  [&](std::size_t i) { hits[i] += 1; });
     EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
                             [](int h) { return h == 1; }));
+}
+
+// ---------------------------------------------------------------------
+// Cost-aware chunk planning
+// ---------------------------------------------------------------------
+
+TEST(PlanChunks, CoversIndexSpaceContiguously)
+{
+    for (std::size_t count : {0u, 1u, 7u, 64u, 1000u}) {
+        for (std::size_t workers : {1u, 2u, 4u, 16u}) {
+            ChunkPlan plan;
+            auto chunks = plan_chunks(count, workers, plan);
+            std::size_t next = 0;
+            for (const Chunk& c : chunks) {
+                EXPECT_EQ(c.begin, next);
+                EXPECT_LT(c.begin, c.end);
+                next = c.end;
+            }
+            EXPECT_EQ(next, count);
+        }
+    }
+}
+
+TEST(PlanChunks, ChunkCountBoundedByTarget)
+{
+    // Chunks never exceed workers * chunks_per_worker; the inline
+    // (1-worker) path then runs them in index order, which is
+    // exactly the plain loop.
+    ChunkPlan plan;
+    EXPECT_LE(plan_chunks(100, 1, plan).size(),
+              plan.chunks_per_worker);
+    EXPECT_LE(plan_chunks(1000, 4, plan).size(),
+              4 * plan.chunks_per_worker);
+    // Fewer items than the target: one item per chunk at most.
+    EXPECT_LE(plan_chunks(3, 8, plan).size(), 3u);
+}
+
+TEST(PlanChunks, GrainBoundsChunkCount)
+{
+    ChunkPlan plan;
+    plan.grain = 10;
+    auto chunks = plan_chunks(32, 8, plan);
+    for (const Chunk& c : chunks)
+        EXPECT_GE(c.end - c.begin, 1u);
+    // 32 items at grain 10 can make at most ceil(32/10) = 4 chunks.
+    EXPECT_LE(chunks.size(), 4u);
+}
+
+TEST(PlanChunks, CostsEqualizeCumulativeWork)
+{
+    // One huge item up front must not drag its whole static share
+    // along with it: the expensive item gets a chunk of its own.
+    std::vector<std::uint64_t> costs(16, 1);
+    costs[0] = 1000;
+    ChunkPlan plan;
+    plan.costs = costs.data();
+    plan.chunks_per_worker = 2;
+    auto chunks = plan_chunks(costs.size(), 4, plan);
+    ASSERT_GE(chunks.size(), 2u);
+    EXPECT_EQ(chunks[0].begin, 0u);
+    EXPECT_EQ(chunks[0].end, 1u);
+    std::size_t next = 0;
+    for (const Chunk& c : chunks) {
+        EXPECT_EQ(c.begin, next);
+        next = c.end;
+    }
+    EXPECT_EQ(next, costs.size());
+}
+
+TEST(PlanChunks, DeterministicForSameInputs)
+{
+    std::vector<std::uint64_t> costs;
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i)
+        costs.push_back(
+            static_cast<std::uint64_t>(rng.uniform(0, 49)));
+    ChunkPlan plan;
+    plan.costs = costs.data();
+    auto a = plan_chunks(costs.size(), 8, plan);
+    auto b = plan_chunks(costs.size(), 8, plan);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].begin, b[i].begin);
+        EXPECT_EQ(a[i].end, b[i].end);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chunked parallel_for: coverage + determinism sweep
+// ---------------------------------------------------------------------
+
+TEST(Parallel, ChunkedEveryIndexRunsExactlyOnce)
+{
+    std::vector<std::uint64_t> costs(301);
+    Rng rng(17);
+    for (auto& c : costs)
+        c = static_cast<std::uint64_t>(rng.uniform(0, 19));
+    ChunkPlan plan;
+    plan.costs = costs.data();
+    for (int threads : {1, 2, 5}) {
+        ThreadPool pool(threads);
+        std::vector<std::atomic<int>> hits(costs.size());
+        for (auto& h : hits)
+            h.store(0);
+        pool.parallel_for(costs.size(), plan,
+                          [&](std::size_t i) { hits[i] += 1; });
+        for (const auto& h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(Parallel, ChunkedDeterminismSweep)
+{
+    // The determinism contract: items write only their own slot, so
+    // the merged output is bit-identical at every thread count and
+    // under every chunk schedule. Simulate a cost-skewed stage and
+    // sweep threads {1, 2, hw}.
+    const std::size_t n = 400;
+    std::vector<std::uint64_t> costs(n);
+    Rng rng(23);
+    for (auto& c : costs)
+        c = static_cast<std::uint64_t>(rng.uniform(1, 100));
+    ChunkPlan plan;
+    plan.costs = costs.data();
+
+    auto run = [&](int threads) {
+        ThreadPool pool(threads);
+        std::vector<double> out(n, 0.0);
+        pool.parallel_for(n, plan, [&](std::size_t i) {
+            // Work whose result depends on floating-point
+            // accumulation order *within* the item only.
+            double acc = 0.0;
+            for (std::uint64_t j = 0; j < costs[i]; ++j)
+                acc += 1.0 / static_cast<double>(i + j + 1);
+            out[i] = acc;
+        });
+        return out;
+    };
+
+    std::vector<double> serial = run(1);
+    const int hw = resolve_threads(0);
+    for (int threads : {2, hw}) {
+        std::vector<double> parallel = run(threads);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(std::memcmp(&parallel[i], &serial[i],
+                                  sizeof(double)),
+                      0)
+                << "slot " << i << " differs at " << threads
+                << " threads";
+    }
+}
+
+TEST(Parallel, ChunkedExceptionPropagates)
+{
+    ChunkPlan plan;
+    ThreadPool pool(3);
+    EXPECT_THROW(pool.parallel_for(64, plan,
+                                   [&](std::size_t i) {
+                                       if (i == 40)
+                                           throw std::runtime_error(
+                                               "chunked boom");
+                                   }),
+                 std::runtime_error);
+    // The pool survives for the next loop.
+    int calls = 0;
+    pool.parallel_for(4, plan, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 4);
 }
 
 } // namespace

@@ -11,7 +11,11 @@
 #     gated against the committed BENCH_pipeline_scaling.json /
 #     BASELINE_rockhier_counters.json baselines with tools/rockstat
 #     (>25% wall-time growth or *any* deterministic-counter drift
-#     fails).
+#     fails); micro_slm/micro_graph google-benchmark runs gated at 3x
+#     against BENCH_micro_slm.json / BENCH_micro_graph.json (order-of-
+#     magnitude detector, not a noise gate); and a skype_scale
+#     speedup gate (`rockstat --check --min-speedup 4:2.5`) that
+#     binds only on hosts with >= 4 hardware threads.
 #
 # Usage:
 #   tools/ci.sh [--quick] [--only LEG]
@@ -84,9 +88,9 @@ if [ "$run_perf" -eq 1 ]; then
     # The perf leg reuses the tier-1 build tree (configuring it when
     # --only perf skipped tier1).
     cmake -B build -S .
-    cmake --build build -j "$JOBS" --target pipeline_scaling rockhier rockstat
+    cmake --build build -j "$JOBS" --target pipeline_scaling rockhier \
+        rockstat rockc micro_slm micro_graph skype_scale
     perf_dir="$(mktemp -d "${TMPDIR:-/tmp}/rockperf.XXXXXX")"
-    cmake --build build -j "$JOBS" --target rockc
     ./build/bench/pipeline_scaling > "$perf_dir/bench.jsonl"
     ./build/tools/rockc --benchmark Smoothing -o "$perf_dir/smoothing.vmi"
     ./build/tools/rockhier "$perf_dir/smoothing.vmi" --threads 2 \
@@ -99,6 +103,29 @@ if [ "$run_perf" -eq 1 ]; then
     # snapshot exactly, on any machine (timing ignored).
     ./build/tools/rockstat --baseline BASELINE_rockhier_counters.json \
         "$perf_dir/rockhier-metrics.json" --counters-only
+    # Micro-bench gates: hot-path kernels (SLM train/prob/DKL,
+    # arborescence) vs committed google-benchmark baselines. The 3x
+    # relative tolerance + 1ms slack makes this an order-of-magnitude
+    # detector -- it fires when a fast path is lost (e.g. the flat
+    # trie falling back to general_prob), not on scheduler noise or a
+    # different CPU generation.
+    ./build/bench/micro_slm --benchmark_format=json \
+        --benchmark_min_time=0.05 > "$perf_dir/micro_slm.json"
+    ./build/tools/rockstat --baseline BENCH_micro_slm.json \
+        "$perf_dir/micro_slm.json" --time-tol 3.0 --abs-slack-ms 1
+    ./build/bench/micro_graph --benchmark_format=json \
+        --benchmark_min_time=0.05 > "$perf_dir/micro_graph.json"
+    ./build/tools/rockstat --baseline BENCH_micro_graph.json \
+        "$perf_dir/micro_graph.json" --time-tol 3.0 --abs-slack-ms 1
+    # Parallel-speedup gate: a Skype-scale corpus (2000 classes keeps
+    # the leg ~10s / <1 GB) reconstructed serially and at 4 workers
+    # must hit >= 2.5x. Hardware-aware: rockstat --check skips the
+    # threshold on hosts with < 4 hw threads but always enforces the
+    # bit-identical check.
+    ./build/bench/skype_scale --classes 2000 --threads 1,4 \
+        --json "$perf_dir/skype.jsonl"
+    ./build/tools/rockstat --check "$perf_dir/skype.jsonl" \
+        --min-speedup 4:2.5
     rm -rf "$perf_dir"
 fi
 

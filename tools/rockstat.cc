@@ -1,8 +1,9 @@
 /**
  * @file
- * rockstat -- diff two metrics captures and gate on regressions.
+ * rockstat -- diff two metrics captures, or gate one bench capture
+ * on speedup thresholds.
  *
- * Accepts either format the repo emits:
+ * Diff mode accepts any format the repo emits:
  *  - canonical metrics reports ("rock-metrics-v1", from any tool's
  *    --metrics-json flag): deterministic counters compare exactly
  *    (tolerance configurable), per-name span wall totals compare with
@@ -10,13 +11,30 @@
  *  - bench JSONL captures (bench/pipeline_scaling stdout, one JSON
  *    object per line): lines pair by bench/classes/threads, "*_ms"
  *    fields gate on the timing tolerance, other numeric fields and
- *    booleans compare exactly.
+ *    booleans compare exactly (derived *_speedup ratios and
+ *    hw_threads are host-dependent and skipped);
+ *  - google-benchmark --benchmark_format=json output (micro_slm,
+ *    micro_graph): converted on the fly to bench lines keyed by
+ *    benchmark name, keeping only real_ms/cpu_ms so iteration counts
+ *    never gate.
+ *
+ * Check mode gates a single bench JSONL capture:
+ *
+ *   rockstat --check RUN.json --min-speedup 4:2.5 [--min-speedup ...]
+ *
+ * For every --min-speedup T:R, each line with "threads" == T must
+ * carry "speedup_vs_serial" >= R -- but only when the capturing
+ * host's "hw_threads" >= T; lines from smaller machines are skipped
+ * with a note so the gate binds on CI runners without failing
+ * laptops. Any line with "identical_to_serial": false fails
+ * unconditionally (determinism is not hardware-dependent).
  *
  * Usage:
  *   rockstat --baseline BASE.json CURRENT.json [options]
  *   rockstat BASE.json CURRENT.json [options]
+ *   rockstat --check RUN.json --min-speedup T:R [--min-speedup T:R]
  *
- * Options:
+ * Options (diff mode):
  *   --counter-tol R     relative drift allowed per counter (default 0
  *                       = exact; counters are deterministic)
  *   --time-tol R        relative wall-time growth allowed (default
@@ -26,8 +44,8 @@
  *   --counters-only     skip all timing comparisons (cross-machine
  *                       counter gating)
  *
- * Exit status: 0 = within tolerances, 1 = regression(s) printed to
- * stderr, 2 = usage or I/O error.
+ * Exit status: 0 = within tolerances, 1 = regression(s)/gate
+ * failure(s) printed to stderr, 2 = usage or I/O error.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "obs/report.h"
 
 namespace {
@@ -60,6 +79,185 @@ is_metrics_report(const std::string& text)
     return text.find("\"rock-metrics-v1\"") != std::string::npos;
 }
 
+/** google-benchmark --benchmark_format=json: one object with a
+ *  "context" header and a "benchmarks" array. */
+bool
+is_gbench_json(const std::string& text)
+{
+    return text.find("\"benchmarks\"") != std::string::npos &&
+           text.find("\"context\"") != std::string::npos;
+}
+
+/**
+ * Convert google-benchmark JSON to the bench-JSONL shape
+ * diff_bench_lines pairs on: one line per benchmark entry, keyed by
+ * name, carrying only the timing columns (in ms). Iteration counts
+ * and aggregate statistics vary run to run and are dropped so the
+ * exact-match rule for non-timing numerics never fires on them.
+ */
+std::string
+gbench_to_bench_lines(const std::string& text)
+{
+    using rock::obs::Json;
+    Json doc = Json::parse(text);
+    const Json* benchmarks = doc.find("benchmarks");
+    if (!benchmarks || !benchmarks->is_array())
+        throw std::runtime_error(
+            "google-benchmark JSON has no \"benchmarks\" array");
+    std::string out;
+    for (const Json& b : benchmarks->array) {
+        const Json* name = b.find("name");
+        const Json* real = b.find("real_time");
+        if (!name || !name->is_string() || !real || !real->is_number())
+            continue;
+        const Json* unit = b.find("time_unit");
+        double to_ms = 1e-6; // google-benchmark defaults to ns
+        if (unit && unit->is_string()) {
+            if (unit->string == "ns")
+                to_ms = 1e-6;
+            else if (unit->string == "us")
+                to_ms = 1e-3;
+            else if (unit->string == "ms")
+                to_ms = 1.0;
+            else if (unit->string == "s")
+                to_ms = 1e3;
+        }
+        out += "{\"bench\":\"" + rock::obs::json_escape(name->string) +
+               "\",\"real_ms\":" +
+               rock::obs::json_number(real->number * to_ms);
+        const Json* cpu = b.find("cpu_time");
+        if (cpu && cpu->is_number())
+            out += ",\"cpu_ms\":" +
+                   rock::obs::json_number(cpu->number * to_ms);
+        out += "}\n";
+    }
+    return out;
+}
+
+/** One --min-speedup T:R requirement. */
+struct SpeedupGate {
+    int threads = 0;
+    double min_ratio = 0.0;
+};
+
+bool
+parse_gate(const std::string& spec, SpeedupGate* gate)
+{
+    std::size_t colon = spec.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= spec.size())
+        return false;
+    gate->threads = std::atoi(spec.substr(0, colon).c_str());
+    gate->min_ratio = std::atof(spec.substr(colon + 1).c_str());
+    return gate->threads > 0 && gate->min_ratio > 0.0;
+}
+
+/**
+ * Gate a bench JSONL capture on speedup thresholds; returns the
+ * number of failures (0 = pass). Hardware-aware: a threshold at T
+ * threads only applies to lines captured on hosts with hw_threads
+ * >= T. Lines without hw_threads (older captures) are gated
+ * unconditionally.
+ */
+int
+run_check(const std::string& path,
+          const std::vector<SpeedupGate>& gates)
+{
+    using rock::obs::Json;
+    std::string text = slurp(path);
+    if (is_metrics_report(text) || is_gbench_json(text))
+        throw std::runtime_error(
+            "--check expects bench JSONL (one object per line) "
+            "with threads/speedup_vs_serial fields");
+
+    struct BenchLine {
+        Json value;
+        int lineno = 0;
+    };
+    std::vector<BenchLine> lines;
+    std::istringstream stream(text);
+    std::string raw;
+    int lineno = 0;
+    while (std::getline(stream, raw)) {
+        ++lineno;
+        if (raw.find('{') == std::string::npos)
+            continue;
+        lines.push_back({Json::parse(raw), lineno});
+    }
+
+    int failures = 0;
+    int checked = 0;
+    int skipped = 0;
+
+    // Determinism is not hardware-dependent: a false flag fails on
+    // any machine, independent of the speedup thresholds.
+    for (const BenchLine& l : lines) {
+        const Json* identical = l.value.find("identical_to_serial");
+        if (identical && identical->kind == Json::Kind::Bool &&
+            !identical->boolean) {
+            std::fprintf(stderr,
+                         "rockstat: FAIL %s:%d: "
+                         "identical_to_serial is false\n",
+                         path.c_str(), l.lineno);
+            ++failures;
+        }
+    }
+
+    for (const SpeedupGate& gate : gates) {
+        bool found = false;
+        for (const BenchLine& l : lines) {
+            const Json* threads = l.value.find("threads");
+            if (!threads || !threads->is_number() ||
+                static_cast<int>(threads->number) != gate.threads)
+                continue;
+            found = true;
+            const Json* hw = l.value.find("hw_threads");
+            if (hw && hw->is_number() &&
+                hw->number < gate.threads) {
+                std::fprintf(stderr,
+                             "rockstat: skip %s:%d: host has %.0f "
+                             "hw threads < %d, speedup gate not "
+                             "applicable\n",
+                             path.c_str(), l.lineno, hw->number,
+                             gate.threads);
+                ++skipped;
+                continue;
+            }
+            const Json* speedup = l.value.find("speedup_vs_serial");
+            if (!speedup || !speedup->is_number()) {
+                std::fprintf(stderr,
+                             "rockstat: FAIL %s:%d: no "
+                             "speedup_vs_serial field\n",
+                             path.c_str(), l.lineno);
+                ++failures;
+                continue;
+            }
+            ++checked;
+            if (speedup->number < gate.min_ratio) {
+                std::fprintf(stderr,
+                             "rockstat: FAIL %s:%d: speedup %.3f at "
+                             "%d threads, need >= %.3f\n",
+                             path.c_str(), l.lineno, speedup->number,
+                             gate.threads, gate.min_ratio);
+                ++failures;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "rockstat: FAIL %s: no line with "
+                         "threads == %d for --min-speedup %d:%.3f\n",
+                         path.c_str(), gate.threads, gate.threads,
+                         gate.min_ratio);
+            ++failures;
+        }
+    }
+
+    std::printf("rockstat: check %s: %d gate(s) checked, %d skipped "
+                "(insufficient hw threads), %d failure(s)\n",
+                path.c_str(), checked, skipped, failures);
+    return failures;
+}
+
 } // namespace
 
 int
@@ -68,11 +266,25 @@ main(int argc, char** argv)
     using namespace rock::obs;
 
     std::vector<std::string> files;
+    std::string check_path;
+    std::vector<SpeedupGate> gates;
     DiffOptions options;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--baseline" && i + 1 < argc) {
             files.insert(files.begin(), argv[++i]);
+        } else if (arg == "--check" && i + 1 < argc) {
+            check_path = argv[++i];
+        } else if (arg == "--min-speedup" && i + 1 < argc) {
+            SpeedupGate gate;
+            if (!parse_gate(argv[++i], &gate)) {
+                std::fprintf(stderr,
+                             "rockstat: bad --min-speedup '%s' "
+                             "(want THREADS:RATIO, e.g. 4:2.5)\n",
+                             argv[i]);
+                return 2;
+            }
+            gates.push_back(gate);
         } else if (arg == "--counter-tol" && i + 1 < argc) {
             options.counter_rel_tol = std::atof(argv[++i]);
         } else if (arg == "--time-tol" && i + 1 < argc) {
@@ -89,18 +301,41 @@ main(int argc, char** argv)
             files.push_back(arg);
         }
     }
-    if (files.size() != 2) {
+
+    if (!check_path.empty()) {
+        if (!files.empty() || gates.empty()) {
+            std::fprintf(stderr,
+                         "usage: rockstat --check RUN.json "
+                         "--min-speedup THREADS:RATIO "
+                         "[--min-speedup ...]\n");
+            return 2;
+        }
+        try {
+            return run_check(check_path, gates) == 0 ? 0 : 1;
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "rockstat: error: %s\n", e.what());
+            return 2;
+        }
+    }
+
+    if (files.size() != 2 || !gates.empty()) {
         std::fprintf(
             stderr,
             "usage: rockstat [--baseline] BASE.json CURRENT.json "
             "[--counter-tol R] [--time-tol R] [--abs-slack-ms S] "
-            "[--counters-only]\n");
+            "[--counters-only]\n"
+            "       rockstat --check RUN.json --min-speedup T:R "
+            "[--min-speedup T:R ...]\n");
         return 2;
     }
 
     try {
         std::string base_text = slurp(files[0]);
         std::string cur_text = slurp(files[1]);
+        if (is_gbench_json(base_text))
+            base_text = gbench_to_bench_lines(base_text);
+        if (is_gbench_json(cur_text))
+            cur_text = gbench_to_bench_lines(cur_text);
         bool base_report = is_metrics_report(base_text);
         bool cur_report = is_metrics_report(cur_text);
         if (base_report != cur_report) {
