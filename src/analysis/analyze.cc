@@ -64,6 +64,19 @@ record_metrics(const AnalysisResult& result, std::size_t functions)
 
 } // namespace
 
+std::set<std::uint32_t>
+this_callee_set(const AnalysisResult& result)
+{
+    std::set<std::uint32_t> callees;
+    for (const auto& vt : result.vtables) {
+        for (std::uint32_t fn : vt.slots)
+            callees.insert(fn);
+    }
+    for (const auto& [fn, vt] : result.ctor_types)
+        callees.insert(fn);
+    return callees;
+}
+
 AnalysisResult
 analyze(const bir::BinaryImage& image, const SymExecConfig& config)
 {
@@ -134,9 +147,7 @@ analyze(const bir::BinaryImage& image, const SymExecConfig& config,
     phase_a.clear();
 
     // ---- Phase B: final tracelets + evidence ---------------------------
-    std::set<std::uint32_t> full_callees = this_callees;
-    for (const auto& [fn, vt] : result.ctor_types)
-        full_callees.insert(fn);
+    std::set<std::uint32_t> full_callees = this_callee_set(result);
 
     std::vector<FunctionAnalysis> phase_b(num_functions);
     pool.parallel_for(num_functions, plan, [&](std::size_t i) {

@@ -48,6 +48,14 @@ struct AnalysisResult {
     long total_paths = 0;
 };
 
+/**
+ * The phase-B `this`-callee set of @p result: every function
+ * referenced from a discovered vtable plus every ctor-like function.
+ * This is the set both phase B and any mirror of it (rockvm's
+ * dynamic side) must treat as taking `this` first.
+ */
+std::set<std::uint32_t> this_callee_set(const AnalysisResult& result);
+
 /** Analyze @p image: discover vtables, extract tracelets + evidence. */
 AnalysisResult analyze(const bir::BinaryImage& image,
                        const SymExecConfig& config = {});

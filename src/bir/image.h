@@ -72,6 +72,16 @@ class BinaryImage {
     /** Whether RTTI records were retained in the data section. */
     bool has_rtti = false;
 
+    /**
+     * Address of the designated entry function, or 0 when none is
+     * recorded (real binaries carry this in the executable header).
+     * toyc sets it to the first declared usage function; usage
+     * functions link after every method/ctor/dtor, so the entry is
+     * virtually never function-table index 0 -- consumers must look
+     * it up by address, not assume `functions.front()`.
+     */
+    std::uint32_t entry = 0;
+
     /** @return true when @p addr falls inside the code section. */
     bool in_code(std::uint32_t addr) const;
 

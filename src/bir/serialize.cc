@@ -99,6 +99,7 @@ save_image(const BinaryImage& image)
         put_u32(out, static_cast<std::uint32_t>(name.size()));
         out.insert(out.end(), name.begin(), name.end());
     }
+    put_u32(out, image.entry);
     return out;
 }
 
@@ -129,6 +130,14 @@ load_image(const std::vector<std::uint8_t>& bytes)
     for (std::uint32_t i = 0; i < n_symbols; ++i) {
         std::uint32_t addr = reader.u32();
         image.symbols[addr] = reader.str(reader.u32());
+    }
+    // Legacy streams end at the symbol table; newer writers append
+    // the entry address. Reading it only when bytes remain keeps old
+    // files loadable (their entry stays 0).
+    if (!reader.done()) {
+        image.entry = reader.u32();
+        if (image.entry != 0 && !image.is_function_start(image.entry))
+            fatal("VMI image: entry is not a function start");
     }
     if (!reader.done())
         fatal("VMI image: trailing bytes");

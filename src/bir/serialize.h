@@ -11,6 +11,8 @@
  *   [n_functions] { [addr] [size] }*
  *   [has_rtti: u8]
  *   [n_symbols] { [addr] [name_len] [name bytes] }*
+ *   [entry]                 (optional on load; legacy streams end
+ *                            at the symbol table and get entry = 0)
  *
  * All integers are 32-bit little-endian. load_image() validates
  * structure and raises support::FatalError on malformed input.

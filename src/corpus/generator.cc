@@ -1,5 +1,6 @@
 #include "corpus/generator.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -234,6 +235,16 @@ generate_program(const GeneratorSpec& spec)
             }
             prog.usages.push_back(std::move(fn));
         }
+    }
+
+    // The first declared usage becomes BinaryImage::entry; rotating
+    // lets specs pick an entry anywhere in the function table.
+    if (spec.entry_usage > 0 && !prog.usages.empty()) {
+        auto pivot = static_cast<long>(
+            static_cast<std::size_t>(spec.entry_usage) %
+            prog.usages.size());
+        std::rotate(prog.usages.begin(), prog.usages.begin() + pivot,
+                    prog.usages.end());
     }
 
     return prog;

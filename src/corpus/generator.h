@@ -55,6 +55,14 @@ struct GeneratorSpec {
      * (the fuzz metamorphic oracles rely on this).
      */
     int name_base = 0;
+    /**
+     * Which generated usage function is declared first and thereby
+     * becomes the image entry (toyc records the first usage in
+     * BinaryImage::entry). Taken modulo the usage count; 0 keeps the
+     * natural order. Rotating exercises entry functions at arbitrary
+     * function-table indices in serialize round-trip properties.
+     */
+    int entry_usage = 0;
 
     bool operator==(const GeneratorSpec&) const = default;
 };

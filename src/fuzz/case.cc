@@ -48,6 +48,22 @@ injection_by_name(const std::string& name)
             if (last >= 0)
                 result.hierarchy.set_parent(last, -1);
         };
+    } else if (name == "drop-virtcall-tracelets") {
+        hooks.mutate_result = [](core::ReconstructionResult& result) {
+            for (auto& [type, tracelets] :
+                 result.analysis.type_tracelets) {
+                (void)type;
+                std::erase_if(
+                    tracelets, [](const analysis::Tracelet& t) {
+                        for (const auto& ev : t) {
+                            if (ev.kind ==
+                                analysis::EventKind::VirtCall)
+                                return true;
+                        }
+                        return false;
+                    });
+            }
+        };
     } else {
         support::fatal("unknown fault injection '" + name + "'");
     }

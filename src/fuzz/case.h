@@ -70,6 +70,10 @@ reconstruct_image(const bir::BinaryImage& image,
  *    with rule-3 ctor evidence (the bug class of paper Section 5.2).
  *  - "orphan-last-type": makes the highest-index type a root
  *    regardless of feasible parents (violates Heuristic 4.1).
+ *  - "drop-virtcall-tracelets": deletes every static tracelet that
+ *    contains a virtual-dispatch event (a symexec bug class: lost
+ *    paths), which the vm-differential oracle catches because the
+ *    interpreter still witnesses those tracelets concretely.
  *
  * Throws support::FatalError for unknown names.
  */

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 
+#include "analysis/vtable_scan.h"
 #include "fuzz/oracles.h"
 #include "fuzz/shrink.h"
 #include "obs/metrics.h"
 #include "support/log.h"
 #include "support/rng.h"
+#include "vm/vm.h"
 
 namespace rock::fuzz {
 namespace {
@@ -80,6 +83,70 @@ run_one(std::uint64_t case_seed, const GeneratorSpec& spec,
         checks.add();
     }
     return failure; // oracle empty: the case passed
+}
+
+/**
+ * Pick the spec to fuzz for @p case_seed out of @p pool candidates.
+ * Candidate 0 is always sample_spec(case_seed) -- the blind choice --
+ * so a crash-on-build candidate 0 is returned as-is for run_one to
+ * report. Other candidates come from derived seeds; each one is
+ * compiled and concretely executed under rockvm (vtable-scan
+ * approximation of the this-callee set: coverage does not need exact
+ * event attribution), and the one covering the most blocks absent
+ * from @p covered wins. The winner's blocks are folded into
+ * @p covered.
+ */
+GeneratorSpec
+pick_covering_spec(std::uint64_t case_seed, int pool,
+                   const CaseConfig& config,
+                   std::set<std::uint64_t>& covered)
+{
+    GeneratorSpec best;
+    std::set<std::uint64_t> best_blocks;
+    long best_fresh = -1;
+    for (int j = 0; j < pool; ++j) {
+        std::uint64_t sub =
+            case_seed + static_cast<std::uint64_t>(j) *
+                            0x517cc1b727220a95ull;
+        GeneratorSpec cand = sample_spec(sub);
+        try {
+            toyc::Program prog = corpus::generate_program(cand);
+            toyc::CompileResult compiled =
+                toyc::compile(prog, config.compile);
+            std::vector<analysis::VTableInfo> vtables =
+                analysis::scan_vtables(compiled.image);
+            std::set<std::uint32_t> callees;
+            for (const auto& vt : vtables)
+                callees.insert(vt.slots.begin(), vt.slots.end());
+            vm::Interpreter interp(compiled.image, vtables, callees,
+                                   vm::VmConfig{});
+            vm::VmResult run = interp.run_image(1);
+            long fresh = 0;
+            for (std::uint64_t block : run.coverage)
+                fresh += covered.count(block) == 0;
+            if (fresh > best_fresh) {
+                best_fresh = fresh;
+                best = cand;
+                best_blocks = std::move(run.coverage);
+            }
+        } catch (const std::exception&) {
+            // The blind candidate must stay eligible even when it
+            // refuses to build: blind fuzzing would have run it, and
+            // run_one reports the crash as the no-crash oracle.
+            if (j == 0)
+                return cand;
+        }
+    }
+    if (best_fresh < 0)
+        return sample_spec(case_seed);
+    covered.insert(best_blocks.begin(), best_blocks.end());
+    if (obs::metrics_enabled() && best_fresh > 0) {
+        static obs::Counter& fresh_blocks =
+            obs::Registry::global().counter(
+                "fuzz.coverage_new_blocks");
+        fresh_blocks.add(static_cast<std::uint64_t>(best_fresh));
+    }
+    return best;
 }
 
 } // namespace
@@ -188,6 +255,10 @@ sample_spec(std::uint64_t case_seed)
         std::max(spec.scenarios_per_class,
                  1 + static_cast<int>(rng.index(3)));
     spec.control_flow = rng.chance(0.7);
+    // Rotate which usage function is the image entry so the
+    // serialize-differential oracle sees entries at arbitrary
+    // function-table indices, not just the natural first usage.
+    spec.entry_usage = static_cast<int>(rng.index(8));
     return spec;
 }
 
@@ -199,6 +270,7 @@ run_fuzz(const FuzzOptions& options, const CaseConfig& config)
     std::vector<const Oracle*> oracles =
         selected_oracles(options.only);
 
+    std::set<std::uint64_t> covered;
     double start = now_ms();
     for (int i = 0; i < options.seeds; ++i) {
         if (i > 0 && options.budget_ms > 0.0 &&
@@ -208,7 +280,12 @@ run_fuzz(const FuzzOptions& options, const CaseConfig& config)
         }
         std::uint64_t case_seed =
             options.first_seed + static_cast<std::uint64_t>(i);
-        GeneratorSpec spec = sample_spec(case_seed);
+        GeneratorSpec spec =
+            options.coverage_pool > 1
+                ? pick_covering_spec(case_seed,
+                                     options.coverage_pool, config,
+                                     covered)
+                : sample_spec(case_seed);
         FuzzFailure failure =
             run_one(case_seed, spec, oracles, config, report);
         ++report.cases_run;
@@ -234,11 +311,15 @@ run_fuzz(const FuzzOptions& options, const CaseConfig& config)
         }
     }
     report.elapsed_ms = now_ms() - start;
+    report.covered_blocks = covered.size();
     if (obs::metrics_enabled()) {
         obs::Registry& reg = obs::Registry::global();
         reg.counter("fuzz.cases_run").add(
             static_cast<std::uint64_t>(report.cases_run));
         reg.counter("fuzz.failures").add(report.failures.size());
+        if (options.coverage_pool > 1)
+            reg.gauge("fuzz.covered_blocks")
+                .set(static_cast<double>(covered.size()));
     }
     return report;
 }

@@ -37,6 +37,15 @@ struct FuzzOptions {
     std::vector<std::string> only;
     /** Stop the campaign after this many failing cases. */
     int max_failures = 8;
+    /**
+     * Coverage-guided seed selection: per case, sample this many
+     * candidate specs (candidate 0 is the blind sample_spec choice),
+     * execute each compiled candidate under rockvm, and fuzz the one
+     * covering the most basic blocks not seen earlier in the
+     * campaign. 1 = blind fuzzing (default). Deterministic in the
+     * case seed, like everything else.
+     */
+    int coverage_pool = 1;
 };
 
 /** One failing case (shrunk when FuzzOptions::shrink). */
@@ -63,6 +72,10 @@ struct FuzzReport {
     /** Passed checks per oracle name. */
     std::map<std::string, int> oracle_passes;
     std::vector<FuzzFailure> failures;
+    /** Distinct basic blocks the fuzzed cases covered under rockvm
+     *  (layout-insensitive fingerprints; 0 when coverage_pool <= 1
+     *  left the interpreter out of the loop). */
+    std::size_t covered_blocks = 0;
 
     bool ok() const { return failures.empty(); }
     /** Total oracle checks that passed. */

@@ -5,8 +5,10 @@
 #include <functional>
 #include <iterator>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "bir/serialize.h"
@@ -16,6 +18,7 @@
 #include "rock/relaxed.h"
 #include "support/rng.h"
 #include "support/str.h"
+#include "vm/vm.h"
 
 namespace rock::fuzz {
 namespace {
@@ -688,7 +691,8 @@ check_serialize_differential(const OracleContext& ctx)
         loaded.data_base != image.data_base ||
         loaded.functions != image.functions ||
         loaded.symbols != image.symbols ||
-        loaded.has_rtti != image.has_rtti)
+        loaded.has_rtti != image.has_rtti ||
+        loaded.entry != image.entry)
         return fail("VMI round trip altered the image");
     core::ReconstructionResult other =
         reconstruct_image(loaded, ctx.config);
@@ -857,6 +861,92 @@ check_rockcheck(const OracleContext& ctx)
     return pass();
 }
 
+// ---- vm differential oracle --------------------------------------------
+
+/** Static tracelets per type as sets, for containment queries. */
+std::map<std::uint32_t, std::set<analysis::Tracelet>>
+tracelet_sets(const analysis::AnalysisResult& analysis)
+{
+    std::map<std::uint32_t, std::set<analysis::Tracelet>> sets;
+    for (const auto& [type, tracelets] : analysis.type_tracelets)
+        sets[type].insert(tracelets.begin(), tracelets.end());
+    return sets;
+}
+
+/** First dynamic (type, tracelet) missing from @p sets, if any. */
+std::optional<std::pair<std::uint32_t, analysis::Tracelet>>
+first_containment_miss(
+    const vm::VmResult& dynamic,
+    const std::map<std::uint32_t, std::set<analysis::Tracelet>>& sets)
+{
+    for (const auto& [type, tracelets] : dynamic.type_tracelets) {
+        auto it = sets.find(type);
+        for (const auto& t : tracelets) {
+            if (it == sets.end() || it->second.count(t) == 0)
+                return std::make_pair(type, t);
+        }
+    }
+    return std::nullopt;
+}
+
+/**
+ * The dynamic side of the analysis: concretely executing the image
+ * under rockvm must (a) never trap -- toyc output is well-formed --
+ * and (b) only ever witness typed tracelets the static analysis also
+ * extracts (dynamic ⊆ static; the mirror contract of src/vm/vm.h).
+ *
+ * A miss is first retried against a boosted-path-budget re-analysis:
+ * the configured max_paths caps static exploration, and a concretely
+ * reached path the static side truncated is a budget artifact, not a
+ * pipeline bug. The injected-fault hook is re-applied to the boosted
+ * result so deliberate pipeline bugs stay visible to the oracle.
+ */
+OracleVerdict
+check_vm_differential(const OracleContext& ctx)
+{
+    const FuzzCase& fc = ctx.fuzz_case;
+    vm::VmConfig vcfg =
+        vm::VmConfig::mirror(ctx.config.rock.symexec);
+    vm::Interpreter interp(fc.compiled.image, fc.result.analysis,
+                           vcfg);
+    vm::VmResult dynamic = interp.run_image(1);
+
+    if (!dynamic.traps.empty()) {
+        const vm::Trap& t = dynamic.traps.front();
+        return fail(support::format(
+            "clean image trapped: %s at %s (entry %s, detail %u)",
+            vm::trap_name(t.kind), support::hex(t.addr).c_str(),
+            support::hex(t.entry).c_str(), t.detail));
+    }
+    if (dynamic.stats.steps == 0)
+        return fail("interpreter executed zero instructions");
+
+    auto miss = first_containment_miss(
+        dynamic, tracelet_sets(fc.result.analysis));
+    if (!miss)
+        return pass();
+
+    analysis::SymExecConfig boosted = ctx.config.rock.symexec;
+    boosted.max_paths = std::max(boosted.max_paths, 4096);
+    // ReconstructionResult owns SLMs and is move-only; the probe only
+    // needs the fields the fault-injection hooks touch.
+    core::ReconstructionResult probe;
+    probe.hierarchy = fc.result.hierarchy;
+    probe.structural = fc.result.structural;
+    probe.analysis = analysis::analyze(fc.compiled.image, boosted);
+    if (ctx.config.hooks.mutate_result)
+        ctx.config.hooks.mutate_result(probe);
+    miss = first_containment_miss(dynamic,
+                                  tracelet_sets(probe.analysis));
+    if (!miss)
+        return pass();
+    return fail(support::format(
+        "dynamic tracelet %s of type %s missing from the static set "
+        "(even at max_paths=%d)",
+        analysis::to_string(miss->second).c_str(),
+        support::hex(miss->first).c_str(), boosted.max_paths));
+}
+
 OracleVerdict
 check_classify_deterministic(const OracleContext& ctx)
 {
@@ -940,6 +1030,11 @@ oracle_registry()
          "register, jump and vtable corruptions trip the matching "
          "diagnostic",
          check_rockcheck},
+        {"vm-differential",
+         "concrete execution under rockvm never traps on compiled "
+         "images and every dynamically witnessed typed tracelet is "
+         "in the static set (dynamic ⊆ static)",
+         check_vm_differential},
         {"relaxed-consistent",
          "k-parent relaxation reproduces the strict hierarchy at k=1 "
          "and only adds feasible, acyclic extra parents",

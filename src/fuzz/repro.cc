@@ -147,7 +147,8 @@ spec_to_json(const corpus::GeneratorSpec& spec)
         << (spec.control_flow ? "true" : "false") << ", "
         << "\"seed\": " << spec.seed << ", "
         << "\"class_prefix\": \"" << spec.class_prefix << "\", "
-        << "\"name_base\": " << spec.name_base << "}";
+        << "\"name_base\": " << spec.name_base << ", "
+        << "\"entry_usage\": " << spec.entry_usage << "}";
     return out.str();
 }
 
@@ -169,6 +170,7 @@ spec_from_json(const std::string& json)
     get_u64(json, "seed", spec.seed);
     get_string(json, "class_prefix", spec.class_prefix);
     get_int(json, "name_base", spec.name_base);
+    get_int(json, "entry_usage", spec.entry_usage);
     return spec;
 }
 

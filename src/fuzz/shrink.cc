@@ -26,6 +26,7 @@ spec_size(const GeneratorSpec& spec)
     size += spec.new_method_prob > 0.0 ? 20 : 0;
     size += spec.override_prob > 0.0 ? 20 : 0;
     size += spec.control_flow ? 10 : 0;
+    size += spec.entry_usage > 0 ? 5 : 0;
     return size;
 }
 
@@ -41,6 +42,7 @@ clamp(GeneratorSpec& spec)
     spec.root_methods = std::max(1, spec.root_methods);
     spec.scenarios_per_class = std::max(1, spec.scenarios_per_class);
     spec.fold_noise_pairs = std::max(0, spec.fold_noise_pairs);
+    spec.entry_usage = std::max(0, spec.entry_usage);
 }
 
 /** Strictly-smaller candidate variants, most aggressive first. */
@@ -69,6 +71,7 @@ candidates(const GeneratorSpec& spec)
     propose([](GeneratorSpec& s) { s.new_method_prob = 0.0; });
     propose([](GeneratorSpec& s) { s.override_prob = 0.0; });
     propose([](GeneratorSpec& s) { s.control_flow = false; });
+    propose([](GeneratorSpec& s) { s.entry_usage = 0; });
     return out;
 }
 

@@ -478,6 +478,7 @@ CodeGen::wire_vtables()
 CompileResult
 CodeGen::run()
 {
+    const Program& prog = sema_.program();
     declare_all();
     define_methods();
     define_ctors_dtors();
@@ -508,6 +509,13 @@ CodeGen::run()
     if (opts_.fold_identical_functions)
         result.folded = builder_.fold_identical_functions();
     result.image = builder_.link(opts_.link);
+    // The first declared usage function is the program entry.
+    // func_addr() resolves fold aliases, so the entry stays a real
+    // function start even when that usage folded into a twin.
+    if (!prog.usages.empty()) {
+        result.image.entry = builder_.func_addr(
+            usage_funcs_.at(prog.usages.front().name));
+    }
 
     // Ground-truth side channel.
     for (const auto& name : sema_.topo_order()) {

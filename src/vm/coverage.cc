@@ -1,0 +1,52 @@
+#include "vm/coverage.h"
+
+namespace rock::vm {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+}
+
+} // namespace
+
+std::uint64_t block_fingerprint(const bir::BinaryImage& image,
+                                const cfg::Cfg& cfg,
+                                const cfg::BasicBlock& block) {
+    std::uint64_t h = kFnvOffset;
+    mix(h, static_cast<std::uint64_t>(block.last - block.first));
+    for (int i = block.first; i < block.last; ++i) {
+        const auto& slot = cfg.slots[static_cast<std::size_t>(i)];
+        if (!slot.instr) {
+            // Undecodable slot: marker distinct from any valid opcode.
+            mix(h, 0xffull);
+            continue;
+        }
+        const bir::Instr& in = *slot.instr;
+        mix(h, static_cast<std::uint64_t>(in.op));
+        mix(h, (std::uint64_t{in.a} << 16) | (std::uint64_t{in.b} << 8) |
+                   in.c);
+        // Addresses are layout-dependent; zero them so structurally
+        // identical blocks from differently laid-out images coincide.
+        std::uint32_t imm = in.imm;
+        if (image.in_code(imm) || image.in_data(imm)) imm = 0;
+        mix(h, imm);
+    }
+    return h;
+}
+
+std::vector<std::uint64_t>
+function_fingerprints(const bir::BinaryImage& image, const cfg::Cfg& cfg) {
+    std::vector<std::uint64_t> out;
+    out.reserve(cfg.blocks.size());
+    for (const auto& block : cfg.blocks)
+        out.push_back(block_fingerprint(image, cfg, block));
+    return out;
+}
+
+} // namespace rock::vm

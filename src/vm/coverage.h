@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Layout-insensitive basic-block fingerprints for execution coverage.
+ *
+ * rockvm measures coverage in fingerprint space rather than address
+ * space so that the fuzzer can accumulate one global covered-set
+ * across *different* generated images: two structurally identical
+ * blocks -- same opcodes, same register operands, same non-address
+ * immediates -- hash to the same fingerprint even when layout moved
+ * every call target and vtable address between programs. Executing a
+ * block that only re-links known shapes therefore adds nothing, while
+ * a new dispatch pattern, ctor chain or control-flow shape shows up
+ * as fresh coverage (the signal coverage-guided seed selection in
+ * fuzz/fuzzer.cc maximizes).
+ *
+ * Address-bearing immediates (anything inside the code or data
+ * section: call targets, jump targets, vtable addresses) are
+ * normalized to zero before hashing; everything else (field offsets,
+ * argument slots, small constants) is hashed verbatim. Undecodable
+ * slots contribute a marker byte so corrupted blocks fingerprint
+ * distinctly from empty ones.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bir/image.h"
+#include "cfg/cfg.h"
+
+namespace rock::vm {
+
+/** FNV-1a fingerprint of one basic block of @p cfg (see file docs). */
+std::uint64_t block_fingerprint(const bir::BinaryImage& image,
+                                const cfg::Cfg& cfg,
+                                const cfg::BasicBlock& block);
+
+/** Fingerprints of every block of @p cfg, indexed by block id. */
+std::vector<std::uint64_t>
+function_fingerprints(const bir::BinaryImage& image,
+                      const cfg::Cfg& cfg);
+
+} // namespace rock::vm

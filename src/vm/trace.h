@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tracelet JSONL export -- rockvm trace schema v1.
+ *
+ * One line per emitted tracelet (vm::TraceRecord), so dynamic traces
+ * stream, concatenate, and grep like any JSONL corpus (the format the
+ * ML-assisted directions in PAPERS.md consume as training data):
+ *
+ *   {"rockvm_tracelet":1,"entry":4096,"opaque":1,"type":1048592,
+ *    "events":[["C",2,0],["R",4,0]]}
+ *
+ * Fields:
+ *  - rockvm_tracelet: schema version tag, always 1;
+ *  - entry:  address of the entry function of the run;
+ *  - opaque: concrete value substituted for unset entry arguments;
+ *  - type:   attributed vtable address, 0 when the tracelet stayed
+ *            untyped;
+ *  - events: the tracelet, each event a [kind, index, aux] triple
+ *            with kind one of "C" (VirtCall), "R" (ReadField),
+ *            "W" (WriteField), "this" (PassedThis), "arg"
+ *            (PassedArg), "ret" (Returned), "call" (CallDirect) --
+ *            the paper's Table 1 notation.
+ *
+ * parse_trace_line() accepts exactly what write produces (plus
+ * insignificant whitespace); it is the schema check the tests
+ * round-trip `rockvm --trace-jsonl` output through.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vm/vm.h"
+
+namespace rock::vm {
+
+/** One schema-v1 line for @p record (no trailing newline). */
+std::string to_jsonl(const TraceRecord& record);
+
+/** Every record of @p result, one newline-terminated line each. */
+std::string to_jsonl(const VmResult& result);
+
+/**
+ * Parse one schema-v1 line. @return std::nullopt on any violation
+ * (unknown key, wrong version, malformed event triple, trailing
+ * garbage), with a human-readable reason in @p error when non-null.
+ */
+std::optional<TraceRecord>
+parse_trace_line(const std::string& line, std::string* error = nullptr);
+
+/**
+ * Parse a whole JSONL document (blank lines ignored). @return
+ * std::nullopt on the first bad line; @p error names its 1-based
+ * line number.
+ */
+std::optional<std::vector<TraceRecord>>
+parse_trace(const std::string& text, std::string* error = nullptr);
+
+} // namespace rock::vm

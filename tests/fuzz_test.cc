@@ -133,6 +133,61 @@ TEST(FuzzMeta, OrphanInjectionTripsStructureOracle)
     EXPECT_EQ(report.failures[0].oracle, "structure");
 }
 
+TEST(FuzzMeta, DroppedTraceletsAreCaughtByVmDifferential)
+{
+    // Deliberately lose every static tracelet containing a virtual
+    // dispatch -- a symexec lost-path bug class. The interpreter
+    // still witnesses those tracelets concretely, so containment
+    // (dynamic ⊆ static) breaks, even after the oracle's boosted
+    // re-analysis (the hook re-applies to the boosted result too).
+    fuzz::CaseConfig config;
+    config.hooks = fuzz::injection_by_name("drop-virtcall-tracelets");
+
+    fuzz::FuzzOptions options;
+    options.seeds = 6;
+    options.first_seed = 1;
+    options.only = {"vm-differential"};
+    options.max_failures = 1;
+    fuzz::FuzzReport report = fuzz::run_fuzz(options, config);
+
+    ASSERT_FALSE(report.failures.empty())
+        << "the vm-differential oracle missed an injected symexec bug";
+    const fuzz::FuzzFailure& failure = report.failures[0];
+    EXPECT_EQ(failure.oracle, "vm-differential");
+    EXPECT_FALSE(failure.detail.empty());
+    // Shrinks to a near-minimal program.
+    EXPECT_LE(failure.shrunk.num_classes, 3);
+    EXPECT_GE(failure.shrink_steps, 1);
+    EXPECT_TRUE(fuzz::spec_fails_oracle(failure.shrunk,
+                                        "vm-differential", config));
+}
+
+TEST(FuzzCampaign, CoverageGuidedSelectionCoversMoreBlocks)
+{
+    // At equal case count, picking each case out of a rockvm-executed
+    // candidate pool by new-block coverage must beat blind sampling
+    // on distinct blocks covered. Deterministic, so a fixed seed
+    // range is a stable regression gate.
+    fuzz::FuzzOptions blind;
+    blind.seeds = 8;
+    blind.first_seed = 101;
+    blind.only = {"structure"};
+    blind.coverage_pool = 2; // pool of blind winner + 1 alternative
+    fuzz::FuzzReport pool2 = fuzz::run_fuzz(blind);
+
+    fuzz::FuzzOptions guided = blind;
+    guided.coverage_pool = 5;
+    fuzz::FuzzReport pool5 = fuzz::run_fuzz(guided);
+
+    EXPECT_GT(pool2.covered_blocks, 0u);
+    EXPECT_GT(pool5.covered_blocks, pool2.covered_blocks);
+
+    // Blind campaigns leave the interpreter out of the loop.
+    fuzz::FuzzOptions off = blind;
+    off.coverage_pool = 1;
+    EXPECT_EQ(fuzz::run_fuzz(off).covered_blocks, 0u);
+}
+
 TEST(FuzzMeta, UnknownInjectionIsFatal)
 {
     EXPECT_THROW(fuzz::injection_by_name("no-such-bug"),

@@ -43,7 +43,69 @@ TEST(Serialize, RoundTripPreservesEverything)
         EXPECT_EQ(loaded.functions, original.functions);
         EXPECT_EQ(loaded.symbols, original.symbols);
         EXPECT_EQ(loaded.has_rtti, original.has_rtti);
+        EXPECT_EQ(loaded.entry, original.entry);
     }
+}
+
+TEST(Serialize, EntryRoundTripsAtNonZeroFunctionIndex)
+{
+    // Usage functions link after every method/ctor/dtor, so the
+    // compiler-recorded entry must not be the first function-table
+    // entry -- the round trip has to carry the address, not assume
+    // index 0.
+    corpus::GeneratorSpec spec;
+    spec.num_classes = 4;
+    spec.entry_usage = 3; // declare the 4th usage first
+    toyc::CompileResult compiled =
+        toyc::compile(corpus::generate_program(spec));
+    const BinaryImage& image = compiled.image;
+    ASSERT_NE(image.entry, 0u);
+    ASSERT_TRUE(image.is_function_start(image.entry));
+    ASSERT_NE(image.entry, image.functions.front().addr);
+
+    BinaryImage loaded = load_image(save_image(image));
+    EXPECT_EQ(loaded.entry, image.entry);
+}
+
+TEST(Serialize, EntryUsageKnobRotatesTheEntry)
+{
+    // Usage functions link in declaration order, so the entry
+    // *address* is the same either way; the knob changes which usage
+    // function occupies it.
+    corpus::GeneratorSpec spec;
+    spec.num_classes = 4;
+    corpus::GeneratorSpec rotated = spec;
+    rotated.entry_usage = 1;
+    toyc::CompileResult a =
+        toyc::compile(corpus::generate_program(spec));
+    toyc::CompileResult b =
+        toyc::compile(corpus::generate_program(rotated));
+    ASSERT_NE(a.image.entry, 0u);
+    ASSERT_NE(b.image.entry, 0u);
+    EXPECT_NE(a.debug.func_names.at(a.image.entry),
+              b.debug.func_names.at(b.image.entry));
+    // Rotation only permutes the usage list.
+    EXPECT_EQ(a.image.functions.size(), b.image.functions.size());
+}
+
+TEST(Serialize, LegacyStreamWithoutEntryLoadsAsZero)
+{
+    // Pre-entry VMI1 writers ended the stream at the symbol table.
+    // Dropping the trailing entry word reproduces such a file.
+    BinaryImage original = sample_image();
+    ASSERT_NE(original.entry, 0u);
+    auto bytes = save_image(original);
+    bytes.resize(bytes.size() - 4);
+    BinaryImage loaded = load_image(bytes);
+    EXPECT_EQ(loaded.entry, 0u);
+    EXPECT_EQ(loaded.functions, original.functions);
+}
+
+TEST(Serialize, RejectsEntryOutsideTheFunctionTable)
+{
+    BinaryImage image = sample_image();
+    image.entry = image.code_base + 1; // mid-instruction, no function
+    EXPECT_THROW(load_image(save_image(image)), FatalError);
 }
 
 TEST(Serialize, ReconstructionIdenticalAfterRoundTrip)
@@ -130,6 +192,7 @@ TEST(Serialize, PropertyRoundTripOverGeneratedPrograms)
         EXPECT_EQ(loaded.functions, compiled.image.functions);
         EXPECT_EQ(loaded.symbols, compiled.image.symbols);
         EXPECT_EQ(loaded.has_rtti, compiled.image.has_rtti);
+        EXPECT_EQ(loaded.entry, compiled.image.entry);
 
         core::ReconstructionResult a =
             core::reconstruct(compiled.image);

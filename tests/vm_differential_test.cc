@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Differential regression: run every bundled --builtin image under
+ * rockvm and assert (a) zero traps on clean toyc output and (b) the
+ * containment invariant dynamic ⊆ static -- every typed tracelet the
+ * interpreter witnesses concretely also appears in the tracelet set
+ * symexec extracts statically for the same type.
+ *
+ * The static side runs with a boosted path budget (max_paths high
+ * enough that no builtin saturates it): the default budget caps
+ * exploration per function, and a concretely reachable path that the
+ * static side *truncated away* would be a budget artifact, not a
+ * mirror bug. The tier-1 vm-differential fuzz oracle applies the same
+ * escalation before declaring a miss.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "corpus/benchmarks.h"
+#include "corpus/examples.h"
+#include "toyc/compiler.h"
+#include "vm/vm.h"
+
+namespace {
+
+using namespace rock;
+using vm::Interpreter;
+using vm::VmConfig;
+using vm::VmResult;
+
+/** All 24 bundled programs: 5 examples + 19 Table 2 benchmarks. */
+std::vector<corpus::CorpusProgram>
+builtin_programs()
+{
+    std::vector<corpus::CorpusProgram> out = {
+        corpus::streams_program(),      corpus::datasources_program(),
+        corpus::echoparams_program(),   corpus::cgrid_program(),
+        corpus::multiple_inheritance_program(),
+    };
+    for (const auto& bench : corpus::table2_benchmarks())
+        out.push_back(bench.program);
+    return out;
+}
+
+/** Static tracelet sets per type, boosted so paths are not truncated. */
+std::map<std::uint32_t, std::set<analysis::Tracelet>>
+static_sets(const bir::BinaryImage& image)
+{
+    analysis::SymExecConfig cfg;
+    cfg.max_paths = 4096;
+    analysis::AnalysisResult result = analysis::analyze(image, cfg);
+    std::map<std::uint32_t, std::set<analysis::Tracelet>> sets;
+    for (const auto& [type, tracelets] : result.type_tracelets)
+        sets[type].insert(tracelets.begin(), tracelets.end());
+    return sets;
+}
+
+TEST(VmDifferential, AllBuiltinsRunCleanAndContained)
+{
+    for (const auto& prog : builtin_programs()) {
+        SCOPED_TRACE(prog.name);
+        toyc::CompileResult built =
+            toyc::compile(prog.program, prog.options);
+        analysis::AnalysisResult analysis =
+            analysis::analyze(built.image);
+        Interpreter interp(built.image, analysis, VmConfig{});
+        VmResult dynamic = interp.run_image(1);
+
+        // (a) clean images never trap.
+        ASSERT_TRUE(dynamic.traps.empty())
+            << prog.name << ": first trap "
+            << vm::trap_name(dynamic.traps.front().kind) << " at 0x"
+            << std::hex << dynamic.traps.front().addr;
+
+        // The run did real work.
+        EXPECT_GT(dynamic.stats.steps, 0u);
+        EXPECT_FALSE(dynamic.coverage.empty());
+
+        // (b) dynamic ⊆ static per type.
+        auto sets = static_sets(built.image);
+        for (const auto& [type, tracelets] : dynamic.type_tracelets) {
+            auto it = sets.find(type);
+            ASSERT_NE(it, sets.end())
+                << prog.name << ": type 0x" << std::hex << type
+                << " witnessed dynamically but absent statically";
+            for (const auto& t : tracelets) {
+                EXPECT_EQ(it->second.count(t), 1u)
+                    << prog.name << ": dynamic tracelet for type 0x"
+                    << std::hex << type
+                    << " missing from the static set";
+            }
+        }
+    }
+}
+
+TEST(VmDifferential, DynamicTypedCoverageIsNonTrivial)
+{
+    // At least the canonical single-inheritance example must witness
+    // typed tracelets dynamically -- an empty dynamic side would make
+    // the containment check vacuous.
+    corpus::CorpusProgram prog = corpus::streams_program();
+    toyc::CompileResult built =
+        toyc::compile(prog.program, prog.options);
+    analysis::AnalysisResult analysis = analysis::analyze(built.image);
+    Interpreter interp(built.image, analysis, VmConfig{});
+    VmResult dynamic = interp.run_image(1);
+    EXPECT_FALSE(dynamic.type_tracelets.empty());
+    std::size_t total = 0;
+    for (const auto& [type, tracelets] : dynamic.type_tracelets)
+        total += tracelets.size();
+    EXPECT_GE(total, 3u);
+}
+
+} // namespace

@@ -7,7 +7,12 @@
 #     of the same suite -- including the explicit determinism_asan /
 #     determinism_ubsan / cfg_asan / cfg_ubsan entries -- plus a
 #     50-seed rockfuzz smoke under instrumentation;
-#  3. perf: bench/pipeline_scaling + a rockhier --metrics-json run,
+#  3. vm: rockvm runs every built-in corpus image trap-free, then a
+#     50-seed coverage-guided rockfuzz campaign restricted to the
+#     vm-differential oracle (dynamic tracelets under rockvm are a
+#     subset of the static symexec sets); repro files are kept on
+#     failure like every other fuzz leg;
+#  4. perf: bench/pipeline_scaling + a rockhier --metrics-json run,
 #     gated against the committed BENCH_pipeline_scaling.json /
 #     BASELINE_rockhier_counters.json baselines with tools/rockstat
 #     (>25% wall-time growth or *any* deterministic-counter drift
@@ -20,7 +25,7 @@
 # Usage:
 #   tools/ci.sh [--quick] [--only LEG]
 #     --quick      skip the sanitizer leg (fast local pre-push check)
-#     --only LEG   run a single leg: tier1 | sanitize | perf
+#     --only LEG   run a single leg: tier1 | sanitize | vm | perf
 #   JOBS=N overrides build/test parallelism (default: nproc).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,6 +33,7 @@ JOBS="${JOBS:-$(nproc)}"
 
 run_tier1=1
 run_sanitize=1
+run_vm=1
 run_perf=1
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -36,17 +42,18 @@ while [ $# -gt 0 ]; do
         ;;
       --only)
         [ $# -ge 2 ] || { echo "ci.sh: --only needs a leg" >&2; exit 2; }
-        run_tier1=0 run_sanitize=0 run_perf=0
+        run_tier1=0 run_sanitize=0 run_vm=0 run_perf=0
         case "$2" in
           tier1)    run_tier1=1 ;;
           sanitize) run_sanitize=1 ;;
+          vm)       run_vm=1 ;;
           perf)     run_perf=1 ;;
           *) echo "ci.sh: unknown leg '$2'" >&2; exit 2 ;;
         esac
         shift
         ;;
       *)
-        echo "usage: tools/ci.sh [--quick] [--only tier1|sanitize|perf]" >&2
+        echo "usage: tools/ci.sh [--quick] [--only tier1|sanitize|vm|perf]" >&2
         exit 2
         ;;
     esac
@@ -81,6 +88,19 @@ if [ "$run_sanitize" -eq 1 ]; then
     cmake --build build-asan -j "$JOBS"
     (cd build-asan && ctest --output-on-failure -j "$JOBS")
     ./build-asan/tools/rockfuzz --seeds 50 --repro-dir "$repro_dir"
+fi
+
+if [ "$run_vm" -eq 1 ]; then
+    echo "==> vm: rockvm builtins + 50-seed vm-differential smoke"
+    # Reuses the tier-1 build tree (configuring it when --only vm
+    # skipped tier1).
+    cmake -B build -S .
+    cmake --build build -j "$JOBS" --target rockvm rockfuzz
+    # Every built-in corpus image must execute trap-free.
+    ./build/tools/rockvm --builtin --threads 0 > /dev/null
+    # Coverage-guided differential campaign: dynamic ⊆ static.
+    ./build/tools/rockfuzz --seeds 50 --oracle vm-differential \
+        --coverage-pool 4 --repro-dir "$repro_dir"
 fi
 
 if [ "$run_perf" -eq 1 ]; then

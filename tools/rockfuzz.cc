@@ -18,6 +18,9 @@
  *   --budget-ms M    wall-clock budget; stop early when exceeded
  *   --threads N      pipeline threads for the primary runs
  *   --oracle NAME    run only this oracle (repeatable)
+ *   --coverage-pool N  coverage-guided seed selection: pick each
+ *                    case's spec out of N rockvm-executed candidates
+ *                    by new-block coverage (default 1 = blind)
  *   --no-shrink      keep failing specs unshrunk
  *   --repro-dir DIR  write repro files there (default ".")
  *   --replay FILE    re-run one repro file instead of a campaign
@@ -78,6 +81,10 @@ print_report(const rock::fuzz::FuzzReport& report,
                 report.total_passes(), report.failures.size(),
                 report.budget_exhausted ? " (budget exhausted)" : "",
                 report.elapsed_ms);
+    if (report.covered_blocks > 0)
+        std::printf("rockfuzz: %zu distinct blocks covered under "
+                    "rockvm\n",
+                    report.covered_blocks);
 }
 
 } // namespace
@@ -107,6 +114,8 @@ main(int argc, char** argv)
             config.rock.threads = std::atoi(argv[++i]);
         } else if (arg == "--oracle" && i + 1 < argc) {
             options.only.push_back(argv[++i]);
+        } else if (arg == "--coverage-pool" && i + 1 < argc) {
+            options.coverage_pool = std::atoi(argv[++i]);
         } else if (arg == "--no-shrink") {
             options.shrink = false;
         } else if (arg == "--repro-dir" && i + 1 < argc) {
@@ -124,7 +133,8 @@ main(int argc, char** argv)
                          "rockfuzz: unknown option '%s'\n"
                          "usage: rockfuzz [--seeds N] [--first-seed "
                          "S] [--budget-ms M] [--threads N] [--oracle "
-                         "NAME] [--no-shrink] [--repro-dir DIR] "
+                         "NAME] [--coverage-pool N] [--no-shrink] "
+                         "[--repro-dir DIR] "
                          "[--replay FILE] [--inject-bug B] "
                          "[--list-oracles] [--metrics-json FILE]\n",
                          arg.c_str());
