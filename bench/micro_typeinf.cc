@@ -1,0 +1,94 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the structural-subtyping
+ * constraint pass (src/typeinf/): constraint generation over the
+ * shared CFG cache, the simple-subtyping solver alone, and the fused
+ * end-to-end inference the pipeline stage runs.
+ */
+#include <benchmark/benchmark.h>
+
+#include "analysis/vtable_scan.h"
+#include "cfg/cfg_cache.h"
+#include "corpus/generator.h"
+#include "support/parallel.h"
+#include "toyc/compiler.h"
+#include "typeinf/constraints.h"
+#include "typeinf/solver.h"
+#include "typeinf/typeinf.h"
+
+namespace {
+
+using namespace rock;
+
+/** A generated image of @p num_classes classes with MI and folding
+ *  noise, plus the prebuilt inputs the pipeline stage would share. */
+struct Fixture {
+    toyc::CompileResult compiled;
+    cfg::CfgCache cache;
+    std::vector<analysis::VTableInfo> vtables;
+
+    explicit Fixture(int num_classes)
+        : compiled(compile(num_classes)), cache(compiled.image)
+    {
+        support::ThreadPool pool(1);
+        cache.build_all(pool);
+        vtables = analysis::scan_vtables(compiled.image);
+    }
+
+    static toyc::CompileResult
+    compile(int num_classes)
+    {
+        corpus::GeneratorSpec spec;
+        spec.num_classes = num_classes;
+        spec.num_trees = num_classes >= 32 ? 4 : 2;
+        spec.max_depth = 5;
+        spec.mi_prob = 0.15;
+        spec.fold_noise_pairs = num_classes / 8;
+        spec.seed = 7;
+        return toyc::compile(corpus::generate_program(spec), {});
+    }
+};
+
+void
+BM_GenerateConstraints(benchmark::State& state)
+{
+    Fixture fx(static_cast<int>(state.range(0)));
+    support::ThreadPool pool(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(typeinf::generate_constraints(
+            fx.compiled.image, fx.cache, fx.vtables, pool));
+    }
+}
+BENCHMARK(BM_GenerateConstraints)->Arg(16)->Arg(64);
+
+void
+BM_Solve(benchmark::State& state)
+{
+    Fixture fx(static_cast<int>(state.range(0)));
+    support::ThreadPool pool(1);
+    typeinf::ConstraintSet constraints = typeinf::generate_constraints(
+        fx.compiled.image, fx.cache, fx.vtables, pool);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(typeinf::solve(
+            constraints, fx.compiled.image, fx.vtables));
+    }
+}
+BENCHMARK(BM_Solve)->Arg(16)->Arg(64);
+
+void
+BM_InferStage(benchmark::State& state)
+{
+    // What pipeline.typeinf costs given the shared cache and the
+    // analysis stage's vtables.
+    Fixture fx(static_cast<int>(state.range(0)));
+    support::ThreadPool pool(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(typeinf::infer(
+            fx.compiled.image, fx.cache, fx.vtables, pool));
+    }
+}
+BENCHMARK(BM_InferStage)->Arg(16)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

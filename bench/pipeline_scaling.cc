@@ -163,6 +163,7 @@ main(int argc, char** argv)
                 "\"hw_threads\":%u,"
                 "\"cfg_ms\":%.3f,\"verify_ms\":%.3f,"
                 "\"analyze_ms\":%.3f,\"structural_ms\":%.3f,"
+                "\"typeinf_ms\":%.3f,"
                 "\"train_ms\":%.3f,\"distances_ms\":%.3f,"
                 "\"arborescence_ms\":%.3f,\"total_ms\":%.3f,"
                 "\"cfg_speedup\":%.3f,\"verify_speedup\":%.3f,"
@@ -173,7 +174,8 @@ main(int argc, char** argv)
                 "\"identical_to_serial\":%s}\n",
                 classes, compiled.image.functions.size(),
                 result.structural.types.size(), threads, hw, t.cfg_ms,
-                t.verify_ms, t.analyze_ms, t.structural_ms, t.train_ms,
+                t.verify_ms, t.analyze_ms, t.structural_ms,
+                t.typeinf_ms, t.train_ms,
                 t.distances_ms, t.arborescence_ms, t.total_ms,
                 ratio(serial.cfg_ms, t.cfg_ms),
                 ratio(serial.verify_ms, t.verify_ms),

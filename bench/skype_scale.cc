@@ -156,11 +156,11 @@ main(int argc, char** argv)
 
         std::printf("  reconstruct[threads=%d]: %.1f ms "
                     "(cfg %.1f, verify %.1f, analyze %.1f, "
-                    "structural %.1f, train %.1f, distances %.1f, "
-                    "arborescence %.1f)\n",
+                    "structural %.1f, typeinf %.1f, train %.1f, "
+                    "distances %.1f, arborescence %.1f)\n",
                     threads, reconstruct_ms, t.cfg_ms, t.verify_ms,
-                    t.analyze_ms, t.structural_ms, t.train_ms,
-                    t.distances_ms, t.arborescence_ms);
+                    t.analyze_ms, t.structural_ms, t.typeinf_ms,
+                    t.train_ms, t.distances_ms, t.arborescence_ms);
         std::printf("  types: %zu, families: %d (%d behaviorally "
                     "resolved), forced parents: %zu, paths: %ld, "
                     "distances: %zu\n",
@@ -182,14 +182,15 @@ main(int argc, char** argv)
             "\"functions\":%zu,\"types\":%zu,\"threads\":%d,"
             "\"hw_threads\":%u,"
             "\"cfg_ms\":%.3f,\"verify_ms\":%.3f,\"analyze_ms\":%.3f,"
-            "\"structural_ms\":%.3f,\"train_ms\":%.3f,"
+            "\"structural_ms\":%.3f,\"typeinf_ms\":%.3f,"
+            "\"train_ms\":%.3f,"
             "\"distances_ms\":%.3f,\"arborescence_ms\":%.3f,"
             "\"total_ms\":%.3f,\"speedup_vs_serial\":%.3f,"
             "\"identical_to_serial\":%s}\n",
             classes, compiled.image.functions.size(),
             result.structural.types.size(), threads, hw, t.cfg_ms,
-            t.verify_ms, t.analyze_ms, t.structural_ms, t.train_ms,
-            t.distances_ms, t.arborescence_ms, t.total_ms,
+            t.verify_ms, t.analyze_ms, t.structural_ms, t.typeinf_ms,
+            t.train_ms, t.distances_ms, t.arborescence_ms, t.total_ms,
             serial_ms > 0.0 && t.total_ms > 0.0
                 ? serial_ms / t.total_ms
                 : 1.0,

@@ -228,6 +228,7 @@ diag_name(DiagKind kind)
       case DiagKind::UseWithoutDef: return "use-without-def";
       case DiagKind::VtableSlotInvalid: return "vtable-slot-invalid";
       case DiagKind::UnreachableBlock: return "unreachable-block";
+      case DiagKind::SubtypeInconsistent: return "subtype-inconsistent";
     }
     return "?";
 }

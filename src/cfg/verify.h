@@ -25,6 +25,13 @@
  *   UseWithoutDef        register read with no reaching definition
  *   VtableSlotInvalid    stored vtable whose slot 0 is no entry point
  *   UnreachableBlock     basic block unreachable from function entry
+ *   SubtypeInconsistent  the structural-subtyping constraint solver
+ *                        (typeinf/) found conflicting evidence: slot
+ *                        arity violations, field/vptr overlap, or a
+ *                        cyclic derives-from chain. Emitted by
+ *                        typeinf::TypeInfResult::diagnostics(), not
+ *                        by verify_image -- the kind lives here so
+ *                        every image lint shares one taxonomy.
  */
 #pragma once
 
@@ -51,6 +58,7 @@ enum class DiagKind {
     UseWithoutDef,
     VtableSlotInvalid,
     UnreachableBlock,
+    SubtypeInconsistent,
 };
 
 /** Stable lint-style name of @p kind ("undecodable", ...). */

@@ -229,4 +229,65 @@ multiple_inheritance_program()
     return result;
 }
 
+CorpusProgram
+typeinf_ablation_program()
+{
+    ProgramBuilder b("typeinf_mi");
+
+    // Two base/decoy/derived triplets. Within a triplet the bases
+    // share folded methods (one family), the decoy carries an extra
+    // noise method the derived class also declares (folded too --
+    // error source 1), and the derived class's parent-ctor call is
+    // inlined away below. The decoy's model then explains every word
+    // the derived class emits while the true parent's does not, so
+    // the DKL objective alone picks the decoy; the inlined parent
+    // ctor leaves a vptr-overwrite fact for typeinf to solve.
+    b.cls("Lz", {}, {}, {}, 1);
+    b.noise_method("Lz", "pack", 3);
+    b.noise_method("Lz", "unpack", 5);
+    b.cls("Rle", {}, {}, {}, 1);
+    b.noise_method("Rle", "pack", 3);
+    b.noise_method("Rle", "unpack", 5);
+    b.noise_method("Rle", "probe", 7);
+    b.cls("LzStream", {"Lz"}, {}, {}, 1);
+    b.noise_method("LzStream", "probe", 7);
+    b.cls("LzStreamTell", {"LzStream"}, {"tell"});
+    b.motif("Lz", {"pack", "unpack"});
+    b.motif("Rle", {"pack", "unpack", "probe"});
+    b.motif("LzStream", {"probe"});
+    b.motif("LzStreamTell", {"tell"});
+
+    b.cls("Crc", {}, {}, {}, 1);
+    b.noise_method("Crc", "sum", 13);
+    b.noise_method("Crc", "reset", 17);
+    b.cls("Adler", {}, {}, {}, 1);
+    b.noise_method("Adler", "sum", 13);
+    b.noise_method("Adler", "reset", 17);
+    b.noise_method("Adler", "probe", 19);
+    b.cls("CrcFile", {"Crc"}, {}, {}, 1);
+    b.noise_method("CrcFile", "probe", 19);
+    b.motif("Crc", {"sum", "reset"});
+    b.motif("Adler", {"sum", "reset", "probe"});
+    b.motif("CrcFile", {"probe"});
+
+    // Genuine multiple inheritance: its kept parent-ctor calls keep
+    // rule 3 exercised in both configurations.
+    b.cls("Archive", {}, {"open", "close"});
+    b.cls("LzArchive", {"Lz", "Archive"}, {"list"});
+    b.motif("Archive", {"open", "close"});
+    b.motif("LzArchive", {"list"});
+
+    b.standard_scenarios(2);
+
+    CorpusProgram result;
+    result.name = "typeinf_mi";
+    result.program = b.build();
+    result.options.parent_ctor_calls = true;
+    // The optimization that defeats rule 3: the derived classes'
+    // parent-ctor calls are inlined, so no forced parent exists and
+    // the decoy misranking decides -- unless typeinf fuses its facts.
+    result.options.force_inline_parent_ctor = {"LzStream", "CrcFile"};
+    return result;
+}
+
 } // namespace rock::corpus

@@ -12,7 +12,12 @@
  *  - cgrid_program(): the Fig. 9 CGridListCtrlEx situation -- two
  *    pairs of types whose abstract parents (CEdit / CDialog) are
  *    optimized out of the binary;
- *  - multiple_inheritance_program(): Section 5.3.
+ *  - multiple_inheritance_program(): Section 5.3;
+ *  - typeinf_ablation_program(): multiple-inheritance corpus where
+ *    folded noise methods (error source 1) make a decoy sibling the
+ *    statistically closest parent and the true parent-ctor calls are
+ *    inlined away -- only the typeinf overwrite facts recover the
+ *    edges (EXPERIMENTS.md "Structural-subtyping fusion").
  */
 #pragma once
 
@@ -35,5 +40,6 @@ CorpusProgram datasources_program();
 CorpusProgram echoparams_program();
 CorpusProgram cgrid_program();
 CorpusProgram multiple_inheritance_program();
+CorpusProgram typeinf_ablation_program();
 
 } // namespace rock::corpus

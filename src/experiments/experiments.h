@@ -81,6 +81,29 @@ struct TradeoffPoint {
 std::vector<TradeoffPoint> run_cfi_tradeoff();
 
 /**
+ * DKL-only vs DKL+typeinf on the multiple-inheritance ablation corpus
+ * (corpus::typeinf_ablation_program): folded noise methods make a
+ * decoy sibling the statistically closest parent and the true
+ * parent-ctor calls are inlined away, so the row isolates what the
+ * fused subtyping facts contribute over the statistical objective.
+ */
+struct TypeinfAblation {
+    int types = 0;                ///< binary types in the corpus
+    std::size_t solved_facts = 0; ///< direct derives-from facts
+    /** Chosen hierarchy, RockConfig::typeinf = false / true. */
+    eval::AppDistance dkl_only;
+    eval::AppDistance with_typeinf;
+    /** Worst surviving co-optimal alternative, same two configs. */
+    eval::AppDistance dkl_only_worst;
+    eval::AppDistance with_typeinf_worst;
+    /** Fused run repeated at 1 and all hardware threads produced
+     *  bit-identical hierarchies and solved facts. */
+    bool thread_invariant = false;
+};
+
+TypeinfAblation run_typeinf_ablation();
+
+/**
  * Run everything and render the full Markdown report
  * (paper-vs-measured for every table and figure).
  */

@@ -64,6 +64,15 @@ injection_by_name(const std::string& name)
                     });
             }
         };
+    } else if (name == "drop-vptr-constraints") {
+        hooks.mutate_result = [](core::ReconstructionResult& result) {
+            auto& cs = result.typeinf.constraints.constraints;
+            std::erase_if(cs, [](const typeinf::Constraint& c) {
+                return c.kind == typeinf::ConstraintKind::VptrStore;
+            });
+            result.typeinf.direct_edges.clear();
+            result.typeinf.subtype_edges.clear();
+        };
     } else {
         support::fatal("unknown fault injection '" + name + "'");
     }

@@ -74,6 +74,10 @@ reconstruct_image(const bir::BinaryImage& image,
  *    contains a virtual-dispatch event (a symexec bug class: lost
  *    paths), which the vm-differential oracle catches because the
  *    interpreter still witnesses those tracelets concretely.
+ *  - "drop-vptr-constraints": erases every VptrStore constraint and
+ *    the solved subtype edges (a constraint-generation bug class:
+ *    missed stores), which the typeinf-consistent oracle catches by
+ *    re-inferring directly from the image.
  *
  * Throws support::FatalError for unknown names.
  */

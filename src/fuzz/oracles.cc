@@ -18,6 +18,7 @@
 #include "rock/relaxed.h"
 #include "support/rng.h"
 #include "support/str.h"
+#include "typeinf/typeinf.h"
 #include "vm/vm.h"
 
 namespace rock::fuzz {
@@ -664,6 +665,12 @@ expect_bit_identical(const core::ReconstructionResult& a,
         return fail(what + ": ambiguous-family count differs");
     if (a.alphabet.size() != b.alphabet.size())
         return fail(what + ": alphabet size differs");
+    if (a.typeinf.constraints.constraints !=
+            b.typeinf.constraints.constraints ||
+        a.typeinf.subtype_edges != b.typeinf.subtype_edges ||
+        a.typeinf.sketches != b.typeinf.sketches ||
+        a.typeinf.inconsistencies != b.typeinf.inconsistencies)
+        return fail(what + ": typeinf results differ");
     return pass();
 }
 
@@ -861,6 +868,119 @@ check_rockcheck(const OracleContext& ctx)
     return pass();
 }
 
+// ---- typeinf oracle ----------------------------------------------------
+
+/** Solved subtype edges keyed by class names (incl. synthetic
+ *  "C::B" secondary-vtable names), for cross-variant comparison. */
+std::set<std::pair<std::string, std::string>>
+named_subtype_edges(const toyc::DebugInfo& debug,
+                    const typeinf::TypeInfResult& ti)
+{
+    std::map<std::uint32_t, std::string> names;
+    for (const auto& td : debug.types)
+        names[td.vtable_addr] = td.class_name;
+    std::set<std::pair<std::string, std::string>> out;
+    for (const auto& [derived, base] : ti.subtype_edges) {
+        auto d = names.find(derived);
+        auto b = names.find(base);
+        if (d != names.end() && b != names.end())
+            out.emplace(d->second, b->second);
+    }
+    return out;
+}
+
+/**
+ * The structural-subtyping pass on trustworthy input:
+ *
+ *  (a) toyc output never produces an inconsistency report;
+ *  (b) every solved "A derives from B" with both types in the ground
+ *      truth is a real ancestor-descendant pair (solved facts are
+ *      sound -- they feed hard edge prunes, so one wrong fact can
+ *      delete a true edge);
+ *  (c) the solved facts are invariant under renaming and declaration
+ *      permutation (they describe code shape, not layout order);
+ *  (d) re-inferring directly from the image reproduces the
+ *      pipeline's result bit for bit -- the differential that keeps
+ *      injected constraint-generation bugs visible, since the direct
+ *      run bypasses the fault-injection hooks.
+ */
+OracleVerdict
+check_typeinf_consistent(const OracleContext& ctx)
+{
+    if (!ctx.config.rock.typeinf)
+        return pass();
+    const FuzzCase& fc = ctx.fuzz_case;
+    const typeinf::TypeInfResult& ti = fc.result.typeinf;
+
+    if (!ti.inconsistencies.empty())
+        return fail("well-formed image produced an inconsistency: " +
+                    typeinf::to_string(ti.inconsistencies.front()));
+
+    eval::GroundTruth gt =
+        eval::ground_truth_from_debug(fc.compiled.debug);
+    std::set<std::uint32_t> gt_types(gt.types.begin(),
+                                     gt.types.end());
+    for (const auto& [derived, base] : ti.subtype_edges) {
+        if (!gt_types.count(derived) || !gt_types.count(base))
+            continue;
+        bool ancestor = false;
+        std::set<std::uint32_t> seen;
+        for (std::uint32_t cur = derived; !ancestor;) {
+            auto up = gt.parent.find(cur);
+            if (up == gt.parent.end() ||
+                !seen.insert(up->second).second)
+                break;
+            cur = up->second;
+            ancestor = cur == base;
+        }
+        if (!ancestor)
+            return fail(support::format(
+                "solved fact %s derives from %s contradicts the "
+                "ground truth",
+                support::hex(derived).c_str(),
+                support::hex(base).c_str()));
+    }
+
+    auto base_edges = named_subtype_edges(fc.compiled.debug, ti);
+    {
+        Program renamed = renamed_program(fc.program);
+        toyc::CompileResult other =
+            toyc::compile(renamed, ctx.config.compile);
+        typeinf::TypeInfResult other_ti = typeinf::infer(other.image);
+        std::set<std::pair<std::string, std::string>> translated;
+        for (const auto& [d, b] : base_edges)
+            translated.emplace(map_composite(d, renamed_class),
+                               map_composite(b, renamed_class));
+        if (translated != named_subtype_edges(other.debug, other_ti))
+            return fail("solved subtype facts changed under renaming");
+    }
+    {
+        Program permuted = permuted_program(fc.program, fc.spec.seed);
+        toyc::CompileResult other =
+            toyc::compile(permuted, ctx.config.compile);
+        typeinf::TypeInfResult other_ti = typeinf::infer(other.image);
+        if (base_edges != named_subtype_edges(other.debug, other_ti))
+            return fail("solved subtype facts changed under "
+                        "declaration permutation");
+    }
+
+    typeinf::TypeInfResult direct =
+        typeinf::infer(fc.compiled.image, ctx.config.rock.threads);
+    if (direct.constraints.constraints !=
+            ti.constraints.constraints ||
+        direct.constraints.num_vars != ti.constraints.num_vars)
+        return fail("direct re-inference produced different "
+                    "constraints than the pipeline");
+    if (direct.direct_edges != ti.direct_edges ||
+        direct.subtype_edges != ti.subtype_edges)
+        return fail("direct re-inference produced different subtype "
+                    "facts than the pipeline");
+    if (direct.inconsistencies != ti.inconsistencies)
+        return fail("direct re-inference produced different "
+                    "inconsistencies than the pipeline");
+    return pass();
+}
+
 // ---- vm differential oracle --------------------------------------------
 
 /** Static tracelets per type as sets, for containment queries. */
@@ -1030,6 +1150,11 @@ oracle_registry()
          "register, jump and vtable corruptions trip the matching "
          "diagnostic",
          check_rockcheck},
+        {"typeinf-consistent",
+         "subtype inference is inconsistency-free on compiled "
+         "images, sound against ground truth, stable under "
+         "rename/permute, and reproducible by direct re-inference",
+         check_typeinf_consistent},
         {"vm-differential",
          "concrete execution under rockvm never traps on compiled "
          "images and every dynamically witnessed typed tracelet is "

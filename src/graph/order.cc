@@ -1,0 +1,44 @@
+#include "graph/order.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace rock::graph {
+
+TopoOrder
+topo_sort(int n, const std::vector<std::pair<int, int>>& edges)
+{
+    std::vector<std::vector<int>> succs(static_cast<std::size_t>(n));
+    std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+    for (const auto& [u, v] : edges) {
+        succs[static_cast<std::size_t>(u)].push_back(v);
+        ++indegree[static_cast<std::size_t>(v)];
+    }
+
+    std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+    for (int v = 0; v < n; ++v) {
+        if (indegree[static_cast<std::size_t>(v)] == 0)
+            ready.push(v);
+    }
+
+    TopoOrder result;
+    result.order.reserve(static_cast<std::size_t>(n));
+    std::vector<bool> placed(static_cast<std::size_t>(n), false);
+    while (!ready.empty()) {
+        int v = ready.top();
+        ready.pop();
+        result.order.push_back(v);
+        placed[static_cast<std::size_t>(v)] = true;
+        for (int s : succs[static_cast<std::size_t>(v)]) {
+            if (--indegree[static_cast<std::size_t>(s)] == 0)
+                ready.push(s);
+        }
+    }
+    for (int v = 0; v < n; ++v) {
+        if (!placed[static_cast<std::size_t>(v)])
+            result.cyclic.push_back(v);
+    }
+    return result;
+}
+
+} // namespace rock::graph

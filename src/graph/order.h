@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Deterministic topological ordering with cycle isolation.
+ *
+ * The subtyping solver (typeinf/solver.h) needs two things from its
+ * derives-from edge set: a base-before-derived order to saturate
+ * capability maps in a single pass, and a precise answer to "which
+ * nodes participate in a cycle" so a corrupt edge set degrades into an
+ * inconsistency report instead of an infinite loop. Kahn's algorithm
+ * gives both at once: whatever the queue never reaches is exactly the
+ * set of nodes on or downstream-locked-behind a cycle.
+ *
+ * Determinism contract: the ready queue is a min-heap on node id, so
+ * the order depends only on the edge *set*, never on insertion order.
+ */
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace rock::graph {
+
+/** Result of a topological sort attempt. */
+struct TopoOrder {
+    /** Acyclic nodes in dependency order (edge (u, v) = u before v).
+     *  Ties broken by ascending node id. */
+    std::vector<int> order;
+    /** Nodes excluded from `order`: members of some directed cycle,
+     *  plus nodes only reachable through one (ascending). Empty iff
+     *  the graph is a DAG. */
+    std::vector<int> cyclic;
+
+    bool is_dag() const { return cyclic.empty(); }
+};
+
+/**
+ * Kahn topological sort of @p n nodes under directed @p edges
+ * (u, v) meaning "u precedes v". Duplicate edges are tolerated.
+ */
+TopoOrder topo_sort(int n,
+                    const std::vector<std::pair<int, int>>& edges);
+
+} // namespace rock::graph

@@ -1,6 +1,7 @@
 #include "rock/pipeline.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "graph/digraph.h"
 #include "obs/metrics.h"
@@ -61,11 +62,16 @@ namespace {
 /** Solve one family: enumerate co-optimal forests over the weighted
  *  feasible-edge graph and majority-filter the ties. Pure function of
  *  its inputs (runs on pool workers, one family per call). */
+/** Candidate (parent idx, child idx) edges a solved subtype fact
+ *  contradicts; absent from the distance map and the weighted graphs. */
+using PrunedEdges =
+    std::unordered_set<std::pair<int, int>, EdgeKeyHash>;
+
 FamilyResult
 solve_family(int family_id, std::vector<int> members,
              const structural::StructuralResult& structural,
-             const DistanceMap& distances, const RockConfig& config,
-             int* ambiguous_out)
+             const DistanceMap& distances, const PrunedEdges& pruned,
+             const RockConfig& config, int* ambiguous_out)
 {
     FamilyResult fam;
     fam.family_id = family_id;
@@ -121,7 +127,11 @@ solve_family(int family_id, std::vector<int> members,
     // constructor evidence are structural certainties: they cost
     // nothing, so the optimizer can never prefer re-rooting a
     // chain over honoring them. Every non-forced feasible edge was
-    // precomputed into `distances` by the distance stage.
+    // precomputed into `distances` by the distance stage -- except
+    // those a solved subtype fact contradicts, which are pruned from
+    // the candidate graph entirely (the skeleton probe above stays
+    // raw: structural ambiguity is a property of the evidence, not of
+    // what typeinf resolved).
     graph::Digraph weighted(m);
     for (int i = 0; i < m; ++i) {
         int child = fam.members[static_cast<std::size_t>(i)];
@@ -131,6 +141,8 @@ solve_family(int family_id, std::vector<int> members,
                  child)]) {
             bool is_forced = forced != structural.forced_parents.end() &&
                              forced->second == p;
+            if (!is_forced && pruned.count({p, child}))
+                continue;
             weighted.add_edge(local.at(p), i,
                               is_forced ? 0.0
                                         : distances.at({p, child}));
@@ -258,6 +270,19 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     const auto& types = result.structural.types;
     const int n = static_cast<int>(types.size());
 
+    // ---- Subtyping constraint pass (parallel over unique bodies) -------
+    // Solved derives-from facts sharpen the arborescence objective
+    // below; inconsistent evidence joins the rockcheck findings.
+    if (config.typeinf) {
+        obs::Span typeinf_span("pipeline.typeinf");
+        result.typeinf = typeinf::infer(
+            image, cache, result.analysis.vtables, pool);
+        typeinf_span.end();
+        result.timing.typeinf_ms = typeinf_span.wall_ms();
+        for (cfg::Diagnostic& d : result.typeinf.diagnostics())
+            result.diagnostics.push_back(std::move(d));
+    }
+
     // ---- Train one SLM per binary type ---------------------------------
     // Alphabet interning mutates shared state, so it runs serially in
     // type order (deterministic symbol ids); the expensive part --
@@ -312,32 +337,56 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
             result.structural.family_members(f);
 
     std::vector<std::pair<int, int>> edges;
+    std::vector<char> edge_discounted;
+    PrunedEdges typeinf_pruned;
     std::uint64_t pairs_pruned = 0;
+    std::uint64_t discounted = 0;
+    // A candidate edge p -> child contradicts a solved fact when
+    // typeinf proved p itself derives from child (the edge would
+    // invert a known derivation): hard-pruned, never weighed. The
+    // agreeing direction (child derives from p) keeps the edge but
+    // discounts its distance. Forced rule-3 edges outrank both.
+    const bool fuse = config.typeinf && !result.typeinf.types.empty();
     for (int f = 0; f < num_families; ++f) {
         const auto& members = family_members[static_cast<std::size_t>(f)];
         if (members.size() < 2)
             continue;
         for (int child : members) {
             auto forced = result.structural.forced_parents.find(child);
+            std::uint32_t child_vt =
+                types[static_cast<std::size_t>(child)];
             for (int p : result.structural
                              .possible_parents[static_cast<std::size_t>(
                                  child)]) {
                 bool is_forced =
                     forced != result.structural.forced_parents.end() &&
                     forced->second == p;
-                if (!is_forced)
-                    edges.emplace_back(p, child);
-                else
+                if (is_forced) {
                     ++pairs_pruned;
+                    continue;
+                }
+                std::uint32_t p_vt = types[static_cast<std::size_t>(p)];
+                if (fuse && result.typeinf.subtype(p_vt, child_vt)) {
+                    typeinf_pruned.insert({p, child});
+                    continue;
+                }
+                bool agrees =
+                    fuse && result.typeinf.subtype(child_vt, p_vt);
+                discounted += agrees ? 1 : 0;
+                edges.emplace_back(p, child);
+                edge_discounted.push_back(agrees ? 1 : 0);
             }
         }
     }
     {
         // DKL pairs actually scheduled vs. pruned away by structural
-        // certainty (forced rule-3 parents cost nothing to keep).
+        // certainty (forced rule-3 parents cost nothing to keep) or
+        // by a contradicting solved subtype fact.
         obs::Registry& reg = obs::Registry::global();
         reg.counter("divergence.pairs_scheduled").add(edges.size());
         reg.counter("divergence.pairs_pruned_forced").add(pairs_pruned);
+        reg.counter("typeinf.edges_pruned").add(typeinf_pruned.size());
+        reg.counter("typeinf.edges_discounted").add(discounted);
     }
     // ObservedUnion word sets: sort-deduplicate each type's sequences
     // once (reusing the per-type cost plan), then each edge is a
@@ -381,6 +430,10 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
                 config.metric, *models[static_cast<std::size_t>(p)],
                 *models[static_cast<std::size_t>(c)], words);
         }
+        // Solved-subtype agreement: cheapen the edge without ever
+        // touching the zero-cost floor forced edges stand on.
+        if (edge_discounted[e] && edge_weights[e] > 0.0)
+            edge_weights[e] *= config.typeinf_discount;
     });
     result.distances.reserve(edges.size());
     for (std::size_t e = 0; e < edges.size(); ++e)
@@ -408,8 +461,8 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
         [&](std::size_t f) {
             result.families[f] = solve_family(
                 static_cast<int>(f), std::move(family_members[f]),
-                result.structural, result.distances, config,
-                &ambiguous[f]);
+                result.structural, result.distances, typeinf_pruned,
+                config, &ambiguous[f]);
         });
     for (int flag : ambiguous)
         result.ambiguous_families += flag;

@@ -6,6 +6,7 @@
  *   stripped image
  *     -> vtable discovery + tracelet extraction      (analysis)
  *     -> family clustering + parent elimination      (structural)
+ *     -> subtyping constraints + solved facts        (typeinf)
  *     -> per-type SLM training                       (slm)
  *     -> pairwise DKL weights on feasible edges      (divergence)
  *     -> per-family minimum spanning arborescence    (graph)
@@ -29,6 +30,7 @@
 #include "rock/hierarchy.h"
 #include "slm/model.h"
 #include "structural/structural.h"
+#include "typeinf/typeinf.h"
 
 namespace rock::core {
 
@@ -56,6 +58,22 @@ struct RockConfig {
      * default; turn off to shave the (cheap, parallel) pre-pass.
      */
     bool verify = true;
+    /**
+     * Run the structural-subtyping constraint pass (typeinf/) and
+     * fuse its solved derives-from facts into the arborescence
+     * objective: a candidate edge contradicting a solved fact is
+     * pruned outright, an agreeing edge's statistical distance is
+     * multiplied by typeinf_discount. Off = the DKL-only baseline
+     * (EXPERIMENTS.md compares the two).
+     */
+    bool typeinf = true;
+    /**
+     * Weight multiplier for candidate edges a solved subtype fact
+     * agrees with (applied to positive distances only, preserving
+     * zero-cost forced edges). 1.0 disables discounting while keeping
+     * the hard prunes.
+     */
+    double typeinf_discount = 0.25;
     /**
      * Worker threads for every parallel stage (symbolic execution,
      * SLM training, pairwise distances, per-family arborescences):
@@ -89,6 +107,9 @@ struct StageTiming {
     double analyze_ms = 0.0;
     /** Family clustering + impossible-parent elimination. */
     double structural_ms = 0.0;
+    /** Subtyping constraint generation + solving (0 when
+     *  RockConfig::typeinf off). */
+    double typeinf_ms = 0.0;
     /** Alphabet interning + per-type SLM training. */
     double train_ms = 0.0;
     /** Pairwise divergences over the feasible-edge work list. */
@@ -144,6 +165,9 @@ struct ReconstructionResult {
     std::vector<FamilyResult> families;
     /** Structural facts (families, possible/forced parents). */
     structural::StructuralResult structural;
+    /** Solved subtyping facts, sketches and constraint provenance
+     *  (empty when RockConfig::typeinf off). */
+    typeinf::TypeInfResult typeinf;
     /** Raw behavioral analysis output. */
     analysis::AnalysisResult analysis;
     /** rockcheck findings on the input image (empty when clean or

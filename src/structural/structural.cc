@@ -42,6 +42,21 @@ StructuralResult::family_members(int id) const
     return members;
 }
 
+bool
+feasible_derivation(const VTableInfo& child, const VTableInfo& parent)
+{
+    // Rule 1: the parent cannot have more slots.
+    if (parent.slots.size() > child.slots.size())
+        return false;
+    // Rule 2: the child cannot re-abstract an implemented slot.
+    for (std::size_t s = 0; s < parent.slots.size(); ++s) {
+        if (child.slots[s] == bir::kPurecallStub &&
+            parent.slots[s] != bir::kPurecallStub)
+            return false;
+    }
+    return true;
+}
+
 StructuralResult
 structural_analysis(const std::vector<VTableInfo>& vtables,
                     const std::vector<ObjectEvidence>& evidence,
@@ -153,26 +168,13 @@ structural_analysis(const std::vector<VTableInfo>& vtables,
                 .insert(forced->second);
             continue;
         }
-        const auto& cs = info[static_cast<std::size_t>(c)]->slots;
         for (int p = 0; p < n; ++p) {
             if (p == c || result.family[static_cast<std::size_t>(p)] !=
                               result.family[static_cast<std::size_t>(c)]) {
                 continue;
             }
-            const auto& ps = info[static_cast<std::size_t>(p)]->slots;
-            // Rule 1: the parent cannot have more slots.
-            if (ps.size() > cs.size())
-                continue;
-            // Rule 2: the child cannot re-abstract an implemented slot.
-            bool impossible = false;
-            for (std::size_t s = 0; s < ps.size(); ++s) {
-                if (cs[s] == bir::kPurecallStub &&
-                    ps[s] != bir::kPurecallStub) {
-                    impossible = true;
-                    break;
-                }
-            }
-            if (impossible)
+            if (!feasible_derivation(*info[static_cast<std::size_t>(c)],
+                                     *info[static_cast<std::size_t>(p)]))
                 continue;
             result.possible_parents[static_cast<std::size_t>(c)]
                 .insert(p);

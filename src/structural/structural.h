@@ -61,6 +61,18 @@ struct StructuralResult {
 };
 
 /**
+ * Layout feasibility of one derivation (rules 1 + 2): can a type with
+ * vtable @p child directly or transitively derive from one with
+ * vtable @p parent? A parent's vtable is a prefix of its child's
+ * (rule 1) and a child never re-abstracts a slot its parent
+ * implements (rule 2). Shared with the structural-subtyping
+ * constraint solver (typeinf/solver.h), which uses the same two rules
+ * to orient derives-from evidence.
+ */
+bool feasible_derivation(const analysis::VTableInfo& child,
+                         const analysis::VTableInfo& parent);
+
+/**
  * Run both structural phases.
  *
  * @param vtables     discovered binary types

@@ -1,0 +1,465 @@
+#include "typeinf/solver.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "graph/order.h"
+#include "graph/union_find.h"
+#include "structural/structural.h"
+#include "support/str.h"
+
+namespace rock::typeinf {
+
+namespace {
+
+/** First-seen provenance of one piece of evidence. */
+struct Prov {
+    std::uint32_t func_addr = 0;
+    std::uint32_t addr = 0;
+};
+
+int
+type_index(const std::vector<std::uint32_t>& types, std::uint32_t addr)
+{
+    auto it = std::lower_bound(types.begin(), types.end(), addr);
+    if (it != types.end() && *it == addr)
+        return static_cast<int>(it - types.begin());
+    return -1;
+}
+
+/**
+ * The unique max-arity type of a store set, or -1 when two distinct
+ * types tie for it. A tie is genuinely ambiguous evidence (a derived
+ * type that adds no virtuals is arity-identical to its base), and
+ * breaking it by address would make the solved facts depend on
+ * declaration order -- the permute-stability the fuzz oracle pins.
+ */
+int
+dominant_type(const std::map<int, Prov>& stored,
+              const std::vector<const analysis::VTableInfo*>& info)
+{
+    int best = -1;
+    std::size_t best_arity = 0;
+    bool tied = false;
+    for (const auto& [t, prov] : stored) {
+        (void)prov;
+        std::size_t arity = info[static_cast<std::size_t>(t)]->slots.size();
+        if (best < 0 || arity > best_arity) {
+            best = t;
+            best_arity = arity;
+            tied = false;
+        } else if (arity == best_arity && t != best) {
+            tied = true;
+        }
+    }
+    return tied ? -1 : best;
+}
+
+} // namespace
+
+const char*
+inconsistency_name(InconsistencyKind kind)
+{
+    switch (kind) {
+      case InconsistencyKind::SlotArity: return "slot-arity";
+      case InconsistencyKind::FieldOverlap: return "field-overlap";
+      case InconsistencyKind::CyclicDerives: return "cyclic-derives";
+    }
+    return "?";
+}
+
+std::string
+to_string(const Inconsistency& inc)
+{
+    using support::format;
+    using support::hex;
+    std::string head =
+        format("[%s] ", inconsistency_name(inc.kind));
+    if (inc.vtable_a != 0)
+        head += format("vt %s", hex(inc.vtable_a).c_str());
+    if (inc.vtable_b != 0)
+        head += format(" / vt %s", hex(inc.vtable_b).c_str());
+    if (inc.vtable_a != 0 || inc.vtable_b != 0)
+        head += ": ";
+    return head + inc.detail;
+}
+
+SolveResult
+solve(const ConstraintSet& constraints, const bir::BinaryImage& image,
+      const std::vector<analysis::VTableInfo>& vtables)
+{
+    SolveResult result;
+
+    std::vector<std::uint32_t> types;
+    for (const auto& vt : vtables)
+        types.push_back(vt.addr);
+    std::sort(types.begin(), types.end());
+    const int n_types = static_cast<int>(types.size());
+    std::vector<const analysis::VTableInfo*> info(
+        static_cast<std::size_t>(n_types));
+    for (const auto& vt : vtables)
+        info[static_cast<std::size_t>(type_index(types, vt.addr))] = &vt;
+    auto arity = [&](int t) {
+        return static_cast<int>(
+            info[static_cast<std::size_t>(t)]->slots.size());
+    };
+
+    std::unordered_map<std::uint32_t, std::size_t> fn_index;
+    for (std::size_t i = 0; i < image.functions.size(); ++i)
+        fn_index.emplace(image.functions[i].addr, i);
+
+    // ---- Phase 1a: per-variable primary binding ------------------------
+    // The unique max-arity vtable stored at offset 0 is the object's
+    // dynamic type: ctors store base vtables before their own, dtors
+    // store their own before reverting to bases', and derived arity
+    // is never below base arity, so max-arity is direction-proof.
+    // An arity tie between distinct types is left unbound (see
+    // dominant_type).
+    const int n_vars = constraints.num_vars;
+    std::vector<std::map<int, Prov>> var_stores0(
+        static_cast<std::size_t>(n_vars));
+    for (const Constraint& c : constraints.constraints) {
+        if (c.kind != ConstraintKind::VptrStore || c.offset != 0)
+            continue;
+        int t = type_index(types, c.vtable);
+        if (t < 0)
+            continue;
+        var_stores0[static_cast<std::size_t>(c.var)].try_emplace(
+            t, Prov{c.func_addr, c.addr});
+    }
+    std::vector<int> var_binding(static_cast<std::size_t>(n_vars), -1);
+    for (int v = 0; v < n_vars; ++v)
+        var_binding[static_cast<std::size_t>(v)] =
+            dominant_type(var_stores0[static_cast<std::size_t>(v)],
+                          info);
+
+    // A function is ctor/dtor-shaped when its own body types its
+    // `this` parameter (stores a vtable through it at offset 0).
+    std::vector<int> fn_type(image.functions.size(), -1);
+    for (std::size_t i = 0; i < image.functions.size(); ++i) {
+        int tv = constraints.this_vars[i];
+        if (tv >= 0)
+            fn_type[i] = var_binding[static_cast<std::size_t>(tv)];
+    }
+
+    // ---- Phase 1b: variable grouping -----------------------------------
+    // An object passed whole (offset 0) as `this` to a plain method is
+    // the method's `this` variable. Groups bound to different types
+    // never merge: two siblings calling one inherited method body must
+    // not be conflated into one object.
+    graph::UnionFind uf(n_vars);
+    std::vector<int> root_type = var_binding;
+    auto unite_guarded = [&](int a, int b) {
+        int ra = uf.find(a);
+        int rb = uf.find(b);
+        if (ra == rb)
+            return;
+        int ta = root_type[static_cast<std::size_t>(ra)];
+        int tb = root_type[static_cast<std::size_t>(rb)];
+        if (ta >= 0 && tb >= 0 && ta != tb)
+            return;
+        uf.unite(ra, rb);
+        root_type[static_cast<std::size_t>(uf.find(ra))] =
+            std::max(ta, tb);
+    };
+    for (const Constraint& c : constraints.constraints) {
+        if (c.kind != ConstraintKind::ThisArg || c.offset != 0)
+            continue;
+        auto it = fn_index.find(c.callee);
+        if (it == fn_index.end())
+            continue;
+        if (fn_type[it->second] >= 0)
+            continue; // ctor/dtor-shaped: subtype evidence, phase 2
+        int callee_this = constraints.this_vars[it->second];
+        if (callee_this >= 0)
+            unite_guarded(c.var, callee_this);
+    }
+    // Allocation results typed by the ctor they are passed to.
+    for (const Constraint& c : constraints.constraints) {
+        if (c.kind != ConstraintKind::ThisArg || c.offset != 0)
+            continue;
+        auto it = fn_index.find(c.callee);
+        if (it == fn_index.end() || fn_type[it->second] < 0)
+            continue;
+        int r = uf.find(c.var);
+        if (root_type[static_cast<std::size_t>(r)] < 0)
+            root_type[static_cast<std::size_t>(r)] = fn_type[it->second];
+    }
+
+    // ---- Evidence, bucketed per group ----------------------------------
+    // root -> offset -> stored type -> first provenance
+    std::map<int, std::map<std::int32_t, std::map<int, Prov>>> stores;
+    for (const Constraint& c : constraints.constraints) {
+        if (c.kind != ConstraintKind::VptrStore)
+            continue;
+        int t = type_index(types, c.vtable);
+        if (t < 0)
+            continue;
+        stores[uf.find(c.var)][c.offset].try_emplace(
+            t, Prov{c.func_addr, c.addr});
+    }
+
+    std::vector<Inconsistency> incs;
+    auto inconsistent = [&](InconsistencyKind kind, int ta, int tb,
+                            Prov prov, std::string detail) {
+        Inconsistency inc;
+        inc.kind = kind;
+        if (ta >= 0)
+            inc.vtable_a = types[static_cast<std::size_t>(ta)];
+        if (tb >= 0)
+            inc.vtable_b = types[static_cast<std::size_t>(tb)];
+        inc.func_addr = prov.func_addr;
+        inc.addr = prov.addr;
+        inc.detail = std::move(detail);
+        incs.push_back(std::move(inc));
+    };
+
+    // ---- Phase 2: derives-from edges -----------------------------------
+    std::set<std::pair<int, int>> edges; // (derived, base)
+
+    // Ctor-flow rule: passing the subobject at `off` to a ctor/dtor-
+    // shaped callee relates the group's dominant vtable at `off`
+    // (child) to the callee's own type (parent).
+    for (const Constraint& c : constraints.constraints) {
+        if (c.kind != ConstraintKind::ThisArg)
+            continue;
+        auto it = fn_index.find(c.callee);
+        if (it == fn_index.end())
+            continue;
+        int parent = fn_type[it->second];
+        if (parent < 0)
+            continue;
+        auto group = stores.find(uf.find(c.var));
+        if (group == stores.end())
+            continue;
+        auto at_off = group->second.find(c.offset);
+        if (at_off == group->second.end())
+            continue;
+        int child = dominant_type(at_off->second, info);
+        if (child < 0 || child == parent)
+            continue;
+        if (structural::feasible_derivation(
+                *info[static_cast<std::size_t>(child)],
+                *info[static_cast<std::size_t>(parent)])) {
+            edges.emplace(child, parent);
+        } else {
+            inconsistent(
+                InconsistencyKind::SlotArity, child, parent,
+                {c.func_addr, c.addr},
+                support::format(
+                    "ctor flow says vt %s derives from vt %s but the "
+                    "derivation is structurally infeasible",
+                    support::hex(types[static_cast<std::size_t>(child)])
+                        .c_str(),
+                    support::hex(types[static_cast<std::size_t>(parent)])
+                        .c_str()));
+        }
+    }
+
+    // Overwrite rule: two vtables stored at one (group, offset) are
+    // related; structural feasibility picks the direction. Both
+    // directions feasible = genuinely ambiguous, no edge.
+    for (const auto& [root, by_off] : stores) {
+        (void)root;
+        for (const auto& [off, stored] : by_off) {
+            (void)off;
+            for (auto a = stored.begin(); a != stored.end(); ++a) {
+                for (auto b = std::next(a); b != stored.end(); ++b) {
+                    bool a_from_b = structural::feasible_derivation(
+                        *info[static_cast<std::size_t>(a->first)],
+                        *info[static_cast<std::size_t>(b->first)]);
+                    bool b_from_a = structural::feasible_derivation(
+                        *info[static_cast<std::size_t>(b->first)],
+                        *info[static_cast<std::size_t>(a->first)]);
+                    if (a_from_b && !b_from_a)
+                        edges.emplace(a->first, b->first);
+                    else if (b_from_a && !a_from_b)
+                        edges.emplace(b->first, a->first);
+                    else if (!a_from_b && !b_from_a)
+                        inconsistent(
+                            InconsistencyKind::SlotArity, a->first,
+                            b->first, b->second,
+                            "vtables overwritten at one object slot "
+                            "but neither can derive from the other");
+                }
+            }
+        }
+    }
+
+    // ---- Phase 3: cycle isolation --------------------------------------
+    // Saturation wants base-before-derived, so topo edges run
+    // base -> derived.
+    std::vector<std::pair<int, int>> topo_edges;
+    for (const auto& [child, parent] : edges)
+        topo_edges.emplace_back(parent, child);
+    graph::TopoOrder topo = graph::topo_sort(n_types, topo_edges);
+    if (!topo.is_dag()) {
+        std::vector<std::string> names;
+        for (int t : topo.cyclic)
+            names.push_back(
+                support::hex(types[static_cast<std::size_t>(t)]));
+        inconsistent(InconsistencyKind::CyclicDerives,
+                     topo.cyclic.empty() ? -1 : topo.cyclic.front(), -1,
+                     Prov{},
+                     "derives-from cycle involving " +
+                         support::join(names, ", "));
+        std::set<int> dropped(topo.cyclic.begin(), topo.cyclic.end());
+        for (auto it = edges.begin(); it != edges.end();) {
+            if (dropped.count(it->first) || dropped.count(it->second))
+                it = edges.erase(it);
+            else
+                ++it;
+        }
+        topo_edges.clear();
+        for (const auto& [child, parent] : edges)
+            topo_edges.emplace_back(parent, child);
+        topo = graph::topo_sort(n_types, topo_edges);
+    }
+
+    for (const auto& [child, parent] : edges)
+        result.direct_edges.emplace_back(
+            types[static_cast<std::size_t>(child)],
+            types[static_cast<std::size_t>(parent)]);
+
+    // Transitive closure (ancestor sets, walked base-first).
+    std::vector<std::vector<int>> parents_of(
+        static_cast<std::size_t>(n_types));
+    for (const auto& [child, parent] : edges)
+        parents_of[static_cast<std::size_t>(child)].push_back(parent);
+    std::vector<std::set<int>> ancestors(
+        static_cast<std::size_t>(n_types));
+    for (int t : topo.order) {
+        for (int p : parents_of[static_cast<std::size_t>(t)]) {
+            ancestors[static_cast<std::size_t>(t)].insert(p);
+            ancestors[static_cast<std::size_t>(t)].insert(
+                ancestors[static_cast<std::size_t>(p)].begin(),
+                ancestors[static_cast<std::size_t>(p)].end());
+        }
+    }
+    for (int t = 0; t < n_types; ++t) {
+        for (int a : ancestors[static_cast<std::size_t>(t)])
+            result.subtype_edges.emplace_back(
+                types[static_cast<std::size_t>(t)],
+                types[static_cast<std::size_t>(a)]);
+    }
+    std::sort(result.subtype_edges.begin(), result.subtype_edges.end());
+
+    // ---- Phase 4: capability maps --------------------------------------
+    std::vector<std::set<std::int32_t>> fields(
+        static_cast<std::size_t>(n_types));
+    std::vector<std::set<int>> slots(static_cast<std::size_t>(n_types));
+    std::vector<std::set<std::int32_t>> vptr_offs(
+        static_cast<std::size_t>(n_types));
+    std::vector<int> vars_of(static_cast<std::size_t>(n_types), 0);
+    result.var_type.assign(static_cast<std::size_t>(n_vars), -1);
+    for (int v = 0; v < n_vars; ++v) {
+        int t = root_type[static_cast<std::size_t>(uf.find(v))];
+        result.var_type[static_cast<std::size_t>(v)] = t;
+        if (t >= 0)
+            ++vars_of[static_cast<std::size_t>(t)];
+    }
+    for (const auto& [root, by_off] : stores) {
+        int t = root_type[static_cast<std::size_t>(root)];
+        if (t < 0)
+            continue;
+        for (const auto& [off, stored] : by_off) {
+            (void)stored;
+            vptr_offs[static_cast<std::size_t>(t)].insert(off);
+        }
+    }
+    std::map<std::pair<int, std::int32_t>, Prov> field_prov;
+    for (const Constraint& c : constraints.constraints) {
+        int t = result.var_type[static_cast<std::size_t>(c.var)];
+        if (c.kind == ConstraintKind::FieldAccess) {
+            if (t < 0)
+                continue;
+            fields[static_cast<std::size_t>(t)].insert(c.offset);
+            field_prov.try_emplace({t, c.offset},
+                                   Prov{c.func_addr, c.addr});
+        } else if (c.kind == ConstraintKind::MethodSlot) {
+            // Dispatch binds to the dominant vtable at the dispatch
+            // offset (the subobject's own type under MI), falling
+            // back to the group's primary type at offset 0.
+            int target = -1;
+            auto group = stores.find(uf.find(c.var));
+            if (group != stores.end()) {
+                auto at_off = group->second.find(c.offset);
+                if (at_off != group->second.end())
+                    target = dominant_type(at_off->second, info);
+            }
+            if (target < 0 && c.offset == 0)
+                target = t;
+            if (target < 0)
+                continue;
+            if (c.slot >= arity(target)) {
+                inconsistent(
+                    InconsistencyKind::SlotArity, target, -1,
+                    {c.func_addr, c.addr},
+                    support::format("dispatch names slot %d but the "
+                                    "vtable has %d slots",
+                                    c.slot, arity(target)));
+            } else {
+                slots[static_cast<std::size_t>(target)].insert(c.slot);
+            }
+        }
+    }
+
+    // Field evidence colliding with a vptr offset of the same type.
+    for (int t = 0; t < n_types; ++t) {
+        for (std::int32_t off : fields[static_cast<std::size_t>(t)]) {
+            if (!vptr_offs[static_cast<std::size_t>(t)].count(off))
+                continue;
+            Prov prov = field_prov[{t, off}];
+            inconsistent(InconsistencyKind::FieldOverlap, t, -1, prov,
+                         support::format("field evidence at offset %d "
+                                         "overlaps a vptr slot",
+                                         off));
+        }
+    }
+
+    // ---- Phase 5: saturation (base -> derived, topo order) -------------
+    std::vector<std::vector<int>> children_of(
+        static_cast<std::size_t>(n_types));
+    for (const auto& [child, parent] : edges)
+        children_of[static_cast<std::size_t>(parent)].push_back(child);
+    for (int t : topo.order) {
+        for (int child : children_of[static_cast<std::size_t>(t)]) {
+            fields[static_cast<std::size_t>(child)].insert(
+                fields[static_cast<std::size_t>(t)].begin(),
+                fields[static_cast<std::size_t>(t)].end());
+            slots[static_cast<std::size_t>(child)].insert(
+                slots[static_cast<std::size_t>(t)].begin(),
+                slots[static_cast<std::size_t>(t)].end());
+        }
+    }
+
+    result.sketches.resize(static_cast<std::size_t>(n_types));
+    for (int t = 0; t < n_types; ++t) {
+        TypeSketch& sk = result.sketches[static_cast<std::size_t>(t)];
+        sk.vtable = types[static_cast<std::size_t>(t)];
+        sk.arity = arity(t);
+        sk.fields.assign(fields[static_cast<std::size_t>(t)].begin(),
+                         fields[static_cast<std::size_t>(t)].end());
+        sk.slots.assign(slots[static_cast<std::size_t>(t)].begin(),
+                        slots[static_cast<std::size_t>(t)].end());
+        sk.vptr_offsets.assign(
+            vptr_offs[static_cast<std::size_t>(t)].begin(),
+            vptr_offs[static_cast<std::size_t>(t)].end());
+        sk.num_vars = vars_of[static_cast<std::size_t>(t)];
+    }
+
+    std::sort(incs.begin(), incs.end(),
+              [](const Inconsistency& a, const Inconsistency& b) {
+                  return std::tie(a.kind, a.vtable_a, a.vtable_b,
+                                  a.func_addr, a.addr, a.detail) <
+                         std::tie(b.kind, b.vtable_a, b.vtable_b,
+                                  b.func_addr, b.addr, b.detail);
+              });
+    incs.erase(std::unique(incs.begin(), incs.end()), incs.end());
+    result.inconsistencies = std::move(incs);
+    return result;
+}
+
+} // namespace rock::typeinf

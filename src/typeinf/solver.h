@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Simple-subtyping solver over the generated constraints.
+ *
+ * BinSub's observation, transplanted to VM32: when method sets are
+ * the only type structure a binary retains, polymorphic structural
+ * subtyping collapses to a *simple* (non-structural) subtyping
+ * problem that unification plus a deterministic saturation solves in
+ * near-linear time. The solver runs three phases:
+ *
+ *  1. Binding -- object variables are grouped with union-find (a
+ *     `this` pointer flowing into a plain method body is the same
+ *     object) and each group is bound to the max-arity vtable stored
+ *     at its offset 0. Type bindings never merge: uniting two groups
+ *     bound to different types is refused, so two siblings sharing an
+ *     inherited method body are never conflated.
+ *  2. Subtyping -- two edge rules, both validated against the
+ *     structural feasibility rules (structural::feasible_derivation):
+ *       - ctor flow: a group passes its subobject at offset `o` as
+ *         `this` to a ctor/dtor-shaped callee; the group's max-arity
+ *         vtable at `o` derives from the callee's own type (you call
+ *         your parent's ctor/dtor, never your child's -- the rule is
+ *         direction-safe for both ctor and MSVC-style dtor store
+ *         orders).
+ *       - overwrite: two distinct vtables stored at the same
+ *         (group, offset) are related; the direction is whichever
+ *         orientation is structurally feasible (both feasible ->
+ *         ambiguous, skipped; neither -> inconsistent evidence).
+ *  3. Saturation -- derives-from edges are topologically ordered
+ *     (graph/order.h; cycles are reported and their edges dropped),
+ *     the transitive closure is materialized, and capabilities
+ *     (fields, dispatched slots) are pushed base -> derived.
+ *
+ * Malformed evidence never crashes the solver; it is returned as a
+ * deterministic Inconsistency list (rockcheck's subtype-inconsistent
+ * diagnostic, docs/STATIC_ANALYSIS.md):
+ *
+ *   SlotArity      a dispatch through a type's vtable names a slot
+ *                  beyond its arity, or subtype evidence contradicts
+ *                  the structural feasibility rules
+ *   FieldOverlap   a type's field evidence collides with one of its
+ *                  vptr offsets
+ *   CyclicDerives  the derives-from evidence contains a cycle
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/vtable_scan.h"
+#include "bir/image.h"
+#include "typeinf/constraints.h"
+
+namespace rock::typeinf {
+
+/** Everything the solver learned about one type (vtable). */
+struct TypeSketch {
+    /** The type's vtable address (identity). */
+    std::uint32_t vtable = 0;
+    /** Vtable slot count. */
+    int arity = 0;
+    /** Field offsets observed on objects of this type. Direct
+     *  evidence plus everything inherited during saturation. */
+    std::vector<std::int32_t> fields;
+    /** Vtable slots observed dispatched on this type (likewise
+     *  saturated from bases). */
+    std::vector<int> slots;
+    /** Object offsets at which bound groups store vtables -- the
+     *  observed subobject layout (0 for the primary vtable). */
+    std::vector<std::int32_t> vptr_offsets;
+    /** Object variables bound to this type. */
+    int num_vars = 0;
+
+    bool operator==(const TypeSketch&) const = default;
+};
+
+/** Why a set of constraints cannot describe a real hierarchy. */
+enum class InconsistencyKind : std::uint8_t {
+    SlotArity,
+    FieldOverlap,
+    CyclicDerives,
+};
+
+/** Stable kebab-case name of @p kind ("slot-arity", ...). */
+const char* inconsistency_name(InconsistencyKind kind);
+
+/** One piece of contradictory evidence. */
+struct Inconsistency {
+    InconsistencyKind kind = InconsistencyKind::SlotArity;
+    /** Primary vtable involved (0 when unknown). */
+    std::uint32_t vtable_a = 0;
+    /** Second vtable (pair rules; 0 otherwise). */
+    std::uint32_t vtable_b = 0;
+    /** Provenance of the offending evidence (0 for global findings
+     *  such as cycles). */
+    std::uint32_t func_addr = 0;
+    std::uint32_t addr = 0;
+    std::string detail;
+
+    bool operator==(const Inconsistency&) const = default;
+};
+
+/** "[slot-arity] vt 0x100040: ..." (diagnostic text). */
+std::string to_string(const Inconsistency& inc);
+
+/** Solver output over the image's type set. */
+struct SolveResult {
+    /** Sketches indexed like the sorted vtable-address order. */
+    std::vector<TypeSketch> sketches;
+    /** Direct derives-from evidence: (derived vt, base vt), sorted,
+     *  deduplicated, cycle edges removed. */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> direct_edges;
+    /** Transitive closure of direct_edges, sorted. */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> subtype_edges;
+    /** Sorted by (kind, vtable_a, vtable_b, addr). */
+    std::vector<Inconsistency> inconsistencies;
+    /** Bound type index per object variable (-1 = unbound). */
+    std::vector<int> var_type;
+};
+
+/**
+ * Solve @p constraints against the image's @p vtables. Serial and
+ * deterministic: output depends only on the (ordered) constraint set.
+ * @p image supplies the function table (callee resolution).
+ */
+SolveResult solve(const ConstraintSet& constraints,
+                  const bir::BinaryImage& image,
+                  const std::vector<analysis::VTableInfo>& vtables);
+
+} // namespace rock::typeinf

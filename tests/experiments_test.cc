@@ -54,6 +54,27 @@ TEST(Experiments, ScalabilityIsRoughlyLinear)
     EXPECT_GT(points.back().paths, points.front().paths);
 }
 
+TEST(Experiments, TypeinfFusionStrictlyImprovesMiCorpus)
+{
+    TypeinfAblation out = run_typeinf_ablation();
+    EXPECT_GT(out.solved_facts, 0u);
+    // The fused objective repairs every decoy edge: no missing
+    // relations, strictly better than the DKL-only baseline in both
+    // the chosen hierarchy and the worst surviving alternative.
+    EXPECT_DOUBLE_EQ(out.with_typeinf.avg_missing, 0.0);
+    double base = out.dkl_only.avg_missing + out.dkl_only.avg_added;
+    double fused =
+        out.with_typeinf.avg_missing + out.with_typeinf.avg_added;
+    EXPECT_LT(fused, base);
+    double base_worst =
+        out.dkl_only_worst.avg_missing + out.dkl_only_worst.avg_added;
+    double fused_worst = out.with_typeinf_worst.avg_missing +
+                         out.with_typeinf_worst.avg_added;
+    EXPECT_LT(fused_worst, base_worst);
+    // Bit-identical across thread counts.
+    EXPECT_TRUE(out.thread_invariant);
+}
+
 TEST(Experiments, CfiTradeoffIsMonotone)
 {
     auto points = run_cfi_tradeoff();

@@ -162,6 +162,35 @@ TEST(FuzzMeta, DroppedTraceletsAreCaughtByVmDifferential)
                                         "vm-differential", config));
 }
 
+TEST(FuzzMeta, DroppedVptrConstraintsAreCaughtByTypeinfOracle)
+{
+    // Deliberately erase every VptrStore constraint and the solved
+    // subtype facts -- a constraint-generation bug class (missed
+    // stores). The typeinf-consistent oracle re-infers directly from
+    // the image, so the gutted result cannot hide.
+    fuzz::CaseConfig config;
+    config.hooks = fuzz::injection_by_name("drop-vptr-constraints");
+
+    fuzz::FuzzOptions options;
+    options.seeds = 6;
+    options.first_seed = 1;
+    options.only = {"typeinf-consistent"};
+    options.max_failures = 1;
+    fuzz::FuzzReport report = fuzz::run_fuzz(options, config);
+
+    ASSERT_FALSE(report.failures.empty())
+        << "the typeinf-consistent oracle missed an injected "
+           "constraint-generation bug";
+    const fuzz::FuzzFailure& failure = report.failures[0];
+    EXPECT_EQ(failure.oracle, "typeinf-consistent");
+    EXPECT_FALSE(failure.detail.empty());
+    // Shrinks to a near-minimal program.
+    EXPECT_LE(failure.shrunk.num_classes, 3);
+    EXPECT_GE(failure.shrink_steps, 1);
+    EXPECT_TRUE(fuzz::spec_fails_oracle(failure.shrunk,
+                                        "typeinf-consistent", config));
+}
+
 TEST(FuzzCampaign, CoverageGuidedSelectionCoversMoreBlocks)
 {
     // At equal case count, picking each case out of a rockvm-executed

@@ -310,7 +310,7 @@ TEST(Diff, BenchLinesPairByIdentityAndGateTimings)
 // ---- end-to-end: the pipeline under observation ----------------------
 
 core::ReconstructionResult
-run_generated(int threads)
+run_generated(int threads, bool typeinf = true)
 {
     corpus::GeneratorSpec spec;
     spec.num_classes = 20;
@@ -322,6 +322,7 @@ run_generated(int threads)
         toyc::compile(corpus::generate_program(spec));
     core::RockConfig config;
     config.threads = threads;
+    config.typeinf = typeinf;
     return core::reconstruct(compiled.image, config);
 }
 
@@ -329,6 +330,11 @@ TEST(EndToEnd, ReconstructEmitsMetricsAcrossEveryStage)
 {
     obs::Registry::global().reset();
     run_generated(2);
+    // On this corpus the solved subtype facts prune every non-forced
+    // candidate edge, so the DKL stage legitimately weighs nothing;
+    // the baseline configuration keeps the divergence counters
+    // exercised (counters accumulate across both runs).
+    run_generated(2, /*typeinf=*/false);
     obs::MetricsReport report = obs::MetricsReport::capture();
 
     // The acceptance bar: >= 15 distinct named metrics spanning all
@@ -337,7 +343,9 @@ TEST(EndToEnd, ReconstructEmitsMetricsAcrossEveryStage)
     for (const char* name :
          {"pipeline.runs", "pipeline.types", "verify.functions",
           "analysis.functions_symexec", "analysis.tracelets",
-          "structural.feasible_parent_edges", "slm.models_trained",
+          "structural.feasible_parent_edges", "typeinf.constraints",
+          "typeinf.object_vars", "typeinf.subtype_edges",
+          "typeinf.edges_pruned", "slm.models_trained",
           "slm.trie_nodes", "slm.escapes", "divergence.pairs",
           "arborescence.families_solved", "threadpool.items"}) {
         EXPECT_TRUE(report.counters.count(name)) << name;
@@ -348,8 +356,9 @@ TEST(EndToEnd, ReconstructEmitsMetricsAcrossEveryStage)
     auto totals = report.span_totals();
     for (const char* span :
          {"pipeline.reconstruct", "pipeline.verify",
-          "pipeline.analyze", "pipeline.structural", "pipeline.train",
-          "pipeline.distances", "pipeline.arborescence"}) {
+          "pipeline.analyze", "pipeline.structural",
+          "pipeline.typeinf", "pipeline.train", "pipeline.distances",
+          "pipeline.arborescence"}) {
         EXPECT_TRUE(totals.count(span)) << span;
     }
 }
@@ -366,6 +375,7 @@ TEST(EndToEnd, StageTimingMatchesSpanTree)
     EXPECT_EQ(result.timing.analyze_ms, totals.at("pipeline.analyze"));
     EXPECT_EQ(result.timing.structural_ms,
               totals.at("pipeline.structural"));
+    EXPECT_EQ(result.timing.typeinf_ms, totals.at("pipeline.typeinf"));
     EXPECT_EQ(result.timing.train_ms, totals.at("pipeline.train"));
     EXPECT_EQ(result.timing.distances_ms,
               totals.at("pipeline.distances"));

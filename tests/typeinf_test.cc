@@ -1,0 +1,481 @@
+/**
+ * @file
+ * Tests for the structural-subtyping constraint pass (src/typeinf/).
+ *
+ * Exact solved-fact and sketch goldens on compiler-built chains and
+ * multiple-inheritance programs, exact inconsistency goldens on
+ * hand-assembled malformed images (one per InconsistencyKind,
+ * including the rockcheck subtype-inconsistent negative test), a
+ * determinism sweep across thread counts, and tolerance of corrupted
+ * or truncated bodies.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analysis/vtable_scan.h"
+#include "bir/builder.h"
+#include "cfg/cfg_cache.h"
+#include "corpus/builder.h"
+#include "corpus/examples.h"
+#include "rock/pipeline.h"
+#include "toyc/compiler.h"
+#include "typeinf/typeinf.h"
+
+namespace {
+
+using namespace rock;
+using bir::FuncId;
+using bir::FunctionBuilder;
+using bir::ImageBuilder;
+using bir::VtId;
+using typeinf::InconsistencyKind;
+using typeinf::TypeInfResult;
+
+using Edge = std::pair<std::uint32_t, std::uint32_t>;
+
+/** Compile and infer, keeping the debug map for name -> vtable. */
+struct Inferred {
+    toyc::CompileResult compiled;
+    TypeInfResult ti;
+
+    std::uint32_t
+    vt(const std::string& cls) const
+    {
+        return compiled.debug.class_to_vtable.at(cls);
+    }
+
+    const typeinf::TypeSketch&
+    sketch(const std::string& cls) const
+    {
+        int idx = ti.index_of(vt(cls));
+        EXPECT_GE(idx, 0) << cls;
+        return ti.sketches[static_cast<std::size_t>(idx)];
+    }
+};
+
+Inferred
+run(const corpus::CorpusProgram& program, int threads = 1)
+{
+    Inferred r;
+    r.compiled = toyc::compile(program.program, program.options);
+    r.ti = typeinf::infer(r.compiled.image, threads);
+    return r;
+}
+
+/** A -> B -> C chain, one new method and one new field per level. */
+corpus::CorpusProgram
+chain_program()
+{
+    corpus::ProgramBuilder b("chain");
+    b.cls("A", {}, {"fa"}, {}, 1);
+    b.cls("B", {"A"}, {"fb"}, {}, 1);
+    b.cls("C", {"B"}, {"fc"}, {}, 1);
+    b.motif("A", {"fa"});
+    b.motif("B", {"fb"});
+    b.motif("C", {"fc"});
+    b.standard_scenarios(1);
+    corpus::CorpusProgram program;
+    program.name = "chain";
+    program.program = b.build();
+    return program;
+}
+
+std::vector<Edge>
+sorted(std::vector<Edge> edges)
+{
+    std::sort(edges.begin(), edges.end());
+    return edges;
+}
+
+// ---- solved facts on compiler output -------------------------------------
+
+TEST(Solve, ChainDirectAndTransitiveEdges)
+{
+    Inferred r = run(chain_program());
+    ASSERT_EQ(r.ti.types.size(), 3u);
+    EXPECT_TRUE(r.ti.inconsistencies.empty());
+
+    std::uint32_t a = r.vt("A");
+    std::uint32_t b = r.vt("B");
+    std::uint32_t c = r.vt("C");
+    EXPECT_EQ(sorted(r.ti.direct_edges),
+              sorted({{b, a}, {c, b}}));
+    EXPECT_EQ(sorted(r.ti.subtype_edges),
+              sorted({{b, a}, {c, a}, {c, b}}));
+
+    EXPECT_TRUE(r.ti.subtype(c, a));
+    EXPECT_TRUE(r.ti.subtype(c, b));
+    EXPECT_TRUE(r.ti.subtype(b, a));
+    EXPECT_FALSE(r.ti.subtype(a, c));
+    EXPECT_FALSE(r.ti.subtype(a, b));
+    EXPECT_FALSE(r.ti.subtype(c, 0xdeadbeef));
+    EXPECT_EQ(r.ti.index_of(0xdeadbeef), -1);
+}
+
+TEST(Solve, ChainSketchesSaturateBaseToDerived)
+{
+    Inferred r = run(chain_program());
+    const auto& a = r.sketch("A");
+    const auto& b = r.sketch("B");
+    const auto& c = r.sketch("C");
+
+    // One new method per level.
+    EXPECT_EQ(a.arity, 1);
+    EXPECT_EQ(b.arity, 2);
+    EXPECT_EQ(c.arity, 3);
+
+    // Single-inheritance chain: only primary vptrs.
+    EXPECT_EQ(a.vptr_offsets, (std::vector<std::int32_t>{0}));
+    EXPECT_EQ(b.vptr_offsets, (std::vector<std::int32_t>{0}));
+    EXPECT_EQ(c.vptr_offsets, (std::vector<std::int32_t>{0}));
+
+    // Scenarios dispatch every inherited motif slot; saturation pushes
+    // base slots into the derived sketches.
+    EXPECT_EQ(a.slots, (std::vector<int>{0}));
+    EXPECT_EQ(b.slots, (std::vector<int>{0, 1}));
+    EXPECT_EQ(c.slots, (std::vector<int>{0, 1, 2}));
+
+    // Field evidence likewise flows downward, never upward.
+    for (std::int32_t off : a.fields) {
+        EXPECT_TRUE(std::count(b.fields.begin(), b.fields.end(), off));
+        EXPECT_TRUE(std::count(c.fields.begin(), c.fields.end(), off));
+    }
+    for (std::int32_t off : b.fields)
+        EXPECT_TRUE(std::count(c.fields.begin(), c.fields.end(), off));
+
+    // Every scenario object was bound to its type.
+    EXPECT_GT(a.num_vars, 0);
+    EXPECT_GT(b.num_vars, 0);
+    EXPECT_GT(c.num_vars, 0);
+}
+
+TEST(Solve, MultipleInheritanceSecondarySubobject)
+{
+    Inferred r = run(corpus::multiple_inheritance_program());
+    EXPECT_TRUE(r.ti.inconsistencies.empty());
+
+    std::uint32_t serializable = r.vt("Serializable");
+    std::uint32_t observable = r.vt("Observable");
+    std::uint32_t model = r.vt("Model");
+    std::uint32_t snapshot = r.vt("Snapshot");
+
+    // Model's primary subobject derives from Serializable; the
+    // Observable base lives behind Model's *secondary* vtable -- the
+    // one discovered type that no debug name maps to.
+    EXPECT_TRUE(r.ti.subtype(model, serializable));
+    EXPECT_TRUE(r.ti.subtype(snapshot, serializable));
+    EXPECT_FALSE(r.ti.subtype(model, observable));
+
+    std::vector<std::uint32_t> named;
+    for (const auto& [cls, vt] : r.compiled.debug.class_to_vtable) {
+        (void)cls;
+        named.push_back(vt);
+    }
+    std::vector<std::uint32_t> secondaries;
+    for (std::uint32_t vt : r.ti.types) {
+        if (!std::count(named.begin(), named.end(), vt))
+            secondaries.push_back(vt);
+    }
+    ASSERT_EQ(secondaries.size(), 1u);
+    EXPECT_TRUE(r.ti.subtype(secondaries[0], observable));
+}
+
+// ---- determinism ---------------------------------------------------------
+
+void
+expect_identical(const TypeInfResult& a, const TypeInfResult& b)
+{
+    EXPECT_EQ(a.types, b.types);
+    EXPECT_EQ(a.constraints.constraints, b.constraints.constraints);
+    EXPECT_EQ(a.constraints.num_vars, b.constraints.num_vars);
+    EXPECT_EQ(a.constraints.this_vars, b.constraints.this_vars);
+    EXPECT_EQ(a.constraints.unique_bodies, b.constraints.unique_bodies);
+    EXPECT_EQ(a.sketches, b.sketches);
+    EXPECT_EQ(a.direct_edges, b.direct_edges);
+    EXPECT_EQ(a.subtype_edges, b.subtype_edges);
+    EXPECT_EQ(a.inconsistencies, b.inconsistencies);
+    EXPECT_EQ(a.var_type, b.var_type);
+    EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST(Determinism, BitIdenticalAcrossThreadCounts)
+{
+    corpus::CorpusProgram program =
+        corpus::multiple_inheritance_program();
+    toyc::CompileResult compiled =
+        toyc::compile(program.program, program.options);
+
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    TypeInfResult one = typeinf::infer(compiled.image, 1);
+    TypeInfResult two = typeinf::infer(compiled.image, 2);
+    TypeInfResult many = typeinf::infer(compiled.image, std::max(hw, 3));
+    expect_identical(one, two);
+    expect_identical(one, many);
+
+    EXPECT_EQ(one.stats.functions_walked,
+              compiled.image.functions.size());
+    EXPECT_GT(one.stats.constraints, 0u);
+    EXPECT_LE(one.stats.unique_bodies, one.stats.functions_walked);
+}
+
+// ---- hand-assembled inconsistency goldens --------------------------------
+
+/** Emit `getarg this; store vt; [tail]` -- a minimal ctor body. */
+FunctionBuilder
+ctor_body(VtId vt)
+{
+    FunctionBuilder fb;
+    fb.getarg(0, 0);
+    fb.movi_vtable(1, vt);
+    fb.store(0, 0, 1);
+    return fb;
+}
+
+/** `alloc 16; call ctor` prologue shared by the corrupt images. */
+void
+alloc_and_construct(FunctionBuilder& fb, FuncId ctor)
+{
+    fb.movi(1, 16);
+    fb.setarg(0, 1);
+    fb.call_addr(bir::kAllocStub);
+    fb.getret(0);
+    fb.setarg(0, 0);
+    fb.call(ctor);
+}
+
+/** One class A with a 1-slot vtable, plus a user function that
+ *  dispatches slot @p slot on a fresh A. */
+bir::BinaryImage
+dispatch_image(int slot)
+{
+    ImageBuilder ib;
+    FuncId method = ib.declare_function("A::f");
+    FunctionBuilder fm;
+    fm.movi(0, 1);
+    fm.retval(0);
+    ib.define_function(method, fm);
+    VtId vta = ib.add_vtable("A", 1);
+    ib.set_slot(vta, 0, method);
+
+    FuncId ctor = ib.declare_function("A::A");
+    FunctionBuilder fc = ctor_body(vta);
+    fc.ret();
+    ib.define_function(ctor, fc);
+
+    FuncId use = ib.declare_function("use");
+    FunctionBuilder fu;
+    alloc_and_construct(fu, ctor);
+    fu.load(1, 0, 0);
+    fu.load(2, 1, slot * bir::kWordSize);
+    fu.icall(2);
+    fu.ret();
+    ib.define_function(use, fu);
+    return ib.link({});
+}
+
+TEST(Inconsistencies, DispatchBeyondArityIsSlotArity)
+{
+    bir::BinaryImage image = dispatch_image(/*slot=*/5);
+    TypeInfResult ti = typeinf::infer(image);
+
+    ASSERT_EQ(ti.inconsistencies.size(), 1u);
+    const typeinf::Inconsistency& inc = ti.inconsistencies[0];
+    EXPECT_EQ(inc.kind, InconsistencyKind::SlotArity);
+    ASSERT_EQ(ti.types.size(), 1u);
+    EXPECT_EQ(inc.vtable_a, ti.types[0]);
+    EXPECT_NE(inc.detail.find("slot 5"), std::string::npos);
+    EXPECT_EQ(ti.stats.inconsistencies, 1u);
+
+    // The same program dispatching a real slot is clean.
+    TypeInfResult ok = typeinf::infer(dispatch_image(/*slot=*/0));
+    EXPECT_TRUE(ok.inconsistencies.empty());
+    ASSERT_EQ(ok.sketches.size(), 1u);
+    EXPECT_EQ(ok.sketches[0].slots, (std::vector<int>{0}));
+}
+
+TEST(Inconsistencies, FieldEvidenceAtVptrOffsetIsFieldOverlap)
+{
+    // A plain method reads [this+0] without completing the dispatch
+    // idiom -- field evidence colliding with the primary vptr.
+    ImageBuilder ib;
+    FuncId method = ib.declare_function("A::f");
+    FunctionBuilder fm;
+    fm.movi(0, 1);
+    fm.retval(0);
+    ib.define_function(method, fm);
+    VtId vta = ib.add_vtable("A", 1);
+    ib.set_slot(vta, 0, method);
+
+    FuncId ctor = ib.declare_function("A::A");
+    FunctionBuilder fc = ctor_body(vta);
+    fc.ret();
+    ib.define_function(ctor, fc);
+
+    FuncId getf = ib.declare_function("A::raw_vptr");
+    FunctionBuilder fg;
+    fg.getarg(0, 0);
+    fg.load(1, 0, 0);
+    fg.retval(1);
+    ib.define_function(getf, fg);
+
+    FuncId use = ib.declare_function("use");
+    FunctionBuilder fu;
+    alloc_and_construct(fu, ctor);
+    fu.setarg(0, 0);
+    fu.call(getf);
+    fu.ret();
+    ib.define_function(use, fu);
+    bir::BinaryImage image = ib.link({});
+
+    TypeInfResult ti = typeinf::infer(image);
+    ASSERT_EQ(ti.inconsistencies.size(), 1u);
+    EXPECT_EQ(ti.inconsistencies[0].kind,
+              InconsistencyKind::FieldOverlap);
+    EXPECT_EQ(ti.inconsistencies[0].vtable_a, ti.types.at(0));
+    EXPECT_EQ(ti.inconsistencies[0].func_addr,
+              ib.func_addr(getf));
+}
+
+TEST(Inconsistencies, MutualCtorFlowIsCyclicDerivesAndEdgesDrop)
+{
+    // Two equal-arity classes whose ctors each call the other as a
+    // parent ctor: both orientations are layout-feasible, so the
+    // evidence forms a derives-from cycle.
+    ImageBuilder ib;
+    FuncId fa = ib.declare_function("A::f");
+    FunctionBuilder fba;
+    fba.movi(0, 1);
+    fba.retval(0);
+    ib.define_function(fa, fba);
+    FuncId fb = ib.declare_function("B::f");
+    FunctionBuilder fbb;
+    fbb.movi(0, 2);
+    fbb.retval(0);
+    ib.define_function(fb, fbb);
+
+    VtId vta = ib.add_vtable("A", 1);
+    ib.set_slot(vta, 0, fa);
+    VtId vtb = ib.add_vtable("B", 1);
+    ib.set_slot(vtb, 0, fb);
+
+    FuncId ctor_a = ib.declare_function("A::A");
+    FuncId ctor_b = ib.declare_function("B::B");
+    FunctionBuilder fca = ctor_body(vta);
+    fca.setarg(0, 0);
+    fca.call(ctor_b);
+    fca.ret();
+    ib.define_function(ctor_a, fca);
+    FunctionBuilder fcb = ctor_body(vtb);
+    fcb.setarg(0, 0);
+    fcb.call(ctor_a);
+    fcb.ret();
+    ib.define_function(ctor_b, fcb);
+    bir::BinaryImage image = ib.link({});
+
+    TypeInfResult ti = typeinf::infer(image);
+    ASSERT_EQ(ti.inconsistencies.size(), 1u);
+    EXPECT_EQ(ti.inconsistencies[0].kind,
+              InconsistencyKind::CyclicDerives);
+    EXPECT_NE(ti.inconsistencies[0].detail.find("cycle"),
+              std::string::npos);
+    // Cycle edges are isolated, not propagated.
+    EXPECT_TRUE(ti.direct_edges.empty());
+    EXPECT_TRUE(ti.subtype_edges.empty());
+}
+
+// ---- rockcheck integration (the 12th diagnostic) -------------------------
+
+TEST(Diagnostics, InconsistencySurfacesAsSubtypeInconsistent)
+{
+    TypeInfResult ti = typeinf::infer(dispatch_image(/*slot=*/5));
+    std::vector<cfg::Diagnostic> diags = ti.diagnostics();
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].kind, cfg::DiagKind::SubtypeInconsistent);
+    EXPECT_STREQ(cfg::diag_name(diags[0].kind),
+                 "subtype-inconsistent");
+    EXPECT_NE(diags[0].detail.find("slot-arity"), std::string::npos);
+}
+
+TEST(Diagnostics, PipelineReportsCorruptionCleanImageStaysClean)
+{
+    // Targeted-corruption negative test: the full pipeline must
+    // surface the solver's finding among its diagnostics...
+    core::RockConfig config;
+    core::ReconstructionResult bad =
+        core::reconstruct(dispatch_image(/*slot=*/5), config);
+    bool found = false;
+    for (const cfg::Diagnostic& d : bad.diagnostics)
+        found |= d.kind == cfg::DiagKind::SubtypeInconsistent;
+    EXPECT_TRUE(found);
+
+    // ...and report nothing on well-formed compiler output.
+    corpus::CorpusProgram program = corpus::streams_program();
+    toyc::CompileResult compiled =
+        toyc::compile(program.program, program.options);
+    core::ReconstructionResult good =
+        core::reconstruct(compiled.image, config);
+    for (const cfg::Diagnostic& d : good.diagnostics)
+        EXPECT_NE(d.kind, cfg::DiagKind::SubtypeInconsistent)
+            << d.detail;
+}
+
+// ---- malformed input tolerance -------------------------------------------
+
+/** Infer over an (intentionally damaged) image exactly the way the
+ *  pipeline stage does: tolerant CFG recovery feeds the generator;
+ *  the vtable set comes from the pristine image, as it would from the
+ *  earlier analysis stage. */
+TypeInfResult
+infer_damaged(bir::BinaryImage image,
+              const std::vector<analysis::VTableInfo>& vtables,
+              void (*damage)(bir::BinaryImage&))
+{
+    damage(image);
+    support::ThreadPool pool(2);
+    cfg::CfgCache cache(image);
+    cache.build_all(pool);
+    return typeinf::infer(image, cache, vtables, pool);
+}
+
+TEST(Robustness, UndecodableBodyIsSkippedNotFatal)
+{
+    corpus::CorpusProgram program = corpus::streams_program();
+    toyc::CompileResult compiled =
+        toyc::compile(program.program, program.options);
+    std::vector<analysis::VTableInfo> vtables =
+        analysis::scan_vtables(compiled.image);
+
+    TypeInfResult ti = infer_damaged(
+        compiled.image, vtables, [](bir::BinaryImage& image) {
+            // Clobber the opcode of every function's first instruction.
+            for (const bir::FunctionEntry& fn : image.functions)
+                image.code[fn.addr - image.code_base] = 0xff;
+        });
+    EXPECT_EQ(ti.stats.functions_walked,
+              compiled.image.functions.size());
+}
+
+TEST(Robustness, TruncatedBodyIsTolerated)
+{
+    corpus::CorpusProgram program = corpus::streams_program();
+    toyc::CompileResult compiled =
+        toyc::compile(program.program, program.options);
+    std::vector<analysis::VTableInfo> vtables =
+        analysis::scan_vtables(compiled.image);
+
+    TypeInfResult ti = infer_damaged(
+        compiled.image, vtables, [](bir::BinaryImage& image) {
+            // Cut the code section mid-instruction; the trailing
+            // function's body no longer fully decodes.
+            image.code.resize(image.code.size() -
+                              bir::kInstrSize / 2);
+        });
+    EXPECT_EQ(ti.stats.functions_walked,
+              compiled.image.functions.size());
+}
+
+} // namespace

@@ -13,9 +13,11 @@
  *                    concurrency)
  *   --metrics-json F write an obs::MetricsReport of the run to F
  *
- * Prints one line per diagnostic (see cfg/verify.h for the kinds) and
- * a per-image verdict. Exit status: 0 when every image is clean, 1
- * when any diagnostic fired, 2 on usage or I/O errors.
+ * Prints one line per diagnostic (see cfg/verify.h for the kinds --
+ * the per-body lints plus the structural-subtyping solver's
+ * subtype-inconsistent findings) and a per-image verdict. Exit
+ * status: 0 when every image is clean, 1 when any diagnostic fired,
+ * 2 on usage or I/O errors.
  */
 #include <cstdio>
 #include <string>
@@ -28,6 +30,7 @@
 #include "obs/report.h"
 #include "support/error.h"
 #include "toyc/compiler.h"
+#include "typeinf/typeinf.h"
 
 namespace {
 
@@ -40,6 +43,9 @@ check_image(const std::string& name, const bir::BinaryImage& image,
 {
     std::vector<cfg::Diagnostic> diags =
         cfg::verify_image(image, threads);
+    for (cfg::Diagnostic& diag :
+         typeinf::infer(image, threads).diagnostics())
+        diags.push_back(std::move(diag));
     for (const auto& diag : diags)
         std::printf("%s: %s\n", name.c_str(),
                     cfg::to_string(diag).c_str());

@@ -3,13 +3,17 @@
  * rockdump -- inspect a VMI binary image.
  *
  * Usage:
- *   rockdump IMAGE.vmi [--disasm] [--vtables] [--tracelets] [--cfg]
+ *   rockdump IMAGE.vmi [--disasm] [--vtables] [--tracelets]
+ *                      [--constraints] [--cfg]
  *
  * With no flags, prints a summary (sections, functions, discovered
  * vtables). --disasm adds the full listing; --vtables the slot
- * tables; --tracelets the per-type object tracelets. --cfg prints
- * the recovered control-flow graphs as GraphViz DOT (one cluster per
- * function; pipe into `dot -Tsvg`) and nothing else.
+ * tables; --tracelets the per-type object tracelets; --constraints
+ * the structural-subtyping constraints (typeinf/) with the solved
+ * derives-from facts -- every fact explained back to the evidence
+ * addresses that produced it. --cfg prints the recovered control-flow
+ * graphs as GraphViz DOT (one cluster per function; pipe into
+ * `dot -Tsvg`) and nothing else.
  */
 #include <cstdio>
 #include <string>
@@ -19,6 +23,7 @@
 #include "cfg/cfg.h"
 #include "support/error.h"
 #include "support/str.h"
+#include "typeinf/typeinf.h"
 
 int
 main(int argc, char** argv)
@@ -29,6 +34,7 @@ main(int argc, char** argv)
     bool disasm = false;
     bool vtables = false;
     bool tracelets = false;
+    bool constraints = false;
     bool cfg_dot = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -38,6 +44,8 @@ main(int argc, char** argv)
             vtables = true;
         } else if (arg == "--tracelets") {
             tracelets = true;
+        } else if (arg == "--constraints") {
+            constraints = true;
         } else if (arg == "--cfg") {
             cfg_dot = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -51,7 +59,8 @@ main(int argc, char** argv)
     if (input.empty()) {
         std::fprintf(stderr,
                      "usage: rockdump IMAGE.vmi [--disasm] "
-                     "[--vtables] [--tracelets] [--cfg]\n");
+                     "[--vtables] [--tracelets] [--constraints] "
+                     "[--cfg]\n");
         return 2;
     }
 
@@ -104,6 +113,42 @@ main(int argc, char** argv)
                         break;
                     }
                 }
+            }
+        }
+        if (constraints) {
+            typeinf::TypeInfResult ti = typeinf::infer(image);
+            std::printf("\nconstraints (%zu over %zu object vars, "
+                        "%zu unique bodies):\n",
+                        ti.constraints.constraints.size(),
+                        static_cast<std::size_t>(
+                            ti.constraints.num_vars),
+                        ti.constraints.unique_bodies);
+            std::uint32_t current_fn = 0;
+            bool first = true;
+            for (const auto& c : ti.constraints.constraints) {
+                if (first || c.func_addr != current_fn) {
+                    std::printf("  %s:\n",
+                                image.name_of(c.func_addr).c_str());
+                    current_fn = c.func_addr;
+                    first = false;
+                }
+                std::printf("    %s\n",
+                            typeinf::to_string(c).c_str());
+            }
+            std::printf("\nsolved derives-from facts (%zu direct, "
+                        "%zu in closure):\n",
+                        ti.direct_edges.size(),
+                        ti.subtype_edges.size());
+            for (const auto& [derived, base] : ti.direct_edges)
+                std::printf("  vt %s derives from vt %s\n",
+                            support::hex(derived).c_str(),
+                            support::hex(base).c_str());
+            if (!ti.inconsistencies.empty()) {
+                std::printf("\ninconsistencies (%zu):\n",
+                            ti.inconsistencies.size());
+                for (const auto& inc : ti.inconsistencies)
+                    std::printf("  %s\n",
+                                typeinf::to_string(inc).c_str());
             }
         }
         if (disasm)
