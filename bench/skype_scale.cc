@@ -19,20 +19,39 @@
  *
  * Usage:
  *   skype_scale [--classes N] [--threads CSV] [--json FILE]
- *               [--metrics-json FILE]
+ *               [--metrics-json FILE] [--warm-runs N]
+ *               [--cache-dir DIR]
  *
  * Default is a single all-hardware-threads run (the historical
  * behavior); --threads "1,4" runs the gate pair.
+ *
+ * --warm-runs N appends an artifact-cache phase: one cold
+ * reconstruction populating a content-addressed cache
+ * (cache/artifact_cache.h; in-memory unless --cache-dir is given),
+ * then N warm reconstructions of the same image in the same process.
+ * Each run emits a JSON line with "warm", "warm_speedup" (cold total
+ * over this run's total), "cache_hits" and "identical_to_cold"; CI
+ * gates the file with `rockstat --check --min-warm-speedup R`, which
+ * is hardware-independent (cold and warm share one process and one
+ * thread count).
+ *
+ * When the sweep requests more threads than the host has, a loud
+ * warning is printed and every JSON line carries
+ * "underprovisioned": true so `rockstat` bench diffs know the
+ * timings are untrustworthy (the diff skips the flag itself).
  */
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cache/artifact_cache.h"
 #include "corpus/generator.h"
 #include "obs/report.h"
 #include "rock/pipeline.h"
@@ -72,6 +91,8 @@ main(int argc, char** argv)
     std::vector<int> thread_counts{0}; // 0 = all hardware threads
     std::string json_path;
     std::string metrics_path;
+    int warm_runs = 0;
+    std::string cache_dir;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--classes" && i + 1 < argc) {
@@ -82,11 +103,16 @@ main(int argc, char** argv)
             json_path = argv[++i];
         } else if (arg == "--metrics-json" && i + 1 < argc) {
             metrics_path = argv[++i];
+        } else if (arg == "--warm-runs" && i + 1 < argc) {
+            warm_runs = std::atoi(argv[++i]);
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            cache_dir = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: skype_scale [--classes N] "
                          "[--threads CSV] [--json FILE] "
-                         "[--metrics-json FILE]\n");
+                         "[--metrics-json FILE] [--warm-runs N] "
+                         "[--cache-dir DIR]\n");
             return 2;
         }
     }
@@ -97,6 +123,20 @@ main(int argc, char** argv)
 
     const unsigned hw =
         std::max(1u, std::thread::hardware_concurrency());
+    unsigned max_requested = 1;
+    for (int t : thread_counts)
+        max_requested = std::max(
+            max_requested, t == 0 ? hw : static_cast<unsigned>(t));
+    const bool underprovisioned = max_requested > hw;
+    if (underprovisioned) {
+        std::fprintf(stderr,
+                     "WARNING: sweep requests %u threads but the "
+                     "host has only %u hardware threads -- parallel "
+                     "timings will not reflect real scaling "
+                     "(JSON lines carry \"underprovisioned\": "
+                     "true)\n",
+                     max_requested, hw);
+    }
 
     corpus::GeneratorSpec spec;
     spec.num_classes = classes;
@@ -186,7 +226,8 @@ main(int argc, char** argv)
             "\"train_ms\":%.3f,"
             "\"distances_ms\":%.3f,\"arborescence_ms\":%.3f,"
             "\"total_ms\":%.3f,\"speedup_vs_serial\":%.3f,"
-            "\"identical_to_serial\":%s}\n",
+            "\"identical_to_serial\":%s,"
+            "\"underprovisioned\":%s}\n",
             classes, compiled.image.functions.size(),
             result.structural.types.size(), threads, hw, t.cfg_ms,
             t.verify_ms, t.analyze_ms, t.structural_ms, t.typeinf_ms,
@@ -194,12 +235,97 @@ main(int argc, char** argv)
             serial_ms > 0.0 && t.total_ms > 0.0
                 ? serial_ms / t.total_ms
                 : 1.0,
-            identical ? "true" : "false");
+            identical ? "true" : "false",
+            underprovisioned ? "true" : "false");
         if (json)
             std::fputs(line, json);
         else
             std::fputs(line, stdout);
         std::fflush(stdout);
+    }
+    bool warm_identical = true;
+    if (warm_runs > 0) {
+        cache::CacheOptions opts;
+        opts.dir = cache_dir;
+        auto store = std::make_shared<cache::ArtifactCache>(opts);
+
+        std::printf("\nwarm-cache phase: 1 cold + %d warm run%s%s\n",
+                    warm_runs, warm_runs == 1 ? "" : "s",
+                    cache_dir.empty() ? " (memory tier only)" : "");
+
+        double cold_ms = 0.0;
+        std::string cold_forest;
+        for (int run = 0; run <= warm_runs; ++run) {
+            core::RockConfig config;
+            config.threads = 1;
+            config.cache = store;
+            std::uint64_t hits_before = store->stats().hits;
+            t0 = clock::now();
+            core::ReconstructionResult result =
+                core::reconstruct(compiled.image, config);
+            double run_ms = ms_since(t0);
+            std::uint64_t run_hits = store->stats().hits - hits_before;
+            const core::StageTiming& t = result.timing;
+
+            const bool warm = run > 0;
+            if (!warm) {
+                cold_ms = t.total_ms;
+                cold_forest = result.hierarchy.to_string();
+            }
+            bool identical =
+                !warm || result.hierarchy.to_string() == cold_forest;
+            warm_identical = warm_identical && identical;
+            covered = covered &&
+                      result.hierarchy.size() ==
+                          static_cast<int>(
+                              result.structural.types.size());
+
+            std::printf(
+                "  %s[run=%d]: %.1f ms "
+                "(cfg %.1f, verify %.1f, analyze %.1f, "
+                "structural %.1f, typeinf %.1f, train %.1f, "
+                "distances %.1f, arborescence %.1f), "
+                "cache hits: %llu%s\n",
+                warm ? "warm" : "cold", run, run_ms, t.cfg_ms,
+                t.verify_ms, t.analyze_ms, t.structural_ms,
+                t.typeinf_ms, t.train_ms, t.distances_ms,
+                t.arborescence_ms,
+                static_cast<unsigned long long>(run_hits),
+                warm && !identical ? " [HIERARCHY MISMATCH]" : "");
+
+            char line[1024];
+            std::snprintf(
+                line, sizeof(line),
+                "{\"bench\":\"skype_scale\",\"classes\":%d,"
+                "\"functions\":%zu,\"types\":%zu,\"threads\":1,"
+                "\"hw_threads\":%u,\"run\":%d,\"warm\":%s,"
+                "\"cold_ms\":%.3f,"
+                "\"cfg_ms\":%.3f,\"verify_ms\":%.3f,"
+                "\"analyze_ms\":%.3f,"
+                "\"structural_ms\":%.3f,\"typeinf_ms\":%.3f,"
+                "\"train_ms\":%.3f,"
+                "\"distances_ms\":%.3f,\"arborescence_ms\":%.3f,"
+                "\"total_ms\":%.3f,\"warm_speedup\":%.3f,"
+                "\"cache_hits\":%llu,\"identical_to_cold\":%s,"
+                "\"underprovisioned\":%s}\n",
+                classes, compiled.image.functions.size(),
+                result.structural.types.size(), hw, run,
+                warm ? "true" : "false", cold_ms, t.cfg_ms,
+                t.verify_ms, t.analyze_ms, t.structural_ms,
+                t.typeinf_ms, t.train_ms, t.distances_ms,
+                t.arborescence_ms, t.total_ms,
+                warm && cold_ms > 0.0 && t.total_ms > 0.0
+                    ? cold_ms / t.total_ms
+                    : 1.0,
+                static_cast<unsigned long long>(run_hits),
+                identical ? "true" : "false",
+                underprovisioned ? "true" : "false");
+            if (json)
+                std::fputs(line, json);
+            else
+                std::fputs(line, stdout);
+            std::fflush(stdout);
+        }
     }
     if (json)
         std::fclose(json);
@@ -216,6 +342,11 @@ main(int argc, char** argv)
     if (!all_identical) {
         std::fprintf(stderr, "MISMATCH: parallel hierarchy differs "
                              "from serial baseline\n");
+        return 1;
+    }
+    if (!warm_identical) {
+        std::fprintf(stderr, "MISMATCH: warm-cache hierarchy differs "
+                             "from cold baseline\n");
         return 1;
     }
     std::printf("\n%s\n",

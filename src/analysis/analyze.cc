@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cache/artifact_cache.h"
 #include "obs/metrics.h"
 #include "support/log.h"
 #include "support/parallel.h"
@@ -9,6 +10,195 @@
 namespace rock::analysis {
 
 namespace {
+
+// ---- "symexec" artifact codec -----------------------------------------
+// Payload: one FunctionAnalysis. The encoding iterates every container
+// in its natural (sorted / insertion) order, so encode(decode(x)) is
+// byte-identical and warm results replay a cold run bit for bit.
+
+void
+encode_tracelet_list(const std::vector<Tracelet>& list,
+                     cache::ByteWriter& w)
+{
+    w.u32(static_cast<std::uint32_t>(list.size()));
+    for (const Tracelet& tracelet : list) {
+        w.u32(static_cast<std::uint32_t>(tracelet.size()));
+        for (const Event& event : tracelet) {
+            w.u8(static_cast<std::uint8_t>(event.kind));
+            w.u32(event.index);
+            w.u32(event.aux);
+        }
+    }
+}
+
+bool
+decode_tracelet_list(cache::ByteReader& r, std::vector<Tracelet>& out)
+{
+    std::uint32_t n = r.u32();
+    if (!r.ok() || n > r.remaining())
+        return false;
+    out.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint32_t len = r.u32();
+        if (!r.ok() || len > r.remaining())
+            return false;
+        Tracelet& tracelet = out[i];
+        tracelet.resize(len);
+        for (std::uint32_t k = 0; k < len; ++k) {
+            std::uint8_t kind = r.u8();
+            if (kind > static_cast<std::uint8_t>(EventKind::CallDirect))
+                return false;
+            tracelet[k].kind = static_cast<EventKind>(kind);
+            tracelet[k].index = r.u32();
+            tracelet[k].aux = r.u32();
+        }
+    }
+    return r.ok();
+}
+
+void
+encode_function_analysis(const FunctionAnalysis& fa,
+                         cache::ByteWriter& w)
+{
+    w.i32(fa.paths);
+    w.u32(static_cast<std::uint32_t>(fa.tracelets.size()));
+    for (const auto& [type, list] : fa.tracelets) {
+        w.u32(type);
+        encode_tracelet_list(list, w);
+    }
+    encode_tracelet_list(fa.untyped_this, w);
+    w.u32(static_cast<std::uint32_t>(fa.evidence.size()));
+    for (const ObjectEvidence& ev : fa.evidence) {
+        w.u8(ev.from_this_param ? 1 : 0);
+        w.u32(static_cast<std::uint32_t>(ev.vptr_stores.size()));
+        for (const auto& [off, vt] : ev.vptr_stores) {
+            w.i32(off);
+            w.u32(vt);
+        }
+        w.u32(static_cast<std::uint32_t>(ev.this_calls.size()));
+        for (const auto& [off, callee] : ev.this_calls) {
+            w.i32(off);
+            w.u32(callee);
+        }
+    }
+}
+
+bool
+decode_function_analysis(const std::vector<std::uint8_t>& blob,
+                         FunctionAnalysis& fa)
+{
+    cache::ByteReader r(blob);
+    fa = FunctionAnalysis{};
+    fa.paths = r.i32();
+    std::uint32_t num_types = r.u32();
+    if (!r.ok() || num_types > r.remaining())
+        return false;
+    for (std::uint32_t i = 0; i < num_types; ++i) {
+        std::uint32_t type = r.u32();
+        std::vector<Tracelet> list;
+        if (!decode_tracelet_list(r, list))
+            return false;
+        auto [it, inserted] =
+            fa.tracelets.emplace(type, std::move(list));
+        if (!inserted)
+            return false; // duplicate key: not a valid encoding
+    }
+    if (!decode_tracelet_list(r, fa.untyped_this))
+        return false;
+    std::uint32_t num_evidence = r.u32();
+    if (!r.ok() || num_evidence > r.remaining())
+        return false;
+    fa.evidence.resize(num_evidence);
+    for (std::uint32_t i = 0; i < num_evidence; ++i) {
+        ObjectEvidence& ev = fa.evidence[i];
+        ev.from_this_param = r.u8() != 0;
+        std::uint32_t num_stores = r.u32();
+        if (!r.ok() || num_stores > r.remaining())
+            return false;
+        std::int32_t prev_off = 0;
+        bool first = true;
+        for (std::uint32_t k = 0; k < num_stores; ++k) {
+            std::int32_t off = r.i32();
+            std::uint32_t vt = r.u32();
+            if (!first && off <= prev_off)
+                return false; // map keys must be strictly ascending
+            first = false;
+            prev_off = off;
+            ev.vptr_stores.emplace(off, vt);
+        }
+        std::uint32_t num_calls = r.u32();
+        if (!r.ok() || num_calls > r.remaining())
+            return false;
+        ev.this_calls.resize(num_calls);
+        for (std::uint32_t k = 0; k < num_calls; ++k) {
+            ev.this_calls[k].first = r.i32();
+            ev.this_calls[k].second = r.u32();
+        }
+    }
+    return r.at_end();
+}
+
+/** Fingerprint shared by every symexec artifact of one (image,
+ *  config) pair -- every knob except `threads`. */
+std::uint64_t
+symexec_fingerprint(const bir::BinaryImage& image,
+                    const SymExecConfig& config)
+{
+    std::uint64_t fp = cache::kFnvSeed;
+    fp = cache::mix(fp, cache::kSchemaVersion);
+    fp = cache::mix(fp, cfg::image_digest(image));
+    fp = cache::mix(fp, static_cast<std::uint64_t>(config.tracelet_len));
+    fp = cache::mix(fp, static_cast<std::uint64_t>(config.max_paths));
+    fp = cache::mix(fp, static_cast<std::uint64_t>(config.max_steps));
+    fp = cache::mix(fp,
+                    static_cast<std::uint64_t>(config.max_backjumps));
+    fp = cache::mix(fp, config.sliding_windows ? 1 : 0);
+    fp = cache::mix(fp,
+                    config.attribute_shared_methods_to_all ? 1 : 0);
+    return fp;
+}
+
+/** Fold a phase's `this`-callee set into @p fp (sets are sorted, so
+ *  this is deterministic). */
+std::uint64_t
+mix_callees(std::uint64_t fp, const std::set<std::uint32_t>& callees)
+{
+    fp = cache::mix(fp, callees.size());
+    for (std::uint32_t fn : callees)
+        fp = cache::mix(fp, fn);
+    return fp;
+}
+
+/**
+ * Serve one function's phase result from @p artifacts or compute it
+ * with @p run and record it. The key's content hash covers the body
+ * bytes AND the entry address: symbolic results depend on the
+ * function's own address (vtable membership, relative jump decoding),
+ * so byte-identical bodies at different addresses get distinct
+ * entries.
+ */
+FunctionAnalysis
+cached_run(cache::ArtifactCache* artifacts, std::uint64_t body_hash,
+           std::uint32_t addr, int phase, std::uint64_t fp,
+           const std::function<FunctionAnalysis()>& run)
+{
+    if (artifacts == nullptr)
+        return run();
+    std::uint64_t content = cache::mix(cache::kFnvSeed, body_hash);
+    content = cache::mix(content, addr);
+    content = cache::mix(content, static_cast<std::uint64_t>(phase));
+    cache::ArtifactKey key{"symexec", content, fp};
+    std::vector<std::uint8_t> blob;
+    FunctionAnalysis fa;
+    if (artifacts->get(key, blob) &&
+        decode_function_analysis(blob, fa))
+        return fa;
+    fa = run();
+    cache::ByteWriter w;
+    encode_function_analysis(fa, w);
+    artifacts->put(key, w.take());
+    return fa;
+}
 
 /** Stable metric-name suffix per event kind (docs/OBSERVABILITY.md
  *  catalog: analysis.events.<kind>). */
@@ -86,7 +276,8 @@ analyze(const bir::BinaryImage& image, const SymExecConfig& config)
 
 AnalysisResult
 analyze(const bir::BinaryImage& image, const SymExecConfig& config,
-        cfg::CfgCache& cache)
+        cfg::CfgCache& cache,
+        const std::shared_ptr<cache::ArtifactCache>& artifacts)
 {
     AnalysisResult result;
     result.vtables = scan_vtables(image);
@@ -123,14 +314,27 @@ analyze(const bir::BinaryImage& image, const SymExecConfig& config,
         bodies[i] = cache.body(i);
     });
 
+    // Memoization context: one fingerprint for the whole sweep, one
+    // callee-set digest per phase (phase B's set additionally depends
+    // on phase A's ctor discoveries).
+    cache::ArtifactCache* store = artifacts.get();
+    const std::uint64_t fp_base =
+        store ? symexec_fingerprint(image, config) : 0;
+    const std::uint64_t fp_a =
+        store ? mix_callees(fp_base, this_callees) : 0;
+
     // ---- Phase A: find ctor/dtor-like functions ------------------------
     // A function is ctor-like when, executed with its first argument
     // modeled as an object, that object ends up with a vtable address
     // stored at offset 0.
     std::vector<FunctionAnalysis> phase_a(num_functions);
     pool.parallel_for(num_functions, plan, [&](std::size_t i) {
-        phase_a[i] = exec.run(image.functions[i], this_callees, true,
-                              bodies[i]);
+        phase_a[i] = cached_run(
+            store, cache.content_hash(i), image.functions[i].addr,
+            /*phase=*/0, fp_a, [&] {
+                return exec.run(image.functions[i], this_callees,
+                                true, bodies[i]);
+            });
     });
     for (std::size_t i = 0; i < num_functions; ++i) {
         for (const auto& ev : phase_a[i].evidence) {
@@ -149,12 +353,18 @@ analyze(const bir::BinaryImage& image, const SymExecConfig& config,
     // ---- Phase B: final tracelets + evidence ---------------------------
     std::set<std::uint32_t> full_callees = this_callee_set(result);
 
+    const std::uint64_t fp_b =
+        store ? mix_callees(fp_base, full_callees) : 0;
     std::vector<FunctionAnalysis> phase_b(num_functions);
     pool.parallel_for(num_functions, plan, [&](std::size_t i) {
         bool arg0_is_object =
             full_callees.count(image.functions[i].addr) != 0;
-        phase_b[i] = exec.run(image.functions[i], full_callees,
-                              arg0_is_object, bodies[i]);
+        phase_b[i] = cached_run(
+            store, cache.content_hash(i), image.functions[i].addr,
+            /*phase=*/1, fp_b, [&] {
+                return exec.run(image.functions[i], full_callees,
+                                arg0_is_object, bodies[i]);
+            });
     });
     for (std::size_t i = 0; i < num_functions; ++i) {
         FunctionAnalysis& fa = phase_b[i];

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -28,6 +29,10 @@
 #include "analysis/vtable_scan.h"
 #include "bir/image.h"
 #include "cfg/cfg_cache.h"
+
+namespace rock::cache {
+class ArtifactCache;
+}
 
 namespace rock::analysis {
 
@@ -65,9 +70,18 @@ AnalysisResult analyze(const bir::BinaryImage& image,
  * from the cached CFG slots instead of being re-decoded per phase,
  * and the per-function sweeps are cost-chunked by instruction count.
  * The pipeline passes the same cache the verify stage built.
+ *
+ * When @p artifacts is non-null, each function's per-phase symbolic
+ * execution result is memoized in it under kind "symexec", keyed by
+ * the function's body hash + entry address and fingerprinted by the
+ * image digest and every SymExecConfig knob except `threads` (warm
+ * hits are bit-identical across thread counts). A warm re-analysis
+ * of the same image then skips the executor entirely.
  */
 AnalysisResult analyze(const bir::BinaryImage& image,
                        const SymExecConfig& config,
-                       cfg::CfgCache& cache);
+                       cfg::CfgCache& cache,
+                       const std::shared_ptr<cache::ArtifactCache>&
+                           artifacts = nullptr);
 
 } // namespace rock::analysis

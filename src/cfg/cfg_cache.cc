@@ -116,4 +116,33 @@ CfgCache::body(std::size_t index) const
     return image_.decode_function(image_.functions[index]);
 }
 
+std::uint64_t
+image_digest(const bir::BinaryImage& image)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix_bytes = [&h](const std::uint8_t* p, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ull;
+        }
+    };
+    auto mix_u32 = [&](std::uint32_t v) {
+        std::uint8_t b[4];
+        for (int i = 0; i < 4; ++i)
+            b[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+        mix_bytes(b, sizeof(b));
+    };
+    mix_u32(image.code_base);
+    mix_u32(image.data_base);
+    mix_u32(image.entry);
+    mix_u32(static_cast<std::uint32_t>(image.functions.size()));
+    for (const auto& fn : image.functions) {
+        mix_u32(fn.addr);
+        mix_u32(fn.size);
+    }
+    mix_bytes(image.code.data(), image.code.size());
+    mix_bytes(image.data.data(), image.data.size());
+    return h;
+}
+
 } // namespace rock::cfg

@@ -87,4 +87,14 @@ class CfgCache {
 std::uint64_t hash_function_bytes(const bir::BinaryImage& image,
                                   const bir::FunctionEntry& fn);
 
+/**
+ * FNV-1a digest of everything the analyses read from @p image: code
+ * and data bytes, section bases, the function table and the entry
+ * address. Symbols and the RTTI flag are excluded -- stripped images
+ * carry neither and the analysis layer never reads them. Artifact
+ * cache fingerprints (src/cache/) fold this in so per-function
+ * artifacts recorded under one image can never serve another.
+ */
+std::uint64_t image_digest(const bir::BinaryImage& image);
+
 } // namespace rock::cfg

@@ -1,5 +1,7 @@
 #include "fuzz/case.h"
 
+#include "cache/artifact_cache.h"
+#include "rock/artifacts.h"
 #include "support/error.h"
 
 namespace rock::fuzz {
@@ -72,6 +74,27 @@ injection_by_name(const std::string& name)
             });
             result.typeinf.direct_edges.clear();
             result.typeinf.subtype_edges.clear();
+        };
+    } else if (name == "stale-cache-entry") {
+        hooks.corrupt_cache = [](cache::ArtifactCache& store) {
+            // Rewrite every famsolve artifact with valid framing but
+            // all-root parent choices: decode succeeds on the warm
+            // run, so only a behavioral oracle can notice.
+            for (const auto& key : store.keys(core::kFamilySolveKind)) {
+                std::vector<std::uint8_t> blob;
+                if (!store.get(key, blob))
+                    continue;
+                cache::ByteReader in(blob);
+                core::FamilySolveBlob solution;
+                if (!core::decode_family_solution(in, &solution))
+                    continue;
+                solution.alternatives.resize(1);
+                for (int& parent : solution.alternatives.front())
+                    parent = -1;
+                cache::ByteWriter out;
+                core::encode_family_solution(solution, out);
+                store.corrupt_for_testing(key, out.take());
+            }
         };
     } else {
         support::fatal("unknown fault injection '" + name + "'");

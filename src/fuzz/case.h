@@ -18,6 +18,10 @@
 #include "rock/pipeline.h"
 #include "toyc/compiler.h"
 
+namespace rock::cache {
+class ArtifactCache;
+}
+
 namespace rock::fuzz {
 
 /** Fault-injection hooks for meta-testing the harness itself. */
@@ -28,6 +32,12 @@ struct CaseHooks {
      * deterministic pipeline bug. Null = no injection.
      */
     std::function<void(core::ReconstructionResult&)> mutate_result;
+    /**
+     * Applied to the cache-consistent oracle's private artifact store
+     * between its cold and warm reconstructions, simulating a stale
+     * or corrupted cache entry. Null = no injection.
+     */
+    std::function<void(cache::ArtifactCache&)> corrupt_cache;
 };
 
 /** Fixed configuration shared by every case of a fuzzing run. */
@@ -78,6 +88,11 @@ reconstruct_image(const bir::BinaryImage& image,
  *    the solved subtype edges (a constraint-generation bug class:
  *    missed stores), which the typeinf-consistent oracle catches by
  *    re-inferring directly from the image.
+ *  - "stale-cache-entry": rewrites every cached famsolve artifact
+ *    with valid headers but wrong parent choices (the stale-entry
+ *    bug class: a cache that survives an invalidation it should
+ *    not), which the cache-consistent oracle catches because the
+ *    warm reconstruction then disagrees with the cold one.
  *
  * Throws support::FatalError for unknown names.
  */

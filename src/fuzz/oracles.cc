@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "bir/serialize.h"
+#include "cache/artifact_cache.h"
 #include "cfg/verify.h"
 #include "eval/ground_truth.h"
+#include "obs/report.h"
 #include "rock/classify.h"
 #include "rock/relaxed.h"
 #include "support/rng.h"
@@ -1067,6 +1069,77 @@ check_vm_differential(const OracleContext& ctx)
         support::hex(miss->first).c_str(), boosted.max_paths));
 }
 
+/**
+ * Artifact caching must be invisible: a cold reconstruction that
+ * populates a fresh store and a warm one that replays from it must be
+ * bit-identical to each other and to the primary (uncached) run, the
+ * warm run must actually hit the cache, and every deterministic
+ * counter outside the cache's own bookkeeping (cache.*) must tick
+ * identically on both runs -- the counter-replay contract of
+ * rock/artifacts.h. The stale-cache-entry injection corrupts the
+ * store between the two runs (via CaseHooks::corrupt_cache) and is
+ * caught here.
+ */
+OracleVerdict
+check_cache_consistent(const OracleContext& ctx)
+{
+    const FuzzCase& fc = ctx.fuzz_case;
+    auto store = std::make_shared<cache::ArtifactCache>(
+        cache::CacheOptions{}); // memory tier only
+    CaseConfig cached = ctx.config;
+    cached.rock.cache = store;
+
+    obs::MetricsReport before_cold = obs::MetricsReport::capture();
+    core::ReconstructionResult cold =
+        reconstruct_image(fc.compiled.image, cached);
+    obs::MetricsReport after_cold = obs::MetricsReport::capture();
+
+    if (ctx.config.hooks.corrupt_cache)
+        ctx.config.hooks.corrupt_cache(*store);
+
+    core::ReconstructionResult warm =
+        reconstruct_image(fc.compiled.image, cached);
+    obs::MetricsReport after_warm = obs::MetricsReport::capture();
+
+    OracleVerdict verdict =
+        expect_bit_identical(cold, warm, "cold vs warm cache");
+    if (!verdict.ok)
+        return verdict;
+    verdict = expect_bit_identical(fc.result, warm,
+                                   "uncached vs warm cache");
+    if (!verdict.ok)
+        return verdict;
+    if (store->stats().hits == 0)
+        return fail("warm reconstruction hit nothing in the cache");
+
+    // Counter replay: the warm run's per-run counter deltas must
+    // equal the cold run's, except for cache.{hits,misses,...}.
+    auto delta = [](const obs::MetricsReport& after,
+                    const obs::MetricsReport& before,
+                    const std::string& name) -> std::uint64_t {
+        auto a = after.counters.find(name);
+        auto b = before.counters.find(name);
+        return (a == after.counters.end() ? 0 : a->second) -
+               (b == before.counters.end() ? 0 : b->second);
+    };
+    for (const auto& [name, total] : after_warm.counters) {
+        (void)total;
+        if (name.rfind("cache.", 0) == 0)
+            continue;
+        std::uint64_t cold_delta =
+            delta(after_cold, before_cold, name);
+        std::uint64_t warm_delta = delta(after_warm, after_cold, name);
+        if (cold_delta != warm_delta)
+            return fail(support::format(
+                "counter '%s' ticked %llu on the cold run but %llu "
+                "on the warm run",
+                name.c_str(),
+                static_cast<unsigned long long>(cold_delta),
+                static_cast<unsigned long long>(warm_delta)));
+    }
+    return pass();
+}
+
 OracleVerdict
 check_classify_deterministic(const OracleContext& ctx)
 {
@@ -1168,6 +1241,11 @@ oracle_registry()
          "type classification is deterministic, total and ranked by "
          "finite descending scores",
          check_classify_deterministic},
+        {"cache-consistent",
+         "a warm artifact-cache reconstruction is bit-identical to "
+         "the cold and uncached runs, actually hits the cache, and "
+         "replays every counter outside cache.*",
+         check_cache_consistent},
     };
     return registry;
 }

@@ -19,6 +19,7 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -51,5 +52,15 @@ std::optional<Arborescence> min_arborescence(const Digraph& graph,
  * succeeds; unreachable nodes become roots.
  */
 Arborescence min_forest(const Digraph& graph);
+
+/**
+ * Monotone per-thread total of supernode contractions performed by
+ * the solver on the calling thread. Mirrors the
+ * `graph.edmonds.contractions` counter but is bumped even when
+ * metrics are disabled: the warm-cache pipeline (src/cache/) stores
+ * deltas of this tally with cached family solutions so a warm run
+ * replays the exact counter increments of a cold run.
+ */
+std::uint64_t thread_contraction_tally();
 
 } // namespace rock::graph

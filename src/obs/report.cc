@@ -332,7 +332,8 @@ diff_bench_lines(const std::string& baseline_jsonl,
             std::string key;
             // Identity = the workload coordinates; everything else is
             // a measurement.
-            for (const char* field : {"bench", "classes", "threads"}) {
+            for (const char* field :
+                 {"bench", "classes", "threads", "run"}) {
                 if (const Json* id = v.find(field)) {
                     key += field;
                     key += '=';
@@ -365,15 +366,17 @@ diff_bench_lines(const std::string& baseline_jsonl,
         }
         for (const auto& [field, bval] : b.value.object) {
             // Ratio columns are derived from the *_ms fields (which
-            // are gated with the time tolerance themselves), and
-            // hw_threads describes the capture host, not the code
-            // under test -- all three classes vary freely across
-            // machines.
+            // are gated with the time tolerance themselves);
+            // hw_threads and underprovisioned describe the capture
+            // host, not the code under test; cache_hits depends on
+            // the store's eviction history -- all of them vary freely
+            // across machines.
             bool is_ratio =
                 field == "speedup_vs_serial" ||
                 (field.size() > 8 &&
                  field.compare(field.size() - 8, 8, "_speedup") == 0);
-            if (is_ratio || field == "hw_threads")
+            if (is_ratio || field == "hw_threads" ||
+                field == "underprovisioned" || field == "cache_hits")
                 continue;
             const Json* cval = match->value.find(field);
             if (!cval)

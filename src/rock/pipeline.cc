@@ -1,11 +1,16 @@
 #include "rock/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
+#include "cache/artifact_cache.h"
 #include "graph/digraph.h"
+#include "graph/edmonds.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rock/artifacts.h"
+#include "slm/snapshot.h"
 #include "support/error.h"
 #include "support/log.h"
 #include "support/parallel.h"
@@ -59,25 +64,36 @@ majority_filter(std::vector<graph::Arborescence>& forests)
 
 namespace {
 
-/** Solve one family: enumerate co-optimal forests over the weighted
- *  feasible-edge graph and majority-filter the ties. Pure function of
- *  its inputs (runs on pool workers, one family per call). */
 /** Candidate (parent idx, child idx) edges a solved subtype fact
  *  contradicts; absent from the distance map and the weighted graphs. */
 using PrunedEdges =
     std::unordered_set<std::pair<int, int>, EdgeKeyHash>;
 
-FamilyResult
+/** solve_family() output plus the tallies a "famsolve" artifact needs
+ *  to replay the stage's counters on a warm hit. */
+struct SolveOutcome {
+    FamilyResult fam;
+    /** 1 when the family was structurally ambiguous. */
+    int ambiguous = 0;
+    /** Forests enumerated / ties the majority vote resolved. */
+    std::uint64_t cooptimal = 0;
+    std::uint64_t resolved = 0;
+};
+
+/** Solve one family: enumerate co-optimal forests over the weighted
+ *  feasible-edge graph and majority-filter the ties. Pure function of
+ *  its inputs (runs on pool workers, one family per call). */
+SolveOutcome
 solve_family(int family_id, std::vector<int> members,
              const structural::StructuralResult& structural,
              const DistanceMap& distances, const PrunedEdges& pruned,
-             const RockConfig& config, int* ambiguous_out)
+             const RockConfig& config)
 {
-    FamilyResult fam;
+    SolveOutcome out;
+    FamilyResult& fam = out.fam;
     fam.family_id = family_id;
     fam.members = std::move(members);
     const int m = static_cast<int>(fam.members.size());
-    *ambiguous_out = 0;
 
     // Family counters: one-per-call and per-forest counts are pure
     // functions of the input, so the totals survive any scheduling.
@@ -90,7 +106,7 @@ solve_family(int family_id, std::vector<int> members,
             "arborescence.singleton_families");
         singleton.add();
         fam.alternatives.push_back({-1});
-        return fam;
+        return out;
     }
 
     std::map<int, int> local; // global type index -> member pos
@@ -121,7 +137,7 @@ solve_family(int family_id, std::vector<int> members,
             graph::enumerate_min_forests(skeleton, probe).size() > 1;
     }
     if (fam.structurally_ambiguous)
-        *ambiguous_out = 1;
+        out.ambiguous = 1;
 
     // Behaviorally weighted graph. Edges fixed by rule-3
     // constructor evidence are structural certainties: they cost
@@ -155,13 +171,15 @@ solve_family(int family_id, std::vector<int> members,
     const std::size_t cooptimal = forests.size();
     detail::majority_filter(forests);
     ROCK_ASSERT(!forests.empty(), "no forest survived filtering");
+    out.cooptimal = cooptimal;
+    out.resolved = cooptimal - forests.size();
     {
         static obs::Counter& enumerated = obs::Registry::global().counter(
             "arborescence.cooptimal_forests");
         static obs::Counter& resolved = obs::Registry::global().counter(
             "arborescence.ties_majority_resolved");
-        enumerated.add(cooptimal);
-        resolved.add(cooptimal - forests.size());
+        enumerated.add(out.cooptimal);
+        resolved.add(out.resolved);
         if (fam.structurally_ambiguous) {
             static obs::Counter& structurally =
                 obs::Registry::global().counter(
@@ -181,7 +199,63 @@ solve_family(int family_id, std::vector<int> members,
         }
         fam.alternatives.push_back(std::move(parents));
     }
-    return fam;
+    return out;
+}
+
+/** Position of @p type in the ascending @p members list. */
+int
+member_pos(const std::vector<int>& members, int type)
+{
+    auto it = std::lower_bound(members.begin(), members.end(), type);
+    ROCK_ASSERT(it != members.end() && *it == type,
+                "type outside its family");
+    return static_cast<int>(it - members.begin());
+}
+
+/**
+ * Content key of one "famsolve" artifact: everything solve_family()
+ * consumes, in its iteration order -- family size, every feasible
+ * (member, parent) pair as local indices, its forced/pruned state and
+ * (for weighed edges) the exact distance bits.
+ */
+std::uint64_t
+famsolve_content(const std::vector<int>& members,
+                 const structural::StructuralResult& structural,
+                 const DistanceMap& distances, const PrunedEdges& pruned)
+{
+    std::uint64_t h = cache::mix(cache::kFnvSeed, members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        const int child = members[i];
+        auto forced = structural.forced_parents.find(child);
+        for (int p :
+             structural.possible_parents[static_cast<std::size_t>(
+                 child)]) {
+            const bool is_forced =
+                forced != structural.forced_parents.end() &&
+                forced->second == p;
+            const bool is_pruned =
+                !is_forced && pruned.count({p, child}) > 0;
+            h = cache::mix(
+                h, static_cast<std::uint64_t>(member_pos(members, p)));
+            h = cache::mix(h, static_cast<std::uint64_t>(i));
+            h = cache::mix(h, is_forced ? 1 : (is_pruned ? 2 : 0));
+            if (!is_forced && !is_pruned)
+                h = cache::mix_double(h, distances.at({p, child}));
+        }
+    }
+    return h;
+}
+
+/** Sum of @p name over a span_wall_totals() snapshot. */
+double
+span_total(const std::vector<std::pair<std::string, double>>& totals,
+           const char* name)
+{
+    for (const auto& [n, ms] : totals) {
+        if (n == name)
+            return ms;
+    }
+    return 0.0;
 }
 
 } // namespace
@@ -227,13 +301,39 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     obs::Span total_span("pipeline.reconstruct");
     obs::Registry::global().counter("pipeline.runs").add();
 
+    // ---- Artifact cache ------------------------------------------------
+    // Opt-in, resolved against the process-wide default so the CLIs
+    // can enable it (--cache-dir) without plumbing a handle through
+    // every call site. A "manifest" hit means a completed run with
+    // this exact image and configuration already populated the store;
+    // the zero-length pipeline.warm span marks the run as warm for
+    // rockstat and the bench harnesses. Fingerprints never fold the
+    // thread count: warm results are bit-identical across pool sizes.
+    std::shared_ptr<cache::ArtifactCache> artifacts =
+        cache::resolve_cache(config.cache);
+    cache::ArtifactCache* store = artifacts.get();
+    std::uint64_t manifest_content = 0;
+    std::uint64_t manifest_fp = 0;
+    bool warm = false;
+    if (store) {
+        manifest_content = cfg::image_digest(image);
+        manifest_fp = config_fingerprint(config);
+        std::vector<std::uint8_t> blob;
+        if (store->get({kManifestKind, manifest_content, manifest_fp},
+                       blob)) {
+            warm = true;
+            obs::Span warm_span("pipeline.warm");
+            warm_span.end();
+        }
+    }
+
     // ---- Shared CFG recovery (parallel over functions) -----------------
     // Built once, consumed by both the verifier and the behavioral
     // analysis; nobody downstream rebuilds a CFG or re-decodes a body.
-    cfg::CfgCache cache(image);
+    cfg::CfgCache cfgs(image);
     {
         obs::Span cfg_span("pipeline.cfg");
-        cache.build_all(pool);
+        cfgs.build_all(pool);
         cfg_span.end();
         result.timing.cfg_ms = cfg_span.wall_ms();
     }
@@ -241,7 +341,7 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     // ---- Image verification (parallel over functions) ------------------
     if (config.verify) {
         obs::Span span("pipeline.verify");
-        result.diagnostics = cfg::verify_image(image, pool, cache);
+        result.diagnostics = cfg::verify_image(image, pool, cfgs);
         span.end();
         result.timing.verify_ms = span.wall_ms();
         if (!result.diagnostics.empty()) {
@@ -255,7 +355,7 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     obs::Span analyze_span("pipeline.analyze");
     analysis::SymExecConfig symexec = config.symexec;
     symexec.threads = threads;
-    result.analysis = analysis::analyze(image, symexec, cache);
+    result.analysis = analysis::analyze(image, symexec, cfgs, artifacts);
     analyze_span.end();
     result.timing.analyze_ms = analyze_span.wall_ms();
 
@@ -276,201 +376,590 @@ reconstruct(const bir::BinaryImage& image, const RockConfig& config)
     if (config.typeinf) {
         obs::Span typeinf_span("pipeline.typeinf");
         result.typeinf = typeinf::infer(
-            image, cache, result.analysis.vtables, pool);
+            image, cfgs, result.analysis.vtables, pool, artifacts);
         typeinf_span.end();
         result.timing.typeinf_ms = typeinf_span.wall_ms();
         for (cfg::Diagnostic& d : result.typeinf.diagnostics())
             result.diagnostics.push_back(std::move(d));
     }
 
-    // ---- Train one SLM per binary type ---------------------------------
-    // Alphabet interning mutates shared state, so it runs serially in
-    // type order (deterministic symbol ids); the expensive part --
-    // training -- is parallel, each type writing its own model slot.
-    obs::Span train_span("pipeline.train");
+    // ==== Pipelined tail: train -> distances -> arborescence ============
+    // The last three stages no longer run as global barriers. After
+    // two serial preludes (alphabet interning; the feasible-edge work
+    // list), every family owns an independent task chain
+    //
+    //     train chunks -> distance chunks -> solve
+    //
+    // executed as one dependency DAG on the pool, so a small family's
+    // arborescence finishes while a big family is still training. Big
+    // families still chunk internally; chunk plans use a *fixed*
+    // pseudo-worker fan-out, so the task count and graph shape depend
+    // only on the input, never on the pool size (the threadpool.items
+    // counter stays bit-identical across thread counts). StageTiming
+    // attribution survives via per-task spans: each task logs its work
+    // under the owning stage's span name, and the per-stage fields
+    // below are span_wall_totals() deltas over the tail.
+    const auto tail_before = obs::span_wall_totals();
+
+    // ---- Train prelude (serial): alphabet interning --------------------
+    // Interning mutates shared state, so it runs serially in type
+    // order (deterministic symbol ids); training itself happens in the
+    // per-family tasks, each type writing its own model slot.
     analysis::Alphabet& alphabet = result.alphabet;
     auto& seqs = result.type_sequences;
-    seqs.assign(static_cast<std::size_t>(n), {});
-    for (int t = 0; t < n; ++t) {
-        auto it = result.analysis.type_tracelets.find(
-            types[static_cast<std::size_t>(t)]);
-        if (it == result.analysis.type_tracelets.end())
-            continue;
-        for (const auto& tracelet : it->second)
-            seqs[static_cast<std::size_t>(t)].push_back(
-                alphabet.intern(tracelet));
+    // Training cost is linear in a type's total symbol count; chunk
+    // accordingly so one tracelet-heavy type cannot serialize a
+    // family's chain.
+    std::vector<std::uint64_t> type_costs(
+        static_cast<std::size_t>(n), 1);
+    {
+        obs::Span span("pipeline.train");
+        seqs.assign(static_cast<std::size_t>(n), {});
+        for (int t = 0; t < n; ++t) {
+            auto it = result.analysis.type_tracelets.find(
+                types[static_cast<std::size_t>(t)]);
+            if (it == result.analysis.type_tracelets.end())
+                continue;
+            for (const auto& tracelet : it->second)
+                seqs[static_cast<std::size_t>(t)].push_back(
+                    alphabet.intern(tracelet));
+        }
+        for (int t = 0; t < n; ++t) {
+            for (const auto& seq : seqs[static_cast<std::size_t>(t)])
+                type_costs[static_cast<std::size_t>(t)] += seq.size();
+        }
+        span.end();
     }
     const int alphabet_size = std::max(1, alphabet.size());
     auto& models = result.models;
     models.resize(static_cast<std::size_t>(n));
-    // Training cost is linear in a type's total symbol count; chunk
-    // accordingly so one tracelet-heavy type cannot serialize the
-    // stage.
-    std::vector<std::uint64_t> type_costs(
-        static_cast<std::size_t>(n), 1);
-    for (int t = 0; t < n; ++t) {
-        for (const auto& seq : seqs[static_cast<std::size_t>(t)])
-            type_costs[static_cast<std::size_t>(t)] += seq.size();
-    }
-    support::ChunkPlan type_plan;
-    type_plan.costs = type_costs.data();
-    pool.parallel_for(
-        static_cast<std::size_t>(n), type_plan, [&](std::size_t t) {
-            models[t] =
-                slm::train_model(config.slm, alphabet_size, seqs[t]);
-        });
-    train_span.end();
-    result.timing.train_ms = train_span.wall_ms();
 
-    // ---- Pairwise distances on feasible edges --------------------------
-    // Precompute the full work list -- every non-forced feasible
-    // (parent, child) pair of every multi-member family, in
-    // (family, member, parent) order -- then evaluate it in parallel
-    // into a pre-sized weight array: no locking on the hot path, and
-    // the resulting map is key-identical to the old lazy evaluation.
-    obs::Span distances_span("pipeline.distances");
+    // Per-type content hashes and stage fingerprints. Tries store
+    // interned symbol ids, so every fingerprint folds the alphabet
+    // digest; the per-type key is the member-sequence multiset hash
+    // (identical multisets share one snapshot).
+    std::uint64_t fp_slm = 0;
+    std::uint64_t fp_dist = 0;
+    std::uint64_t fp_solve = 0;
+    std::vector<std::uint64_t> type_seq_hash;
+    if (store) {
+        const std::uint64_t alpha = alphabet_digest(alphabet);
+        fp_slm = slm_fingerprint(config.slm, alphabet_size, alpha);
+        fp_dist = distance_fingerprint(config, alphabet_size, alpha);
+        fp_solve = solve_fingerprint(config);
+        type_seq_hash.resize(static_cast<std::size_t>(n));
+        for (int t = 0; t < n; ++t)
+            type_seq_hash[static_cast<std::size_t>(t)] =
+                sequence_multiset_hash(
+                    seqs[static_cast<std::size_t>(t)]);
+    }
+
+    // ---- Distances prelude (serial): the feasible-edge work list -------
+    // Every non-forced feasible (parent, child) pair of every
+    // multi-member family, in (family, member, parent) order -- edges
+    // of one family are contiguous, [fam_edge_begin, fam_edge_end).
     const int num_families = result.structural.num_families();
     std::vector<std::vector<int>> family_members(
         static_cast<std::size_t>(num_families));
-    for (int f = 0; f < num_families; ++f)
-        family_members[static_cast<std::size_t>(f)] =
-            result.structural.family_members(f);
-
     std::vector<std::pair<int, int>> edges;
     std::vector<char> edge_discounted;
+    std::vector<std::size_t> fam_edge_begin(
+        static_cast<std::size_t>(num_families), 0);
+    std::vector<std::size_t> fam_edge_end(
+        static_cast<std::size_t>(num_families), 0);
     PrunedEdges typeinf_pruned;
-    std::uint64_t pairs_pruned = 0;
-    std::uint64_t discounted = 0;
-    // A candidate edge p -> child contradicts a solved fact when
-    // typeinf proved p itself derives from child (the edge would
-    // invert a known derivation): hard-pruned, never weighed. The
-    // agreeing direction (child derives from p) keeps the edge but
-    // discounts its distance. Forced rule-3 edges outrank both.
-    const bool fuse = config.typeinf && !result.typeinf.types.empty();
-    for (int f = 0; f < num_families; ++f) {
-        const auto& members = family_members[static_cast<std::size_t>(f)];
-        if (members.size() < 2)
-            continue;
-        for (int child : members) {
-            auto forced = result.structural.forced_parents.find(child);
-            std::uint32_t child_vt =
-                types[static_cast<std::size_t>(child)];
-            for (int p : result.structural
-                             .possible_parents[static_cast<std::size_t>(
-                                 child)]) {
-                bool is_forced =
-                    forced != result.structural.forced_parents.end() &&
-                    forced->second == p;
-                if (is_forced) {
-                    ++pairs_pruned;
-                    continue;
-                }
-                std::uint32_t p_vt = types[static_cast<std::size_t>(p)];
-                if (fuse && result.typeinf.subtype(p_vt, child_vt)) {
-                    typeinf_pruned.insert({p, child});
-                    continue;
-                }
-                bool agrees =
-                    fuse && result.typeinf.subtype(child_vt, p_vt);
-                discounted += agrees ? 1 : 0;
-                edges.emplace_back(p, child);
-                edge_discounted.push_back(agrees ? 1 : 0);
-            }
-        }
-    }
-    {
-        // DKL pairs actually scheduled vs. pruned away by structural
-        // certainty (forced rule-3 parents cost nothing to keep) or
-        // by a contradicting solved subtype fact.
-        obs::Registry& reg = obs::Registry::global();
-        reg.counter("divergence.pairs_scheduled").add(edges.size());
-        reg.counter("divergence.pairs_pruned_forced").add(pairs_pruned);
-        reg.counter("typeinf.edges_pruned").add(typeinf_pruned.size());
-        reg.counter("typeinf.edges_discounted").add(discounted);
-    }
-    // ObservedUnion word sets: sort-deduplicate each type's sequences
-    // once (reusing the per-type cost plan), then each edge is a
-    // linear merge instead of a fresh std::set over both types.
+    std::vector<char> famdist_loaded(
+        static_cast<std::size_t>(num_families), 0);
+    std::vector<std::uint64_t> famdist_content(
+        static_cast<std::size_t>(num_families), 0);
+    std::vector<double> edge_weights;
+    std::vector<std::uint64_t> edge_costs;
     const bool observed_union = config.words.strategy ==
                                 divergence::WordSetStrategy::ObservedUnion;
     std::vector<divergence::WordSet> type_words;
-    if (observed_union) {
-        type_words.resize(static_cast<std::size_t>(n));
-        pool.parallel_for(
-            static_cast<std::size_t>(n), type_plan, [&](std::size_t t) {
-                type_words[t] = divergence::sorted_unique_words(seqs[t]);
-            });
-    }
+    {
+        obs::Span span("pipeline.distances");
+        for (int f = 0; f < num_families; ++f)
+            family_members[static_cast<std::size_t>(f)] =
+                result.structural.family_members(f);
 
-    // Edge cost ~ word-set size x per-word model walks; both scale
-    // with the two types' sequence volume.
-    std::vector<std::uint64_t> edge_costs(edges.size(), 1);
-    for (std::size_t e = 0; e < edges.size(); ++e) {
-        const auto [p, c] = edges[e];
-        edge_costs[e] = type_costs[static_cast<std::size_t>(p)] +
-                        type_costs[static_cast<std::size_t>(c)];
-    }
-    support::ChunkPlan edge_plan;
-    edge_plan.costs = edge_costs.data();
-    std::vector<double> edge_weights(edges.size(), 0.0);
-    pool.parallel_for(edges.size(), edge_plan, [&](std::size_t e) {
-        const auto [p, c] = edges[e];
-        divergence::WordSet words =
-            observed_union
-                ? divergence::merge_word_sets(
-                      type_words[static_cast<std::size_t>(p)],
-                      type_words[static_cast<std::size_t>(c)])
-                : divergence::build_word_set(
-                      config.words, seqs[static_cast<std::size_t>(p)],
-                      seqs[static_cast<std::size_t>(c)],
-                      models[static_cast<std::size_t>(p)].get(),
-                      alphabet_size);
-        if (!words.empty()) {
-            edge_weights[e] = divergence::pair_distance(
-                config.metric, *models[static_cast<std::size_t>(p)],
-                *models[static_cast<std::size_t>(c)], words);
+        std::uint64_t pairs_pruned = 0;
+        std::uint64_t discounted = 0;
+        // A candidate edge p -> child contradicts a solved fact when
+        // typeinf proved p itself derives from child (the edge would
+        // invert a known derivation): hard-pruned, never weighed. The
+        // agreeing direction (child derives from p) keeps the edge but
+        // discounts its distance. Forced rule-3 edges outrank both.
+        const bool fuse =
+            config.typeinf && !result.typeinf.types.empty();
+        for (int f = 0; f < num_families; ++f) {
+            fam_edge_begin[static_cast<std::size_t>(f)] = edges.size();
+            const auto& members =
+                family_members[static_cast<std::size_t>(f)];
+            if (members.size() >= 2) {
+                for (int child : members) {
+                    auto forced =
+                        result.structural.forced_parents.find(child);
+                    std::uint32_t child_vt =
+                        types[static_cast<std::size_t>(child)];
+                    for (int p :
+                         result.structural.possible_parents
+                             [static_cast<std::size_t>(child)]) {
+                        bool is_forced =
+                            forced !=
+                                result.structural.forced_parents.end() &&
+                            forced->second == p;
+                        if (is_forced) {
+                            ++pairs_pruned;
+                            continue;
+                        }
+                        std::uint32_t p_vt =
+                            types[static_cast<std::size_t>(p)];
+                        if (fuse &&
+                            result.typeinf.subtype(p_vt, child_vt)) {
+                            typeinf_pruned.insert({p, child});
+                            continue;
+                        }
+                        bool agrees =
+                            fuse &&
+                            result.typeinf.subtype(child_vt, p_vt);
+                        discounted += agrees ? 1 : 0;
+                        edges.emplace_back(p, child);
+                        edge_discounted.push_back(agrees ? 1 : 0);
+                    }
+                }
+            }
+            fam_edge_end[static_cast<std::size_t>(f)] = edges.size();
         }
-        // Solved-subtype agreement: cheapen the edge without ever
-        // touching the zero-cost floor forced edges stand on.
-        if (edge_discounted[e] && edge_weights[e] > 0.0)
-            edge_weights[e] *= config.typeinf_discount;
-    });
-    result.distances.reserve(edges.size());
-    for (std::size_t e = 0; e < edges.size(); ++e)
-        result.distances.emplace(edges[e], edge_weights[e]);
-    distances_span.end();
-    result.timing.distances_ms = distances_span.wall_ms();
+        {
+            // DKL pairs actually scheduled vs. pruned away by
+            // structural certainty (forced rule-3 parents cost nothing
+            // to keep) or by a contradicting solved subtype fact.
+            obs::Registry& reg = obs::Registry::global();
+            reg.counter("divergence.pairs_scheduled").add(edges.size());
+            reg.counter("divergence.pairs_pruned_forced")
+                .add(pairs_pruned);
+            reg.counter("typeinf.edges_pruned")
+                .add(typeinf_pruned.size());
+            reg.counter("typeinf.edges_discounted").add(discounted);
+        }
+        // Edge cost ~ word-set size x per-word model walks; both scale
+        // with the two types' sequence volume.
+        edge_weights.assign(edges.size(), 0.0);
+        edge_costs.assign(edges.size(), 1);
+        for (std::size_t e = 0; e < edges.size(); ++e) {
+            const auto [p, c] = edges[e];
+            edge_costs[e] = type_costs[static_cast<std::size_t>(p)] +
+                            type_costs[static_cast<std::size_t>(c)];
+        }
+        if (observed_union)
+            type_words.resize(static_cast<std::size_t>(n));
 
-    // ---- Per-family arborescences (parallel over families) -------------
-    obs::Span arborescence_span("pipeline.arborescence");
-    result.families.resize(static_cast<std::size_t>(num_families));
-    std::vector<int> ambiguous(static_cast<std::size_t>(num_families), 0);
-    // Forest enumeration is superlinear in family size; weigh chunks
-    // by members^2 so the handful of big families spread out.
-    std::vector<std::uint64_t> family_costs(
-        static_cast<std::size_t>(num_families), 1);
-    for (int f = 0; f < num_families; ++f) {
-        std::uint64_t m =
-            family_members[static_cast<std::size_t>(f)].size();
-        family_costs[static_cast<std::size_t>(f)] = 1 + m * m;
+        // Per-family distance-blob probe: a hit pre-fills the family's
+        // weight range (final, post-discount values) and replays the
+        // work counters the skipped evaluation would have bumped.
+        if (store) {
+            for (int f = 0; f < num_families; ++f) {
+                const std::size_t eb =
+                    fam_edge_begin[static_cast<std::size_t>(f)];
+                const std::size_t ee =
+                    fam_edge_end[static_cast<std::size_t>(f)];
+                if (eb == ee)
+                    continue;
+                std::uint64_t h =
+                    cache::mix(cache::kFnvSeed, ee - eb);
+                for (std::size_t e = eb; e < ee; ++e) {
+                    const auto [p, c] = edges[e];
+                    h = cache::mix(h, static_cast<std::uint64_t>(
+                                          static_cast<std::uint32_t>(p)));
+                    h = cache::mix(h, static_cast<std::uint64_t>(
+                                          static_cast<std::uint32_t>(c)));
+                    h = cache::mix(
+                        h, type_seq_hash[static_cast<std::size_t>(p)]);
+                    h = cache::mix(
+                        h, type_seq_hash[static_cast<std::size_t>(c)]);
+                    h = cache::mix(
+                        h, edge_discounted[e] ? 1 : 0);
+                }
+                famdist_content[static_cast<std::size_t>(f)] = h;
+                std::vector<std::uint8_t> blob;
+                if (!store->get({kFamilyDistanceKind, h, fp_dist},
+                                blob))
+                    continue;
+                cache::ByteReader in(blob);
+                FamilyDistanceBlob dist;
+                if (!decode_family_distances(in, &dist) ||
+                    dist.weights.size() != ee - eb)
+                    continue;
+                std::copy(dist.weights.begin(), dist.weights.end(),
+                          edge_weights.begin() +
+                              static_cast<std::ptrdiff_t>(eb));
+                famdist_loaded[static_cast<std::size_t>(f)] = 1;
+                obs::Registry& reg = obs::Registry::global();
+                reg.counter("divergence.pairs").add(dist.pairs);
+                reg.counter("divergence.words").add(dist.words);
+                reg.counter("slm.escapes").add(dist.escapes);
+            }
+        }
+        span.end();
     }
-    support::ChunkPlan family_plan;
-    family_plan.costs = family_costs.data();
-    pool.parallel_for(
-        static_cast<std::size_t>(num_families), family_plan,
-        [&](std::size_t f) {
-            result.families[f] = solve_family(
-                static_cast<int>(f), std::move(family_members[f]),
-                result.structural, result.distances, typeinf_pruned,
-                config, &ambiguous[f]);
-        });
-    for (int flag : ambiguous)
-        result.ambiguous_families += flag;
-    arborescence_span.end();
-    result.timing.arborescence_ms = arborescence_span.wall_ms();
+
+    // ---- Per-family task chains ----------------------------------------
+    result.families.resize(static_cast<std::size_t>(num_families));
+    std::vector<int> ambiguous(static_cast<std::size_t>(num_families),
+                               0);
+    // Per-family tallies of the work the distance chunks performed,
+    // captured via the thread-local mirrors (metrics.h, ppm.h) so a
+    // cold run can store exactly what a warm hit must replay.
+    std::vector<std::atomic<std::uint64_t>> fam_pairs(
+        static_cast<std::size_t>(num_families));
+    std::vector<std::atomic<std::uint64_t>> fam_words(
+        static_cast<std::size_t>(num_families));
+    std::vector<std::atomic<std::uint64_t>> fam_escapes(
+        static_cast<std::size_t>(num_families));
+
+    // Fixed chunk fan-out: larger than any sane worker count so big
+    // families spread across the pool, yet independent of it so the
+    // task graph is identical for every thread count.
+    constexpr std::size_t kTaskFanout = 16;
+
+    std::vector<support::Task> tasks;
+    for (int f = 0; f < num_families; ++f) {
+        const auto& members =
+            family_members[static_cast<std::size_t>(f)];
+        const std::size_t m = members.size();
+        const std::size_t eb =
+            fam_edge_begin[static_cast<std::size_t>(f)];
+        const std::size_t ee = fam_edge_end[static_cast<std::size_t>(f)];
+        const bool need_words =
+            observed_union && ee > eb &&
+            !famdist_loaded[static_cast<std::size_t>(f)];
+
+        std::vector<std::uint64_t> member_costs(m);
+        for (std::size_t pos = 0; pos < m; ++pos)
+            member_costs[pos] =
+                type_costs[static_cast<std::size_t>(members[pos])];
+        support::ChunkPlan member_plan;
+        member_plan.costs = member_costs.data();
+
+        std::vector<std::size_t> train_ids;
+        for (const support::Chunk& chunk :
+             support::plan_chunks(m, kTaskFanout, member_plan)) {
+            train_ids.push_back(tasks.size());
+            tasks.push_back(
+                {[&, f, chunk, need_words]() {
+                     const auto& mem =
+                         family_members[static_cast<std::size_t>(f)];
+                     {
+                         obs::Span span("pipeline.train");
+                         for (std::size_t pos = chunk.begin;
+                              pos < chunk.end; ++pos) {
+                             const std::size_t t =
+                                 static_cast<std::size_t>(mem[pos]);
+                             if (store) {
+                                 cache::ArtifactKey key{
+                                     kSlmArtifactKind, type_seq_hash[t],
+                                     fp_slm};
+                                 std::vector<std::uint8_t> blob;
+                                 if (store->get(key, blob)) {
+                                     cache::ByteReader in(blob);
+                                     if (auto model = slm::restore_model(
+                                             config.slm, alphabet_size,
+                                             in)) {
+                                         slm::record_training_metrics(
+                                             *model, seqs[t]);
+                                         models[t] = std::move(model);
+                                     }
+                                 }
+                                 if (!models[t]) {
+                                     models[t] = slm::train_model(
+                                         config.slm, alphabet_size,
+                                         seqs[t]);
+                                     cache::ByteWriter out;
+                                     slm::snapshot_model(*models[t],
+                                                         out);
+                                     store->put(key, out.take());
+                                 }
+                             } else {
+                                 models[t] = slm::train_model(
+                                     config.slm, alphabet_size,
+                                     seqs[t]);
+                             }
+                         }
+                         span.end();
+                     }
+                     if (need_words) {
+                         // ObservedUnion word sets: sort-deduplicate
+                         // each type's sequences once, so each edge is
+                         // a linear merge instead of a fresh std::set
+                         // over both types.
+                         obs::Span span("pipeline.distances");
+                         for (std::size_t pos = chunk.begin;
+                              pos < chunk.end; ++pos) {
+                             const std::size_t t =
+                                 static_cast<std::size_t>(mem[pos]);
+                             type_words[t] =
+                                 divergence::sorted_unique_words(
+                                     seqs[t]);
+                         }
+                         span.end();
+                     }
+                 },
+                 {}});
+        }
+
+        std::vector<std::size_t> dist_ids;
+        if (ee > eb) {
+            support::ChunkPlan edge_plan;
+            edge_plan.costs = edge_costs.data() + eb;
+            for (const support::Chunk& chunk :
+                 support::plan_chunks(ee - eb, kTaskFanout, edge_plan)) {
+                dist_ids.push_back(tasks.size());
+                tasks.push_back(
+                    {[&, f, eb, chunk]() {
+                         obs::Span span("pipeline.distances");
+                         if (!famdist_loaded[static_cast<std::size_t>(
+                                 f)]) {
+                             const divergence::PairTally before =
+                                 divergence::thread_pair_tally();
+                             const std::uint64_t escapes_before =
+                                 slm::thread_escape_tally();
+                             for (std::size_t i = chunk.begin;
+                                  i < chunk.end; ++i) {
+                                 const std::size_t e = eb + i;
+                                 const auto [p, c] = edges[e];
+                                 divergence::WordSet words =
+                                     observed_union
+                                         ? divergence::merge_word_sets(
+                                               type_words
+                                                   [static_cast<
+                                                       std::size_t>(p)],
+                                               type_words
+                                                   [static_cast<
+                                                       std::size_t>(c)])
+                                         : divergence::build_word_set(
+                                               config.words,
+                                               seqs[static_cast<
+                                                   std::size_t>(p)],
+                                               seqs[static_cast<
+                                                   std::size_t>(c)],
+                                               models[static_cast<
+                                                          std::size_t>(
+                                                          p)]
+                                                   .get(),
+                                               alphabet_size);
+                                 if (!words.empty()) {
+                                     edge_weights[e] =
+                                         divergence::pair_distance(
+                                             config.metric,
+                                             *models[static_cast<
+                                                 std::size_t>(p)],
+                                             *models[static_cast<
+                                                 std::size_t>(c)],
+                                             words);
+                                 }
+                                 // Solved-subtype agreement: cheapen
+                                 // the edge without ever touching the
+                                 // zero-cost floor forced edges stand
+                                 // on.
+                                 if (edge_discounted[e] &&
+                                     edge_weights[e] > 0.0)
+                                     edge_weights[e] *=
+                                         config.typeinf_discount;
+                             }
+                             const divergence::PairTally after =
+                                 divergence::thread_pair_tally();
+                             fam_pairs[static_cast<std::size_t>(f)] +=
+                                 after.pairs - before.pairs;
+                             fam_words[static_cast<std::size_t>(f)] +=
+                                 after.words - before.words;
+                             fam_escapes[static_cast<std::size_t>(f)] +=
+                                 slm::thread_escape_tally() -
+                                 escapes_before;
+                         }
+                         span.end();
+                     },
+                     train_ids});
+            }
+        }
+
+        tasks.push_back(
+            {[&, f, eb, ee]() {
+                 obs::Span span("pipeline.arborescence");
+                 auto& mem =
+                     family_members[static_cast<std::size_t>(f)];
+                 // The family's weight range is final: persist it (plus
+                 // the counter tallies) if this run computed it.
+                 if (store && ee > eb &&
+                     !famdist_loaded[static_cast<std::size_t>(f)]) {
+                     FamilyDistanceBlob blob;
+                     blob.weights.assign(
+                         edge_weights.begin() +
+                             static_cast<std::ptrdiff_t>(eb),
+                         edge_weights.begin() +
+                             static_cast<std::ptrdiff_t>(ee));
+                     blob.pairs =
+                         fam_pairs[static_cast<std::size_t>(f)].load();
+                     blob.words =
+                         fam_words[static_cast<std::size_t>(f)].load();
+                     blob.escapes =
+                         fam_escapes[static_cast<std::size_t>(f)]
+                             .load();
+                     cache::ByteWriter out;
+                     encode_family_distances(blob, out);
+                     store->put(
+                         {kFamilyDistanceKind,
+                          famdist_content[static_cast<std::size_t>(f)],
+                          fp_dist},
+                         out.take());
+                 }
+                 // Local view of this family's distances (solve_family
+                 // and the famsolve content key both read it).
+                 DistanceMap local;
+                 local.reserve(ee - eb);
+                 for (std::size_t e = eb; e < ee; ++e)
+                     local.emplace(edges[e], edge_weights[e]);
+
+                 bool solved = false;
+                 std::uint64_t content = 0;
+                 if (store && mem.size() >= 2) {
+                     content = famsolve_content(mem, result.structural,
+                                                local, typeinf_pruned);
+                     std::vector<std::uint8_t> blob;
+                     if (store->get({kFamilySolveKind, content,
+                                     fp_solve},
+                                    blob)) {
+                         cache::ByteReader in(blob);
+                         FamilySolveBlob sol;
+                         if (decode_family_solution(in, &sol) &&
+                             sol.m == static_cast<int>(mem.size())) {
+                             obs::Registry& reg =
+                                 obs::Registry::global();
+                             reg.counter(
+                                    "arborescence.families_solved")
+                                 .add();
+                             reg.counter(
+                                    "arborescence.cooptimal_forests")
+                                 .add(sol.cooptimal);
+                             reg.counter("arborescence."
+                                         "ties_majority_resolved")
+                                 .add(sol.resolved);
+                             if (sol.structurally_ambiguous) {
+                                 reg.counter(
+                                        "arborescence."
+                                        "structurally_ambiguous")
+                                     .add();
+                             }
+                             reg.counter("graph.edmonds.contractions")
+                                 .add(sol.contractions);
+                             FamilyResult fam;
+                             fam.family_id = f;
+                             fam.structurally_ambiguous =
+                                 sol.structurally_ambiguous;
+                             for (const auto& lp : sol.alternatives) {
+                                 std::vector<int> parents(mem.size(),
+                                                          -1);
+                                 for (std::size_t i = 0;
+                                      i < mem.size(); ++i) {
+                                     if (lp[i] >= 0)
+                                         parents[i] =
+                                             mem[static_cast<
+                                                 std::size_t>(lp[i])];
+                                 }
+                                 fam.alternatives.push_back(
+                                     std::move(parents));
+                             }
+                             ambiguous[static_cast<std::size_t>(f)] =
+                                 sol.structurally_ambiguous ? 1 : 0;
+                             fam.members = std::move(mem);
+                             result.families[static_cast<std::size_t>(
+                                 f)] = std::move(fam);
+                             solved = true;
+                         }
+                     }
+                 }
+                 if (!solved) {
+                     const std::uint64_t contractions_before =
+                         graph::thread_contraction_tally();
+                     SolveOutcome out = solve_family(
+                         f, std::move(mem), result.structural, local,
+                         typeinf_pruned, config);
+                     const std::uint64_t contractions =
+                         graph::thread_contraction_tally() -
+                         contractions_before;
+                     ambiguous[static_cast<std::size_t>(f)] =
+                         out.ambiguous;
+                     if (store && out.fam.members.size() >= 2) {
+                         FamilySolveBlob sol;
+                         sol.m = static_cast<int>(
+                             out.fam.members.size());
+                         sol.structurally_ambiguous =
+                             out.fam.structurally_ambiguous;
+                         sol.cooptimal = out.cooptimal;
+                         sol.resolved = out.resolved;
+                         sol.contractions = contractions;
+                         for (const auto& parents :
+                              out.fam.alternatives) {
+                             std::vector<int> lp(parents.size(), -1);
+                             for (std::size_t i = 0;
+                                  i < parents.size(); ++i) {
+                                 if (parents[i] >= 0)
+                                     lp[i] = member_pos(
+                                         out.fam.members, parents[i]);
+                             }
+                             sol.alternatives.push_back(std::move(lp));
+                         }
+                         cache::ByteWriter w;
+                         encode_family_solution(sol, w);
+                         store->put(
+                             {kFamilySolveKind, content, fp_solve},
+                             w.take());
+                     }
+                     result.families[static_cast<std::size_t>(f)] =
+                         std::move(out.fam);
+                 }
+                 span.end();
+             },
+             dist_ids.empty() ? train_ids : dist_ids});
+    }
+    pool.run_tasks(tasks);
+
+    // ---- Serial merges (deterministic order) ---------------------------
+    {
+        obs::Span span("pipeline.distances");
+        result.distances.reserve(edges.size());
+        for (std::size_t e = 0; e < edges.size(); ++e)
+            result.distances.emplace(edges[e], edge_weights[e]);
+        span.end();
+    }
+    {
+        obs::Span span("pipeline.arborescence");
+        for (int flag : ambiguous)
+            result.ambiguous_families += flag;
+        span.end();
+    }
+    const auto tail_after = obs::span_wall_totals();
+    result.timing.train_ms =
+        span_total(tail_after, "pipeline.train") -
+        span_total(tail_before, "pipeline.train");
+    result.timing.distances_ms =
+        span_total(tail_after, "pipeline.distances") -
+        span_total(tail_before, "pipeline.distances");
+    result.timing.arborescence_ms =
+        span_total(tail_after, "pipeline.arborescence") -
+        span_total(tail_before, "pipeline.arborescence");
 
     std::vector<int> first(result.families.size(), 0);
     result.hierarchy = result.hierarchy_with(first);
+
+    // A completed run vouches for every artifact it stored: publish
+    // the manifest so the next identical run reports itself warm.
+    if (store && !warm) {
+        cache::ByteWriter w;
+        w.u64(manifest_content);
+        store->put({kManifestKind, manifest_content, manifest_fp},
+                   w.take());
+    }
     total_span.end();
     result.timing.total_ms = total_span.wall_ms();
 

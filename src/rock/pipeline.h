@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -31,6 +32,10 @@
 #include "slm/model.h"
 #include "structural/structural.h"
 #include "typeinf/typeinf.h"
+
+namespace rock::cache {
+class ArtifactCache;
+}
 
 namespace rock::core {
 
@@ -84,6 +89,16 @@ struct RockConfig {
      * (enforced by tests/determinism_test.cc).
      */
     int threads = 1;
+    /**
+     * Content-addressed artifact store memoizing per-body symexec
+     * tracelets, per-rep typeinf constraint batches, per-type SLM
+     * snapshots and per-family distance/arborescence blobs
+     * (cache/artifact_cache.h). Resolved against
+     * cache::default_cache() when null; caching is off entirely when
+     * both are null. Artifact fingerprints never include the thread
+     * count, so warm results are bit-identical across pool sizes.
+     */
+    std::shared_ptr<cache::ArtifactCache> cache;
 };
 
 /**

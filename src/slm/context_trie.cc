@@ -108,6 +108,38 @@ ContextTrie::child(NodeId node, int symbol) const
     return it->second;
 }
 
+bool
+ContextTrie::restore(
+    std::vector<std::vector<std::pair<int, int>>> counts,
+    std::vector<std::vector<std::pair<int, NodeId>>> children,
+    std::vector<long> totals)
+{
+    nodes_.clear();
+    totals_.clear();
+    nodes_.emplace_back();
+    totals_.push_back(0);
+
+    const std::size_t n = counts.size();
+    if (n == 0 || children.size() != n || totals.size() != n)
+        return false;
+    for (const auto& kids : children) {
+        for (const auto& [symbol, kid] : kids) {
+            (void)symbol;
+            if (kid <= kRoot || static_cast<std::size_t>(kid) >= n)
+                return false;
+        }
+    }
+
+    nodes_.clear();
+    nodes_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        nodes_[i].counts = std::move(counts[i]);
+        nodes_[i].children = std::move(children[i]);
+    }
+    totals_ = std::move(totals);
+    return true;
+}
+
 std::vector<std::vector<std::pair<int, long>>>
 ContextTrie::count_of_counts() const
 {

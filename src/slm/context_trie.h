@@ -83,6 +83,30 @@ class ContextTrie {
     /** Child of @p node for previous-symbol @p symbol, or -1. */
     NodeId child(NodeId node, int symbol) const;
 
+    /**
+     * Child links of @p node: (previous context symbol, arena index)
+     * pairs sorted by symbol ascending. Snapshot/traversal surface;
+     * indices are stable because the arena never reorders.
+     */
+    const std::vector<std::pair<int, NodeId>>& children_of(
+        NodeId node) const
+    {
+        return nodes_[static_cast<std::size_t>(node)].children;
+    }
+
+    /**
+     * Replace the whole arena from snapshot data (src/slm/snapshot.h).
+     * Node 0 is the root; `counts`/`children`/`totals` are parallel
+     * per-node vectors in arena order, each (key, value) list sorted
+     * by key ascending. Returns false -- leaving the trie as a fresh
+     * root-only arena -- when the shapes are inconsistent (size
+     * mismatch, empty arena, or a child index outside the arena).
+     */
+    bool restore(
+        std::vector<std::vector<std::pair<int, int>>> counts,
+        std::vector<std::vector<std::pair<int, NodeId>>> children,
+        std::vector<long> totals);
+
     /** Count-of-counts per context order (for Good-Turing). */
     std::vector<std::vector<std::pair<int, long>>>
     count_of_counts() const;

@@ -18,6 +18,15 @@ KatzModel::train(const std::vector<int>& seq)
 }
 
 void
+KatzModel::adopt_trie(ContextTrie trie)
+{
+    ROCK_ASSERT(trie.depth() == trie_.depth(),
+                "trie snapshot depth mismatch");
+    trie_ = std::move(trie);
+    coc_valid_ = false;
+}
+
+void
 KatzModel::finalize()
 {
     if (coc_valid_)

@@ -35,6 +35,12 @@ class KatzModel final : public LanguageModel {
     void finalize() override;
     int alphabet_size() const override { return alphabet_size_; }
 
+    const ContextTrie& trie() const { return trie_; }
+
+    /** Replace the trained trie (snapshot restore). The depth must
+     *  match the constructed depth; the caller re-finalizes. */
+    void adopt_trie(ContextTrie trie);
+
   private:
     /** Discount factor d_r for a raw count @p r at @p order. */
     double discount(int order, int r) const;

@@ -57,31 +57,33 @@ train_model(const ModelConfig& config, int alphabet_size,
             const std::vector<std::vector<int>>& sequences)
 {
     auto model = make_model(config, alphabet_size);
-    std::uint64_t symbols = 0;
-    for (const auto& seq : sequences) {
+    for (const auto& seq : sequences)
         model->train(seq);
-        symbols += seq.size();
-    }
     model->finalize();
-    if (obs::metrics_enabled()) {
-        obs::Registry& reg = obs::Registry::global();
-        static obs::Counter& trained =
-            reg.counter("slm.models_trained");
-        static obs::Counter& seqs =
-            reg.counter("slm.training_sequences");
-        static obs::Counter& syms =
-            reg.counter("slm.training_symbols");
-        trained.add();
-        seqs.add(sequences.size());
-        syms.add(symbols);
-        if (const auto* ppm = dynamic_cast<const PpmModel*>(
-                model.get())) {
-            static obs::Counter& nodes =
-                reg.counter("slm.trie_nodes");
-            nodes.add(ppm->trie().node_count());
-        }
-    }
+    record_training_metrics(*model, sequences);
     return model;
+}
+
+void
+record_training_metrics(const LanguageModel& model,
+                        const std::vector<std::vector<int>>& sequences)
+{
+    if (!obs::metrics_enabled())
+        return;
+    std::uint64_t symbols = 0;
+    for (const auto& seq : sequences)
+        symbols += seq.size();
+    obs::Registry& reg = obs::Registry::global();
+    static obs::Counter& trained = reg.counter("slm.models_trained");
+    static obs::Counter& seqs = reg.counter("slm.training_sequences");
+    static obs::Counter& syms = reg.counter("slm.training_symbols");
+    trained.add();
+    seqs.add(sequences.size());
+    syms.add(symbols);
+    if (const auto* ppm = dynamic_cast<const PpmModel*>(&model)) {
+        static obs::Counter& nodes = reg.counter("slm.trie_nodes");
+        nodes.add(ppm->trie().node_count());
+    }
 }
 
 } // namespace rock::slm

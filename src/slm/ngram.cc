@@ -14,6 +14,14 @@ NGramModel::train(const std::vector<int>& seq)
     trie_.add_sequence(seq);
 }
 
+void
+NGramModel::adopt_trie(ContextTrie trie)
+{
+    ROCK_ASSERT(trie.depth() == trie_.depth(),
+                "trie snapshot depth mismatch");
+    trie_ = std::move(trie);
+}
+
 double
 NGramModel::prob(int symbol, const std::vector<int>& context) const
 {

@@ -23,6 +23,12 @@ class NGramModel final : public LanguageModel {
                 const std::vector<int>& context) const override;
     int alphabet_size() const override { return alphabet_size_; }
 
+    const ContextTrie& trie() const { return trie_; }
+
+    /** Replace the trained trie (snapshot restore). The depth must
+     *  match the constructed depth. */
+    void adopt_trie(ContextTrie trie);
+
   private:
     ContextTrie trie_;
     int alphabet_size_;

@@ -52,6 +52,10 @@ class PpmModel final : public LanguageModel {
 
     const ContextTrie& trie() const { return trie_; }
 
+    /** Replace the trained trie (snapshot restore). The depth must
+     *  match the constructed depth; the caller re-finalizes. */
+    void adopt_trie(ContextTrie trie);
+
   private:
     /**
      * The general evaluator: handles exclusion and un-finalized

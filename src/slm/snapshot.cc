@@ -1,0 +1,123 @@
+#include "slm/snapshot.h"
+
+#include <utility>
+#include <vector>
+
+#include "slm/context_trie.h"
+#include "slm/katz.h"
+#include "slm/ngram.h"
+#include "slm/ppm.h"
+#include "support/error.h"
+
+namespace rock::slm {
+
+namespace {
+
+const ContextTrie&
+trie_of(const LanguageModel& model)
+{
+    if (const auto* ppm = dynamic_cast<const PpmModel*>(&model))
+        return ppm->trie();
+    if (const auto* katz = dynamic_cast<const KatzModel*>(&model))
+        return katz->trie();
+    if (const auto* ngram = dynamic_cast<const NGramModel*>(&model))
+        return ngram->trie();
+    support::panic("snapshot_model: unknown model family");
+}
+
+} // namespace
+
+void
+snapshot_model(const LanguageModel& model, cache::ByteWriter& out)
+{
+    const ContextTrie& trie = trie_of(model);
+    const std::size_t n = trie.node_count();
+    out.i32(trie.depth());
+    out.u64(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto node = static_cast<ContextTrie::NodeId>(i);
+        const auto& counts = trie.counts(node);
+        out.u32(static_cast<std::uint32_t>(counts.size()));
+        for (const auto& [symbol, count] : counts) {
+            out.i32(symbol);
+            out.i32(count);
+        }
+        const auto& children = trie.children_of(node);
+        out.u32(static_cast<std::uint32_t>(children.size()));
+        for (const auto& [symbol, kid] : children) {
+            out.i32(symbol);
+            out.i32(kid);
+        }
+        out.i64(trie.total(node));
+    }
+}
+
+std::unique_ptr<LanguageModel>
+restore_model(const ModelConfig& config, int alphabet_size,
+              cache::ByteReader& in)
+{
+    int depth = in.i32();
+    std::uint64_t n = in.u64();
+    if (!in.ok() || depth != config.depth || n == 0)
+        return nullptr;
+    // Every node costs at least 9 payload bytes; reject fabricated
+    // counts before any allocation sized from them.
+    if (n > in.remaining())
+        return nullptr;
+
+    std::vector<std::vector<std::pair<int, int>>> counts(
+        static_cast<std::size_t>(n));
+    std::vector<std::vector<std::pair<int, ContextTrie::NodeId>>>
+        children(static_cast<std::size_t>(n));
+    std::vector<long> totals(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint32_t num_counts = in.u32();
+        if (!in.ok() || num_counts > in.remaining())
+            return nullptr;
+        counts[i].reserve(num_counts);
+        for (std::uint32_t k = 0; k < num_counts; ++k) {
+            int symbol = in.i32();
+            int count = in.i32();
+            if (symbol < 0 || symbol >= alphabet_size || count <= 0)
+                return nullptr;
+            counts[i].emplace_back(symbol, count);
+        }
+        std::uint32_t num_children = in.u32();
+        if (!in.ok() || num_children > in.remaining())
+            return nullptr;
+        children[i].reserve(num_children);
+        for (std::uint32_t k = 0; k < num_children; ++k) {
+            int symbol = in.i32();
+            int kid = in.i32();
+            if (symbol < 0 || symbol >= alphabet_size)
+                return nullptr;
+            children[i].emplace_back(
+                symbol, static_cast<ContextTrie::NodeId>(kid));
+        }
+        std::int64_t total = in.i64();
+        if (total < 0)
+            return nullptr;
+        totals[i] = static_cast<long>(total);
+    }
+    if (!in.at_end())
+        return nullptr;
+
+    ContextTrie trie(depth);
+    if (!trie.restore(std::move(counts), std::move(children),
+                      std::move(totals)))
+        return nullptr;
+
+    auto model = make_model(config, alphabet_size);
+    if (auto* ppm = dynamic_cast<PpmModel*>(model.get()))
+        ppm->adopt_trie(std::move(trie));
+    else if (auto* katz = dynamic_cast<KatzModel*>(model.get()))
+        katz->adopt_trie(std::move(trie));
+    else if (auto* ngram = dynamic_cast<NGramModel*>(model.get()))
+        ngram->adopt_trie(std::move(trie));
+    else
+        return nullptr;
+    model->finalize();
+    return model;
+}
+
+} // namespace rock::slm

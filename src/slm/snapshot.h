@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Trained-model snapshots for the artifact cache (src/cache/).
+ *
+ * A trained model is its count trie: every finalize() product (PPM
+ * probability vectors, Katz count-of-counts) is a pure function of
+ * the trie plus the constructor knobs, so the snapshot stores only
+ * the trie and the restore path re-runs finalize(). The producer's
+ * and consumer's ModelConfig / alphabet size are part of the cache
+ * key's fingerprint, never of the payload.
+ *
+ * Caveat for key builders: tries store *interned* symbol ids, so a
+ * snapshot is only valid under the exact global alphabet that
+ * produced it -- fingerprints must fold in an alphabet digest (see
+ * src/rock/artifacts.h).
+ */
+#pragma once
+
+#include <memory>
+
+#include "cache/artifact_cache.h"
+#include "slm/model.h"
+
+namespace rock::slm {
+
+/**
+ * Append a snapshot of @p model's trained trie to @p out. The model
+ * must be one of the three concrete families (always true for
+ * make_model() products).
+ */
+void snapshot_model(const LanguageModel& model, cache::ByteWriter& out);
+
+/**
+ * Rebuild a finalized model from a snapshot produced under the same
+ * (config, alphabet_size). Returns nullptr on any malformed input
+ * (truncation, bit flips, shape mismatch) -- the caller treats that
+ * as a cache miss and retrains.
+ */
+std::unique_ptr<LanguageModel> restore_model(const ModelConfig& config,
+                                             int alphabet_size,
+                                             cache::ByteReader& in);
+
+} // namespace rock::slm

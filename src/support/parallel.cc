@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <queue>
+#include <stdexcept>
 
 #include "obs/metrics.h"
 
@@ -224,6 +226,132 @@ ThreadPool::parallel_for(std::size_t count, const ChunkPlan& plan,
     chunks_ = &chunks;
     next_chunk_.store(0, std::memory_order_relaxed);
     run_generation(count, body);
+}
+
+void
+ThreadPool::run_tasks(std::vector<Task>& tasks)
+{
+    PoolMetrics& metrics = pool_metrics();
+    metrics.loops.add();
+    metrics.items.add(tasks.size());
+    metrics.workers.set(static_cast<double>(num_workers_));
+    if (tasks.empty())
+        return;
+
+    const std::size_t n = tasks.size();
+    std::vector<std::size_t> pending(n, 0);
+    std::vector<std::vector<std::size_t>> dependents(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t d : tasks[i].deps) {
+            if (d >= n) {
+                throw std::runtime_error(
+                    "run_tasks: dependency index out of range");
+            }
+            dependents[d].push_back(i);
+            ++pending[i];
+        }
+    }
+
+    // Lowest ready index first: a valid topological order that is
+    // also the one fixed serial schedule of the size-1 pool.
+    std::priority_queue<std::size_t, std::vector<std::size_t>,
+                        std::greater<std::size_t>>
+        ready;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (pending[i] == 0)
+            ready.push(i);
+    }
+
+    std::size_t remaining = n;
+    std::exception_ptr first_error;
+    bool cancelled = false;
+
+    auto finish_task = [&](std::size_t t) {
+        --remaining;
+        for (std::size_t dep : dependents[t]) {
+            if (--pending[dep] == 0)
+                ready.push(dep);
+        }
+    };
+
+    if (workers_.empty() || n < 2) {
+        auto t0 = std::chrono::steady_clock::now();
+        while (remaining > 0) {
+            if (ready.empty())
+                throw std::runtime_error(
+                    "run_tasks: unsatisfiable dependencies");
+            std::size_t t = ready.top();
+            ready.pop();
+            if (!cancelled) {
+                try {
+                    tasks[t].fn();
+                } catch (...) {
+                    if (!first_error)
+                        first_error = std::current_exception();
+                    cancelled = true;
+                }
+            }
+            finish_task(t);
+        }
+        metrics.busy_ms.observe(
+            ms_between(t0, std::chrono::steady_clock::now()));
+        metrics.utilization.set(1.0);
+        if (first_error)
+            std::rethrow_exception(first_error);
+        return;
+    }
+
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t running = 0;
+    std::function<void(std::size_t)> body = [&](std::size_t) {
+        std::unique_lock<std::mutex> lock(m);
+        for (;;) {
+            while (ready.empty() && remaining > 0 && running > 0)
+                cv.wait(lock);
+            if (remaining == 0) {
+                cv.notify_all();
+                return;
+            }
+            if (ready.empty()) {
+                // No runnable task, none in flight, work left: the
+                // graph cannot make progress (dependency cycle).
+                if (!first_error) {
+                    first_error =
+                        std::make_exception_ptr(std::runtime_error(
+                            "run_tasks: unsatisfiable dependencies"));
+                }
+                cancelled = true;
+                remaining = 0;
+                cv.notify_all();
+                return;
+            }
+            std::size_t t = ready.top();
+            ready.pop();
+            ++running;
+            bool skip = cancelled;
+            lock.unlock();
+            if (!skip) {
+                try {
+                    tasks[t].fn();
+                } catch (...) {
+                    lock.lock();
+                    if (!first_error)
+                        first_error = std::current_exception();
+                    cancelled = true;
+                    lock.unlock();
+                }
+            }
+            lock.lock();
+            --running;
+            finish_task(t);
+            if (remaining == 0 || !ready.empty())
+                cv.notify_all();
+        }
+    };
+    run_generation(num_workers_, body);
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 void

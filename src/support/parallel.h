@@ -85,6 +85,15 @@ struct Chunk {
 };
 
 /**
+ * One node of a ThreadPool::run_tasks() dependency graph: a thunk
+ * plus the indices of the tasks that must complete before it may run.
+ */
+struct Task {
+    std::function<void()> fn;
+    std::vector<std::size_t> deps;
+};
+
+/**
  * Partition [0, count) into contiguous chunks of roughly equal cost
  * for @p workers workers under @p plan. Deterministic: depends only
  * on (count, costs, workers, plan), never on scheduling.
@@ -136,6 +145,28 @@ class ThreadPool {
      */
     void parallel_for(std::size_t count, const ChunkPlan& plan,
                       const std::function<void(std::size_t)>& body);
+
+    /**
+     * Execute a dependency DAG of tasks: each task runs after all of
+     * its deps, idle workers claim whatever is ready (lowest index
+     * first), and the call blocks until the whole graph has drained.
+     * This is the per-family stage-pipelining primitive: independent
+     * chains (one per family) flow through the pool concurrently with
+     * no global barrier between pipeline stages.
+     *
+     * Determinism contract: like parallel_for, each task must write
+     * only its own slots; the task *count* and graph shape must not
+     * depend on the worker count (they feed the deterministic
+     * `threadpool.items` counter). A pool of size 1 runs ready tasks
+     * inline in ascending index order -- a valid topological order and
+     * the exact serial schedule every time.
+     *
+     * The first exception thrown by a task cancels every task not yet
+     * started (their fns never run) and is rethrown here after the
+     * graph drains. A graph with unsatisfiable deps (cycle,
+     * out-of-range index) throws without deadlocking.
+     */
+    void run_tasks(std::vector<Task>& tasks);
 
   private:
     void worker_loop(std::size_t worker_index);

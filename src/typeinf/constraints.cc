@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cache/artifact_cache.h"
 #include "cfg/analyses.h"
 #include "support/error.h"
 #include "support/str.h"
@@ -359,6 +360,60 @@ FunctionScanner::scan()
     return batch_;
 }
 
+// ---- "typeinf" artifact codec -----------------------------------------
+// Payload: one representative body's Batch, before the per-alias
+// variable/address rebase (the rebase is pure arithmetic, so caching
+// the batch reproduces the merged ConstraintSet bit for bit).
+
+void
+encode_batch(const Batch& batch, cache::ByteWriter& w)
+{
+    w.i32(batch.num_vars);
+    w.i32(batch.this_var);
+    w.u32(static_cast<std::uint32_t>(batch.constraints.size()));
+    for (const Constraint& c : batch.constraints) {
+        w.u8(static_cast<std::uint8_t>(c.kind));
+        w.i32(c.var);
+        w.i32(c.offset);
+        w.u32(c.vtable);
+        w.i32(c.slot);
+        w.u32(c.callee);
+        w.u8(c.is_store ? 1 : 0);
+        w.u32(c.func_addr);
+        w.u32(c.addr);
+    }
+}
+
+bool
+decode_batch(const std::vector<std::uint8_t>& blob, Batch& batch)
+{
+    cache::ByteReader r(blob);
+    batch = Batch{};
+    batch.num_vars = r.i32();
+    batch.this_var = r.i32();
+    std::uint32_t n = r.u32();
+    if (!r.ok() || n > r.remaining())
+        return false;
+    batch.constraints.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Constraint& c = batch.constraints[i];
+        std::uint8_t kind = r.u8();
+        if (kind >
+            static_cast<std::uint8_t>(ConstraintKind::FieldAccess))
+            return false;
+        c.kind = static_cast<ConstraintKind>(kind);
+        c.var = r.i32();
+        c.offset = r.i32();
+        c.vtable = r.u32();
+        c.slot = r.i32();
+        c.callee = r.u32();
+        c.is_store = r.u8() != 0;
+        c.func_addr = r.u32();
+        c.addr = r.u32();
+    }
+    return r.at_end();
+}
+
 } // namespace
 
 const char*
@@ -405,6 +460,17 @@ generate_constraints(const bir::BinaryImage& image,
                      const std::vector<analysis::VTableInfo>& vtables,
                      support::ThreadPool& pool)
 {
+    return generate_constraints(image, cache, vtables, pool, nullptr);
+}
+
+ConstraintSet
+generate_constraints(const bir::BinaryImage& image,
+                     const cfg::CfgCache& cache,
+                     const std::vector<analysis::VTableInfo>& vtables,
+                     support::ThreadPool& pool,
+                     const std::shared_ptr<cache::ArtifactCache>&
+                         artifacts)
+{
     ROCK_ASSERT(cache.built(), "CfgCache must be built before "
                                "constraint generation");
     const std::size_t n = cache.size();
@@ -427,6 +493,20 @@ generate_constraints(const bir::BinaryImage& image,
         rep_index[i] = it->second;
     }
 
+    // Memoization fingerprint: the scan reads the rep's CFG, the
+    // vtable address set and the function table (direct-call targets
+    // are checked against it), all covered by the image digest +
+    // vtable fold below. Worker count deliberately excluded.
+    cache::ArtifactCache* store = artifacts.get();
+    std::uint64_t fp = 0;
+    if (store) {
+        fp = cache::mix(cache::kFnvSeed, cache::kSchemaVersion);
+        fp = cache::mix(fp, cfg::image_digest(image));
+        fp = cache::mix(fp, vtable_addrs.size());
+        for (const auto& vt : vtables)
+            fp = cache::mix(fp, vt.addr);
+    }
+
     std::vector<Batch> rep_batches(group_rep.size());
     std::vector<std::uint64_t> group_costs(group_rep.size(), 1);
     for (std::size_t g = 0; g < group_rep.size(); ++g)
@@ -434,6 +514,24 @@ generate_constraints(const bir::BinaryImage& image,
     support::ChunkPlan plan;
     plan.costs = group_costs.data();
     pool.parallel_for(group_rep.size(), plan, [&](std::size_t g) {
+        if (store) {
+            std::uint64_t content = cache::mix(
+                cache::kFnvSeed, cache.content_hash(group_rep[g]));
+            content = cache::mix(content,
+                                 image.functions[group_rep[g]].addr);
+            cache::ArtifactKey key{"typeinf", content, fp};
+            std::vector<std::uint8_t> blob;
+            if (store->get(key, blob) &&
+                decode_batch(blob, rep_batches[g]))
+                return;
+            FunctionScanner scanner(image, cache.at(group_rep[g]),
+                                    vtable_addrs);
+            rep_batches[g] = scanner.scan();
+            cache::ByteWriter w;
+            encode_batch(rep_batches[g], w);
+            store->put(key, w.take());
+            return;
+        }
         FunctionScanner scanner(image, cache.at(group_rep[g]),
                                 vtable_addrs);
         rep_batches[g] = scanner.scan();

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,10 @@
 #include "bir/image.h"
 #include "cfg/cfg_cache.h"
 #include "support/parallel.h"
+
+namespace rock::cache {
+class ArtifactCache;
+}
 
 namespace rock::typeinf {
 
@@ -112,5 +117,20 @@ generate_constraints(const bir::BinaryImage& image,
                      const cfg::CfgCache& cache,
                      const std::vector<analysis::VTableInfo>& vtables,
                      support::ThreadPool& pool);
+
+/**
+ * As above, memoizing each representative body's scan in
+ * @p artifacts (kind "typeinf") when non-null. Keys cover the rep's
+ * body hash + entry address; fingerprints cover the image digest and
+ * the vtable address set, never the pool size -- warm results are
+ * bit-identical across thread counts.
+ */
+ConstraintSet
+generate_constraints(const bir::BinaryImage& image,
+                     const cfg::CfgCache& cache,
+                     const std::vector<analysis::VTableInfo>& vtables,
+                     support::ThreadPool& pool,
+                     const std::shared_ptr<cache::ArtifactCache>&
+                         artifacts);
 
 } // namespace rock::typeinf

@@ -45,13 +45,22 @@ infer(const bir::BinaryImage& image, const cfg::CfgCache& cache,
       const std::vector<analysis::VTableInfo>& vtables,
       support::ThreadPool& pool)
 {
+    return infer(image, cache, vtables, pool, nullptr);
+}
+
+TypeInfResult
+infer(const bir::BinaryImage& image, const cfg::CfgCache& cache,
+      const std::vector<analysis::VTableInfo>& vtables,
+      support::ThreadPool& pool,
+      const std::shared_ptr<cache::ArtifactCache>& artifacts)
+{
     TypeInfResult result;
     for (const auto& vt : vtables)
         result.types.push_back(vt.addr);
     std::sort(result.types.begin(), result.types.end());
 
     result.constraints =
-        generate_constraints(image, cache, vtables, pool);
+        generate_constraints(image, cache, vtables, pool, artifacts);
     SolveResult solved = solve(result.constraints, image, vtables);
     result.sketches = std::move(solved.sketches);
     result.direct_edges = std::move(solved.direct_edges);

@@ -81,6 +81,16 @@ TypeInfResult infer(const bir::BinaryImage& image,
                     const std::vector<analysis::VTableInfo>& vtables,
                     support::ThreadPool& pool);
 
+/** As above, threading @p artifacts through to the memoizing
+ *  generate_constraints overload (kind "typeinf"). All typeinf.*
+ *  counters derive from the (cached or recomputed) outputs, so warm
+ *  runs replay them bit-identically. */
+TypeInfResult infer(const bir::BinaryImage& image,
+                    const cfg::CfgCache& cache,
+                    const std::vector<analysis::VTableInfo>& vtables,
+                    support::ThreadPool& pool,
+                    const std::shared_ptr<cache::ArtifactCache>& artifacts);
+
 /** Self-contained variant: builds its own cache and vtable scan on a
  *  transient pool of resolve_threads(@p threads) workers. */
 TypeInfResult infer(const bir::BinaryImage& image, int threads = 1);

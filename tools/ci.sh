@@ -19,9 +19,15 @@
 #     fails); micro_slm/micro_graph/micro_typeinf google-benchmark
 #     runs gated at 3x against BENCH_micro_slm.json /
 #     BENCH_micro_graph.json / BENCH_micro_typeinf.json (order-of-
-#     magnitude detector, not a noise gate); and a skype_scale
+#     magnitude detector, not a noise gate); a skype_scale
 #     speedup gate (`rockstat --check --min-speedup 4:2.5`) that
-#     binds only on hosts with >= 4 hardware threads.
+#     binds only on hosts with >= 4 hardware threads; and a
+#     warm-cache gate (`skype_scale --warm-runs 2` +
+#     `rockstat --check --min-warm-speedup 5`): warm re-analysis
+#     through the artifact cache (docs/CACHING.md) must be >= 5x
+#     faster than the same process's cold run, bit-identical, with
+#     cache hits -- hardware-independent, never skipped. The warm
+#     JSONL is kept as an artifact (ROCK_CI_ARTIFACTS dir).
 #
 # Usage:
 #   tools/ci.sh [--quick] [--only LEG]
@@ -151,6 +157,20 @@ if [ "$run_perf" -eq 1 ]; then
         --json "$perf_dir/skype.jsonl"
     ./build/tools/rockstat --check "$perf_dir/skype.jsonl" \
         --min-speedup 4:2.5
+    # Warm-cache gate: one cold + two warm reconstructions of the
+    # same 2000-class image in one process; every warm line must be
+    # >= 5x the cold total, bit-identical, and actually hit the
+    # cache. Unlike the parallel gate this is never hardware-skipped.
+    ./build/bench/skype_scale --classes 2000 --threads 1 \
+        --warm-runs 2 --json "$perf_dir/skype-warm.jsonl"
+    ./build/tools/rockstat --check "$perf_dir/skype-warm.jsonl" \
+        --min-warm-speedup 5
+    # Keep the warm JSONL when the caller wants artifacts uploaded
+    # (the GitHub workflow sets ROCK_CI_ARTIFACTS).
+    if [ -n "${ROCK_CI_ARTIFACTS:-}" ]; then
+        mkdir -p "$ROCK_CI_ARTIFACTS"
+        cp "$perf_dir/skype-warm.jsonl" "$ROCK_CI_ARTIFACTS/"
+    fi
     rm -rf "$perf_dir"
 fi
 

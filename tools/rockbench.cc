@@ -7,11 +7,24 @@
  *   rockbench                  (print to stdout)
  *   rockbench --write F        (write to file F)
  *   rockbench --metrics-json F (also write an obs::MetricsReport)
+ *   rockbench --cache-dir DIR  (persist the artifact cache: the many
+ *                               reconstruct() calls inside the
+ *                               experiments share tracelet/constraint
+ *                               work, and a re-run of rockbench on an
+ *                               unchanged tree is mostly warm)
+ *   rockbench --cache-max-bytes N
+ *
+ * The experiments construct RockConfigs internally, so the cache is
+ * installed as the process default (cache::set_default_cache) rather
+ * than plumbed through each experiment.
  */
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 
+#include "cache/artifact_cache.h"
 #include "experiments/experiments.h"
 #include "obs/report.h"
 #include "support/error.h"
@@ -21,19 +34,32 @@ main(int argc, char** argv)
 {
     std::string output;
     std::string metrics_path;
+    rock::cache::CacheOptions cache_opts;
+    bool use_cache = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--write" && i + 1 < argc) {
             output = argv[++i];
         } else if (arg == "--metrics-json" && i + 1 < argc) {
             metrics_path = argv[++i];
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            cache_opts.dir = argv[++i];
+            use_cache = true;
+        } else if (arg == "--cache-max-bytes" && i + 1 < argc) {
+            cache_opts.max_bytes =
+                std::strtoull(argv[++i], nullptr, 10);
+            use_cache = true;
         } else {
             std::fprintf(stderr,
                          "usage: rockbench [--write FILE] "
-                         "[--metrics-json FILE]\n");
+                         "[--metrics-json FILE] [--cache-dir DIR] "
+                         "[--cache-max-bytes N]\n");
             return 2;
         }
     }
+    if (use_cache)
+        rock::cache::set_default_cache(
+            std::make_shared<rock::cache::ArtifactCache>(cache_opts));
     try {
         std::string report = rock::experiments::experiments_markdown();
         if (output.empty()) {

@@ -5,6 +5,13 @@
  * Usage:
  *   rockdump IMAGE.vmi [--disasm] [--vtables] [--tracelets]
  *                      [--constraints] [--cfg]
+ *   rockdump --cache-stats DIR
+ *
+ * --cache-stats is a standalone mode (no image): scans an on-disk
+ * artifact-cache directory (cache/artifact_cache.h, the --cache-dir
+ * of rockhier/rockbench/skype_scale) and prints per-kind entry and
+ * byte totals, the schema versions present, and how many entries
+ * fail header validation (those are treated as misses at run time).
  *
  * With no flags, prints a summary (sections, functions, discovered
  * vtables). --disasm adds the full listing; --vtables the slot
@@ -20,6 +27,7 @@
 
 #include "analysis/analyze.h"
 #include "bir/serialize.h"
+#include "cache/artifact_cache.h"
 #include "cfg/cfg.h"
 #include "support/error.h"
 #include "support/str.h"
@@ -31,6 +39,7 @@ main(int argc, char** argv)
     using namespace rock;
 
     std::string input;
+    std::string cache_stats_dir;
     bool disasm = false;
     bool vtables = false;
     bool tracelets = false;
@@ -38,7 +47,9 @@ main(int argc, char** argv)
     bool cfg_dot = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--disasm") {
+        if (arg == "--cache-stats" && i + 1 < argc) {
+            cache_stats_dir = argv[++i];
+        } else if (arg == "--disasm") {
             disasm = true;
         } else if (arg == "--vtables") {
             vtables = true;
@@ -56,11 +67,34 @@ main(int argc, char** argv)
             input = arg;
         }
     }
+    if (!cache_stats_dir.empty()) {
+        cache::DirStats stats = cache::scan_dir(cache_stats_dir);
+        std::printf("%s:\n", cache_stats_dir.c_str());
+        std::printf("  entries: %llu (%llu bytes)\n",
+                    static_cast<unsigned long long>(stats.entries),
+                    static_cast<unsigned long long>(stats.bytes));
+        for (const auto& kind : stats.kinds)
+            std::printf("    %-10s %llu entries, %llu bytes\n",
+                        kind.kind.c_str(),
+                        static_cast<unsigned long long>(kind.entries),
+                        static_cast<unsigned long long>(kind.bytes));
+        std::printf("  schema versions:");
+        for (std::uint32_t v : stats.schema_versions)
+            std::printf(" %u", v);
+        if (stats.schema_versions.empty())
+            std::printf(" (none)");
+        std::printf("\n");
+        std::printf("  invalid entries: %llu%s\n",
+                    static_cast<unsigned long long>(stats.invalid),
+                    stats.invalid > 0 ? " (treated as misses)" : "");
+        return 0;
+    }
     if (input.empty()) {
         std::fprintf(stderr,
                      "usage: rockdump IMAGE.vmi [--disasm] "
                      "[--vtables] [--tracelets] [--constraints] "
-                     "[--cfg]\n");
+                     "[--cfg]\n"
+                     "       rockdump --cache-stats DIR\n");
         return 2;
     }
 

@@ -27,13 +27,20 @@
  *   --inject-bug B   apply a named fault injection (harness demo)
  *   --list-oracles   print the oracle registry and exit
  *   --metrics-json F write an obs::MetricsReport of the campaign to F
+ *   --cache-dir DIR  persist the artifact cache across cases/campaigns
+ *                    (mostly useful for hammering the cache itself;
+ *                    the cache-consistent oracle builds its own store
+ *                    regardless)
+ *   --cache-max-bytes N  cache budget in bytes (default 256 MiB)
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cache/artifact_cache.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/oracles.h"
 #include "fuzz/repro.h"
@@ -100,6 +107,8 @@ main(int argc, char** argv)
     std::string replay_file;
     std::string inject;
     std::string metrics_path;
+    cache::CacheOptions cache_opts;
+    bool use_cache = false;
     bool list_oracles = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -128,6 +137,13 @@ main(int argc, char** argv)
             list_oracles = true;
         } else if (arg == "--metrics-json" && i + 1 < argc) {
             metrics_path = argv[++i];
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            cache_opts.dir = argv[++i];
+            use_cache = true;
+        } else if (arg == "--cache-max-bytes" && i + 1 < argc) {
+            cache_opts.max_bytes =
+                std::strtoull(argv[++i], nullptr, 10);
+            use_cache = true;
         } else {
             std::fprintf(stderr,
                          "rockfuzz: unknown option '%s'\n"
@@ -136,11 +152,15 @@ main(int argc, char** argv)
                          "NAME] [--coverage-pool N] [--no-shrink] "
                          "[--repro-dir DIR] "
                          "[--replay FILE] [--inject-bug B] "
-                         "[--list-oracles] [--metrics-json FILE]\n",
+                         "[--list-oracles] [--metrics-json FILE] "
+                         "[--cache-dir DIR] [--cache-max-bytes N]\n",
                          arg.c_str());
             return 2;
         }
     }
+    if (use_cache)
+        cache::set_default_cache(
+            std::make_shared<cache::ArtifactCache>(cache_opts));
 
     if (list_oracles) {
         for (const auto& oracle : fuzz::oracle_registry())

@@ -12,6 +12,11 @@
  *   --k N            attach up to N parents per type (CFI relaxation)
  *   --threads N      worker threads (0 = all hardware threads;
  *                    the result is identical for any N)
+ *   --cache-dir DIR  persist the artifact cache to DIR so the next
+ *                    rockhier run on the same image is warm
+ *                    (cache/artifact_cache.h; results stay
+ *                    bit-identical, cold or warm)
+ *   --cache-max-bytes N  cache budget in bytes (default 256 MiB)
  *   --dot            emit Graphviz instead of the ASCII tree
  *   --families       also print families and feasible parents
  *   --metrics-json F write an obs::MetricsReport (rock-metrics-v1)
@@ -19,9 +24,11 @@
  */
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "bir/serialize.h"
+#include "cache/artifact_cache.h"
 #include "obs/report.h"
 #include "rock/pipeline.h"
 #include "rock/relaxed.h"
@@ -36,6 +43,8 @@ main(int argc, char** argv)
     std::string input;
     std::string metrics_path;
     core::RockConfig config;
+    cache::CacheOptions cache_opts;
+    bool use_cache = false;
     int k = 1;
     bool dot = false;
     bool families = false;
@@ -43,6 +52,12 @@ main(int argc, char** argv)
         std::string arg = argv[i];
         if (arg == "--metrics-json" && i + 1 < argc) {
             metrics_path = argv[++i];
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            cache_opts.dir = argv[++i];
+            use_cache = true;
+        } else if (arg == "--cache-max-bytes" && i + 1 < argc) {
+            cache_opts.max_bytes = std::strtoull(argv[++i], nullptr, 10);
+            use_cache = true;
         } else if (arg == "--metric" && i + 1 < argc) {
             config.metric = divergence::metric_from_name(argv[++i]);
         } else if (arg == "--depth" && i + 1 < argc) {
@@ -69,10 +84,14 @@ main(int argc, char** argv)
         std::fprintf(stderr,
                      "usage: rockhier IMAGE.vmi [--metric NAME] "
                      "[--depth N] [--tracelet N] [--k N] "
-                     "[--threads N] [--dot] [--families] "
+                     "[--threads N] [--cache-dir DIR] "
+                     "[--cache-max-bytes N] [--dot] [--families] "
                      "[--metrics-json FILE]\n");
         return 2;
     }
+    if (use_cache)
+        cache::set_default_cache(
+            std::make_shared<cache::ArtifactCache>(cache_opts));
 
     try {
         bir::BinaryImage image = bir::read_image_file(input);

@@ -29,10 +29,18 @@
  * laptops. Any line with "identical_to_serial": false fails
  * unconditionally (determinism is not hardware-dependent).
  *
+ * --min-warm-speedup R additionally gates the artifact-cache lines
+ * emitted by `skype_scale --warm-runs`: every line with "warm": true
+ * must carry "warm_speedup" >= R, "cache_hits" > 0 and
+ * "identical_to_cold": true. Cold and warm share one process and one
+ * thread count, so this gate is hardware-independent and never
+ * skipped.
+ *
  * Usage:
  *   rockstat --baseline BASE.json CURRENT.json [options]
  *   rockstat BASE.json CURRENT.json [options]
  *   rockstat --check RUN.json --min-speedup T:R [--min-speedup T:R]
+ *            [--min-warm-speedup R]
  *
  * Options (diff mode):
  *   --counter-tol R     relative drift allowed per counter (default 0
@@ -161,7 +169,8 @@ parse_gate(const std::string& spec, SpeedupGate* gate)
  */
 int
 run_check(const std::string& path,
-          const std::vector<SpeedupGate>& gates)
+          const std::vector<SpeedupGate>& gates,
+          double min_warm_speedup)
 {
     using rock::obs::Json;
     std::string text = slurp(path);
@@ -252,6 +261,61 @@ run_check(const std::string& path,
         }
     }
 
+    // --min-warm-speedup R: every warm line ("warm": true) must show
+    // warm_speedup >= R, at least one artifact-cache hit, and a
+    // bit-identical hierarchy. Cold and warm runs share one process
+    // and one thread count, so unlike the parallel gates this one is
+    // hardware-independent and never skipped.
+    if (min_warm_speedup > 0.0) {
+        int warm_lines = 0;
+        for (const BenchLine& l : lines) {
+            const Json* warm = l.value.find("warm");
+            if (!warm || warm->kind != Json::Kind::Bool ||
+                !warm->boolean)
+                continue;
+            ++warm_lines;
+            ++checked;
+            const Json* speedup = l.value.find("warm_speedup");
+            if (!speedup || !speedup->is_number() ||
+                speedup->number < min_warm_speedup) {
+                std::fprintf(stderr,
+                             "rockstat: FAIL %s:%d: warm speedup "
+                             "%.3f, need >= %.3f\n",
+                             path.c_str(), l.lineno,
+                             speedup && speedup->is_number()
+                                 ? speedup->number
+                                 : 0.0,
+                             min_warm_speedup);
+                ++failures;
+            }
+            const Json* hits = l.value.find("cache_hits");
+            if (!hits || !hits->is_number() || hits->number <= 0.0) {
+                std::fprintf(stderr,
+                             "rockstat: FAIL %s:%d: warm run "
+                             "reported no cache hits\n",
+                             path.c_str(), l.lineno);
+                ++failures;
+            }
+            const Json* identical = l.value.find("identical_to_cold");
+            if (!identical ||
+                identical->kind != Json::Kind::Bool ||
+                !identical->boolean) {
+                std::fprintf(stderr,
+                             "rockstat: FAIL %s:%d: warm hierarchy "
+                             "not bit-identical to cold\n",
+                             path.c_str(), l.lineno);
+                ++failures;
+            }
+        }
+        if (warm_lines == 0) {
+            std::fprintf(stderr,
+                         "rockstat: FAIL %s: no warm lines for "
+                         "--min-warm-speedup %.3f\n",
+                         path.c_str(), min_warm_speedup);
+            ++failures;
+        }
+    }
+
     std::printf("rockstat: check %s: %d gate(s) checked, %d skipped "
                 "(insufficient hw threads), %d failure(s)\n",
                 path.c_str(), checked, skipped, failures);
@@ -268,6 +332,7 @@ main(int argc, char** argv)
     std::vector<std::string> files;
     std::string check_path;
     std::vector<SpeedupGate> gates;
+    double min_warm_speedup = 0.0;
     DiffOptions options;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -285,6 +350,15 @@ main(int argc, char** argv)
                 return 2;
             }
             gates.push_back(gate);
+        } else if (arg == "--min-warm-speedup" && i + 1 < argc) {
+            min_warm_speedup = std::atof(argv[++i]);
+            if (min_warm_speedup <= 0.0) {
+                std::fprintf(stderr,
+                             "rockstat: bad --min-warm-speedup '%s' "
+                             "(want a positive ratio, e.g. 5)\n",
+                             argv[i]);
+                return 2;
+            }
         } else if (arg == "--counter-tol" && i + 1 < argc) {
             options.counter_rel_tol = std::atof(argv[++i]);
         } else if (arg == "--time-tol" && i + 1 < argc) {
@@ -303,29 +377,35 @@ main(int argc, char** argv)
     }
 
     if (!check_path.empty()) {
-        if (!files.empty() || gates.empty()) {
+        if (!files.empty() ||
+            (gates.empty() && min_warm_speedup <= 0.0)) {
             std::fprintf(stderr,
                          "usage: rockstat --check RUN.json "
                          "--min-speedup THREADS:RATIO "
-                         "[--min-speedup ...]\n");
+                         "[--min-speedup ...] "
+                         "[--min-warm-speedup RATIO]\n");
             return 2;
         }
         try {
-            return run_check(check_path, gates) == 0 ? 0 : 1;
+            return run_check(check_path, gates, min_warm_speedup) ==
+                           0
+                       ? 0
+                       : 1;
         } catch (const std::exception& e) {
             std::fprintf(stderr, "rockstat: error: %s\n", e.what());
             return 2;
         }
     }
 
-    if (files.size() != 2 || !gates.empty()) {
+    if (files.size() != 2 || !gates.empty() ||
+        min_warm_speedup > 0.0) {
         std::fprintf(
             stderr,
             "usage: rockstat [--baseline] BASE.json CURRENT.json "
             "[--counter-tol R] [--time-tol R] [--abs-slack-ms S] "
             "[--counters-only]\n"
             "       rockstat --check RUN.json --min-speedup T:R "
-            "[--min-speedup T:R ...]\n");
+            "[--min-speedup T:R ...] [--min-warm-speedup R]\n");
         return 2;
     }
 
