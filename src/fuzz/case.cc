@@ -96,6 +96,8 @@ injection_by_name(const std::string& name)
                 store.corrupt_for_testing(key, out.take());
             }
         };
+    } else if (name == "drop-batch-dedup") {
+        hooks.serve_collapse_dedup = true;
     } else {
         support::fatal("unknown fault injection '" + name + "'");
     }

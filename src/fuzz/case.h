@@ -38,6 +38,15 @@ struct CaseHooks {
      * or corrupted cache entry. Null = no injection.
      */
     std::function<void(cache::ArtifactCache&)> corrupt_cache;
+    /**
+     * Passed to the serve-differential oracle's in-process daemon as
+     * ServerOptions::collapse_dedup_for_testing: the wave batcher
+     * stops hashing payloads and serves every member of a wave the
+     * group leader's bytes -- a dedup-aliasing bug the oracle catches
+     * because a distinct image's response no longer matches a direct
+     * reconstruction. false = no injection.
+     */
+    bool serve_collapse_dedup = false;
 };
 
 /** Fixed configuration shared by every case of a fuzzing run. */
@@ -93,6 +102,11 @@ reconstruct_image(const bir::BinaryImage& image,
  *    bug class: a cache that survives an invalidation it should
  *    not), which the cache-consistent oracle catches because the
  *    warm reconstruction then disagrees with the cold one.
+ *  - "drop-batch-dedup": collapses the serving layer's wave dedup
+ *    key (a request-aliasing bug class: two different images in one
+ *    batch served one answer), which the serve-differential oracle
+ *    catches by comparing every daemon response against a direct
+ *    reconstruct() of the submitted bytes.
  *
  * Throws support::FatalError for unknown names.
  */

@@ -1,6 +1,7 @@
 #include "fuzz/oracles.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <functional>
 #include <iterator>
@@ -8,6 +9,9 @@
 #include <optional>
 #include <set>
 #include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 #include <utility>
 #include <vector>
 
@@ -18,6 +22,8 @@
 #include "obs/report.h"
 #include "rock/classify.h"
 #include "rock/relaxed.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "support/rng.h"
 #include "support/str.h"
 #include "typeinf/typeinf.h"
@@ -1140,6 +1146,123 @@ check_cache_consistent(const OracleContext& ctx)
     return pass();
 }
 
+/**
+ * The serving layer must be invisible too: a daemon submit's response
+ * bytes must equal a direct reconstruction of the submitted image,
+ * for two *different* images pipelined into one analysis wave (the
+ * dedup-aliasing trap -- caught when `drop-batch-dedup` collapses the
+ * wave's dedup key), and a resubmission of the first image must come
+ * back byte-identical out of the shared artifact store with its hit
+ * counter moving. Exercises the real daemon on a real unix socket.
+ */
+OracleVerdict
+check_serve_differential(const OracleContext& ctx)
+{
+    namespace protocol = serve::protocol;
+    const FuzzCase& fc = ctx.fuzz_case;
+
+    // A second, structurally different image for the shared wave.
+    GeneratorSpec other_spec = fc.spec;
+    other_spec.seed = fc.spec.seed * 2654435761u + 1;
+    toyc::CompileResult other = toyc::compile(
+        corpus::generate_program(other_spec), ctx.config.compile);
+
+    std::vector<std::uint8_t> bytes_a =
+        bir::save_image(fc.compiled.image);
+    std::vector<std::uint8_t> bytes_b =
+        bir::save_image(other.image);
+    std::string expected_a = serve::submit_response_text(
+        fc.compiled.image, ctx.config.rock);
+    std::string expected_b =
+        serve::submit_response_text(other.image, ctx.config.rock);
+
+    static std::atomic<unsigned> socket_serial{0};
+    serve::ServerOptions options;
+    options.socket_path =
+        "/tmp/rock_fuzz_serve_" + std::to_string(::getpid()) + "_" +
+        std::to_string(socket_serial.fetch_add(1)) + ".sock";
+    options.rock = ctx.config.rock;
+    options.threads = 2;
+    // A window wide enough that two pipelined frames reliably land in
+    // one wave, so the dedup grouping itself is what gets tested.
+    options.batch_window_ms = 150;
+    options.collapse_dedup_for_testing =
+        ctx.config.hooks.serve_collapse_dedup;
+    serve::Server server(options);
+    server.start();
+
+    OracleVerdict verdict = pass();
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  options.socket_path.c_str());
+    if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof(addr)) != 0) {
+        verdict = fail("cannot connect to the in-process daemon");
+    } else {
+        // Both submits pipelined back to back: one wave, two groups.
+        protocol::write_frame(fd, protocol::request_header(1, "submit"),
+                              bytes_a.data(), bytes_a.size());
+        protocol::write_frame(fd, protocol::request_header(2, "submit"),
+                              bytes_b.data(), bytes_b.size());
+        std::map<std::int64_t, std::string> responses;
+        for (int i = 0; i < 2 && verdict.ok; ++i) {
+            protocol::Frame frame;
+            protocol::Response response;
+            if (protocol::read_frame(fd, &frame) !=
+                    protocol::WireStatus::Ok ||
+                !protocol::parse_response_header(frame.header,
+                                                 &response))
+                verdict = fail("daemon response unreadable");
+            else if (response.code != protocol::Code::Ok)
+                verdict = fail(support::format(
+                    "daemon rejected submit %lld: %s",
+                    static_cast<long long>(response.id),
+                    protocol::code_name(response.code)));
+            else
+                responses[response.id] =
+                    std::string(frame.payload.begin(),
+                                frame.payload.end());
+        }
+        if (verdict.ok && responses[1] != expected_a)
+            verdict = fail("daemon response for image A differs "
+                           "from a direct reconstruction");
+        if (verdict.ok && responses[2] != expected_b)
+            verdict = fail("daemon response for image B differs "
+                           "from a direct reconstruction");
+
+        // Resubmission: warm, and still the same bytes.
+        if (verdict.ok) {
+            std::uint64_t hits_before = server.store()->stats().hits;
+            protocol::write_frame(
+                fd, protocol::request_header(3, "submit"),
+                bytes_a.data(), bytes_a.size());
+            protocol::Frame frame;
+            protocol::Response response;
+            if (protocol::read_frame(fd, &frame) !=
+                    protocol::WireStatus::Ok ||
+                !protocol::parse_response_header(frame.header,
+                                                 &response) ||
+                response.code != protocol::Code::Ok)
+                verdict = fail("resubmission failed");
+            else if (std::string(frame.payload.begin(),
+                                 frame.payload.end()) != expected_a)
+                verdict = fail("resubmission returned different "
+                               "bytes than the first submission");
+            else if (server.store()->stats().hits <= hits_before)
+                verdict =
+                    fail("resubmission did not hit the shared "
+                         "artifact store");
+        }
+    }
+    if (fd >= 0)
+        ::close(fd);
+    server.request_shutdown();
+    server.wait();
+    return verdict;
+}
+
 OracleVerdict
 check_classify_deterministic(const OracleContext& ctx)
 {
@@ -1246,6 +1369,11 @@ oracle_registry()
          "the cold and uncached runs, actually hits the cache, and "
          "replays every counter outside cache.*",
          check_cache_consistent},
+        {"serve-differential",
+         "rockd responses are bit-identical to direct "
+         "reconstruction, for distinct images sharing one analysis "
+         "wave and for warm resubmissions out of the shared store",
+         check_serve_differential},
     };
     return registry;
 }

@@ -1,0 +1,83 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/error.h"
+
+namespace rock::serve {
+
+Client::Client(std::string socket_path, int timeout_ms)
+    : path_(std::move(socket_path)), timeout_ms_(timeout_ms)
+{
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+Client::ensure_connected()
+{
+    if (fd_ >= 0)
+        return;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    support::check(path_.size() < sizeof(addr.sun_path),
+                   "rockctl: socket path too long: " + path_);
+    std::strncpy(addr.sun_path, path_.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    support::check(fd >= 0, "rockctl: socket() failed");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        int err = errno;
+        ::close(fd);
+        support::fatal("rockctl: cannot connect to " + path_ + ": " +
+                       std::strerror(err));
+    }
+    if (timeout_ms_ > 0) {
+        timeval tv{};
+        tv.tv_sec = timeout_ms_ / 1000;
+        tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    fd_ = fd;
+}
+
+protocol::Response
+Client::call(const std::string& op,
+             const std::vector<std::uint8_t>& payload)
+{
+    ensure_connected();
+    std::int64_t id = next_id_++;
+    if (!protocol::write_frame(fd_, protocol::request_header(id, op),
+                               payload.data(), payload.size()))
+        support::fatal("rockctl: send failed on " + path_);
+
+    protocol::Frame frame;
+    protocol::WireStatus ws = protocol::read_frame(fd_, &frame);
+    if (ws != protocol::WireStatus::Ok)
+        support::fatal(
+            "rockctl: connection to " + path_ +
+            (ws == protocol::WireStatus::Eof
+                 ? " closed before a response arrived"
+                 : " dropped or timed out mid-response"));
+    protocol::Response response;
+    if (!protocol::parse_response_header(frame.header, &response))
+        support::fatal("rockctl: malformed response header from " +
+                       path_);
+    support::check(response.id == id,
+                   "rockctl: response id mismatch (pipelining "
+                   "requires protocol.h directly)");
+    response.payload = std::move(frame.payload);
+    return response;
+}
+
+} // namespace rock::serve

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Client side of the rockd-v1 protocol: one blocking connection to a
+ * rockd socket, one request/response pair per call. Used by
+ * tools/rockctl, tests/serve_test.cc and the serve-differential fuzz
+ * oracle; pipelined or hand-crafted frames go through protocol.h
+ * directly.
+ *
+ * Transport failures (no daemon, receive timeout, connection dropped
+ * mid-frame) throw support::FatalError; errors the daemon *reported*
+ * come back as a Response with code != Ok -- the caller decides
+ * whether that is fatal.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace rock::serve {
+
+class Client {
+  public:
+    /**
+     * @param socket_path  rockd socket to connect to
+     * @param timeout_ms   receive timeout per response (0 = none);
+     *                     submits of cold large images can
+     *                     legitimately take tens of seconds
+     */
+    explicit Client(std::string socket_path, int timeout_ms = 120000);
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /** Send one request and block for its response. Connects lazily
+     *  on first use. FatalError on transport failure. */
+    protocol::Response call(const std::string& op,
+                            const std::vector<std::uint8_t>& payload = {});
+
+    /** `submit` with a serialized VMI image as payload. */
+    protocol::Response
+    submit(const std::vector<std::uint8_t>& vmi_bytes)
+    {
+        return call("submit", vmi_bytes);
+    }
+    protocol::Response status() { return call("status"); }
+    protocol::Response stats() { return call("stats"); }
+    protocol::Response shutdown_daemon() { return call("shutdown"); }
+
+    const std::string& socket_path() const { return path_; }
+
+  private:
+    void ensure_connected();
+
+    std::string path_;
+    int timeout_ms_;
+    int fd_ = -1;
+    std::int64_t next_id_ = 1;
+};
+
+} // namespace rock::serve

@@ -1,0 +1,239 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/json.h"
+
+namespace rock::serve::protocol {
+
+const char*
+code_name(Code code)
+{
+    switch (code) {
+    case Code::Ok:
+        return "ok";
+    case Code::BadMagic:
+        return "bad-magic";
+    case Code::BadHeader:
+        return "bad-header";
+    case Code::BadOp:
+        return "bad-op";
+    case Code::HeaderOversized:
+        return "header-oversized";
+    case Code::PayloadOversized:
+        return "payload-oversized";
+    case Code::Truncated:
+        return "truncated-frame";
+    case Code::BadImage:
+        return "bad-image";
+    case Code::Timeout:
+        return "timeout";
+    case Code::Draining:
+        return "draining";
+    case Code::Internal:
+        return "internal-error";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Read exactly @p len bytes; short count = EOF/error. */
+std::size_t
+read_full(int fd, void* buf, std::size_t len)
+{
+    std::size_t done = 0;
+    auto* p = static_cast<std::uint8_t*>(buf);
+    while (done < len) {
+        ssize_t n = ::read(fd, p + done, len - done);
+        if (n > 0) {
+            done += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EINTR))
+            continue;
+        break; // EOF, timeout, or hard error
+    }
+    return done;
+}
+
+/** MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, never as
+ *  a process-killing SIGPIPE. */
+bool
+write_full(int fd, const void* buf, std::size_t len)
+{
+    std::size_t done = 0;
+    auto* p = static_cast<const std::uint8_t*>(buf);
+    while (done < len) {
+        ssize_t n = ::send(fd, p + done, len - done, MSG_NOSIGNAL);
+        if (n > 0) {
+            done += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+std::uint32_t
+load_u32(const std::uint8_t* p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t
+load_u64(const std::uint8_t* p)
+{
+    return static_cast<std::uint64_t>(load_u32(p)) |
+           (static_cast<std::uint64_t>(load_u32(p + 4)) << 32);
+}
+
+void
+store_u32(std::uint8_t* p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+void
+store_u64(std::uint8_t* p, std::uint64_t v)
+{
+    store_u32(p, static_cast<std::uint32_t>(v));
+    store_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+} // namespace
+
+WireStatus
+read_frame(int fd, Frame* out, const FrameLimits& limits)
+{
+    std::uint8_t prefix[16];
+    std::size_t got = read_full(fd, prefix, sizeof(prefix));
+    if (got == 0)
+        return WireStatus::Eof;
+    if (got < sizeof(prefix))
+        return WireStatus::Truncated;
+    if (load_u32(prefix) != kMagic)
+        return WireStatus::BadMagic;
+    std::uint32_t header_len = load_u32(prefix + 4);
+    std::uint64_t payload_len = load_u64(prefix + 8);
+    // Oversized frames are diagnosed from the prefix alone: the body
+    // is never read or allocated, so a hostile length cannot wedge or
+    // OOM the daemon.
+    if (header_len > limits.max_header)
+        return WireStatus::HeaderOversized;
+    if (payload_len > limits.max_payload)
+        return WireStatus::PayloadOversized;
+
+    out->header.resize(header_len);
+    if (header_len > 0 &&
+        read_full(fd, out->header.data(), header_len) != header_len)
+        return WireStatus::Truncated;
+    out->payload.resize(static_cast<std::size_t>(payload_len));
+    if (payload_len > 0 &&
+        read_full(fd, out->payload.data(),
+                  static_cast<std::size_t>(payload_len)) !=
+            payload_len)
+        return WireStatus::Truncated;
+    return WireStatus::Ok;
+}
+
+bool
+write_frame(int fd, const std::string& header,
+            const std::uint8_t* payload, std::size_t payload_len)
+{
+    std::uint8_t prefix[16];
+    store_u32(prefix, kMagic);
+    store_u32(prefix + 4, static_cast<std::uint32_t>(header.size()));
+    store_u64(prefix + 8, payload_len);
+    if (!write_full(fd, prefix, sizeof(prefix)))
+        return false;
+    if (!header.empty() &&
+        !write_full(fd, header.data(), header.size()))
+        return false;
+    if (payload_len > 0 && !write_full(fd, payload, payload_len))
+        return false;
+    return true;
+}
+
+std::string
+request_header(std::int64_t id, const std::string& op)
+{
+    return "{\"v\":" + std::to_string(kVersion) +
+           ",\"id\":" + std::to_string(id) + ",\"op\":\"" +
+           obs::json_escape(op) + "\"}";
+}
+
+std::string
+response_header(const Response& response)
+{
+    std::string out = "{\"v\":" + std::to_string(kVersion) +
+                      ",\"id\":" + std::to_string(response.id) +
+                      ",\"ok\":" +
+                      (response.ok() ? "true" : "false") +
+                      ",\"code\":" +
+                      std::to_string(static_cast<std::uint32_t>(
+                          response.code));
+    if (!response.ok())
+        out += ",\"error\":\"" + obs::json_escape(response.error) +
+               "\"";
+    out += "}";
+    return out;
+}
+
+bool
+parse_request_header(const std::string& json, Request* out)
+{
+    obs::Json doc;
+    try {
+        doc = obs::Json::parse(json);
+    } catch (const std::exception&) {
+        return false;
+    }
+    if (!doc.is_object())
+        return false;
+    const obs::Json* v = doc.find("v");
+    const obs::Json* id = doc.find("id");
+    const obs::Json* op = doc.find("op");
+    if (!v || !v->is_number() ||
+        static_cast<int>(v->number) != kVersion)
+        return false;
+    if (!id || !id->is_number() || !op || !op->is_string())
+        return false;
+    out->id = static_cast<std::int64_t>(id->number);
+    out->op = op->string;
+    return true;
+}
+
+bool
+parse_response_header(const std::string& json, Response* out)
+{
+    obs::Json doc;
+    try {
+        doc = obs::Json::parse(json);
+    } catch (const std::exception&) {
+        return false;
+    }
+    if (!doc.is_object())
+        return false;
+    const obs::Json* id = doc.find("id");
+    const obs::Json* code = doc.find("code");
+    if (!id || !id->is_number() || !code || !code->is_number())
+        return false;
+    out->id = static_cast<std::int64_t>(id->number);
+    out->code = static_cast<Code>(
+        static_cast<std::uint32_t>(code->number));
+    const obs::Json* error = doc.find("error");
+    out->error =
+        error && error->is_string() ? error->string : std::string();
+    return true;
+}
+
+} // namespace rock::serve::protocol

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The `rockd-v1` wire protocol: length-prefixed frames carrying a
+ * JSON header plus an opaque binary payload, exchanged over a
+ * SOCK_STREAM unix-domain socket.
+ *
+ * Frame layout (all integers little-endian):
+ *
+ *   [u32 magic "RKD1"] [u32 header_len] [u64 payload_len]
+ *   [header_len bytes of JSON] [payload_len bytes of payload]
+ *
+ * Requests:   {"v":1,"id":N,"op":"submit|status|stats|shutdown"}
+ *             `submit` carries a VMI image as its payload; the other
+ *             ops carry none.
+ * Responses:  {"v":1,"id":N,"ok":true,"code":0}
+ *             or {"v":1,"id":N,"ok":false,"code":C,"error":"..."}
+ *             `submit` responses carry the hierarchy text -- the exact
+ *             bytes a cold `rockhier IMAGE.vmi` prints -- as payload;
+ *             `status`/`stats` carry JSON payloads.
+ *
+ * Robustness contract (tests/serve_test.cc): every malformed,
+ * truncated, or oversized frame is rejected with a *deterministic*
+ * error code and never crashes the daemon. Oversized frames are
+ * rejected from the 16-byte prefix alone -- the daemon never
+ * allocates or reads a payload beyond FrameLimits. A connection that
+ * half-closes mid-frame still receives a `truncated-frame` response
+ * on its write side before the daemon drops it.
+ *
+ * Multiple requests may be pipelined on one connection; responses
+ * carry the request id so clients can match them (submit responses
+ * are produced by batch waves and may interleave with the immediate
+ * status/stats replies).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rock::serve::protocol {
+
+/** Frame magic: "RKD1" little-endian. */
+inline constexpr std::uint32_t kMagic = 0x31444b52;
+
+/** Protocol version spoken by this daemon (header "v" field). */
+inline constexpr int kVersion = 1;
+
+/**
+ * Deterministic request-rejection taxonomy. Numeric values are part
+ * of the wire protocol (docs/SERVING.md) -- append, never renumber.
+ */
+enum class Code : std::uint32_t {
+    Ok = 0,
+    /** Frame prefix did not start with kMagic. */
+    BadMagic = 1,
+    /** Header bytes were not a JSON object with v/id/op fields. */
+    BadHeader = 2,
+    /** Header "op" is not one of submit/status/stats/shutdown. */
+    BadOp = 3,
+    /** header_len exceeds FrameLimits::max_header. */
+    HeaderOversized = 4,
+    /** payload_len exceeds FrameLimits::max_payload. */
+    PayloadOversized = 5,
+    /** Peer closed the stream mid-frame. */
+    Truncated = 6,
+    /** Submit payload failed VMI validation (bir::load_image). */
+    BadImage = 7,
+    /** Request waited in the queue past the admission timeout. */
+    Timeout = 8,
+    /** Submit arrived after a shutdown drain began. */
+    Draining = 9,
+    /** The pipeline threw on a structurally valid image (a daemon
+     *  bug surfaced as an error response instead of a crash). */
+    Internal = 10,
+};
+
+/** Stable string spelling of @p code ("ok", "bad-magic", ...). */
+const char* code_name(Code code);
+
+/** Size caps enforced while *reading* a frame prefix. */
+struct FrameLimits {
+    std::size_t max_header = 64u << 10;
+    std::size_t max_payload = 256u << 20;
+};
+
+/** One decoded frame (header still unparsed JSON text). */
+struct Frame {
+    std::string header;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Outcome of read_frame(). */
+enum class WireStatus {
+    Ok,
+    /** Clean EOF on a frame boundary (peer finished). */
+    Eof,
+    /** EOF or I/O error mid-frame. */
+    Truncated,
+    BadMagic,
+    HeaderOversized,
+    PayloadOversized,
+};
+
+/**
+ * Blocking full read of one frame from @p fd. Oversized frames are
+ * diagnosed from the fixed prefix without reading (or allocating) the
+ * body; the stream is unusable for further reads after any non-Ok
+ * status except Eof.
+ */
+WireStatus read_frame(int fd, Frame* out, const FrameLimits& limits = {});
+
+/** Blocking full write of one frame. Returns false on I/O error. */
+bool write_frame(int fd, const std::string& header,
+                 const std::uint8_t* payload, std::size_t payload_len);
+
+/** A parsed request header. */
+struct Request {
+    std::int64_t id = 0;
+    std::string op;
+};
+
+/** A response, parsed or about to be encoded. */
+struct Response {
+    std::int64_t id = 0;
+    Code code = Code::Ok;
+    /** Human-readable detail; empty when ok. */
+    std::string error;
+    std::vector<std::uint8_t> payload;
+
+    bool ok() const { return code == Code::Ok; }
+};
+
+/** Encode a request header. */
+std::string request_header(std::int64_t id, const std::string& op);
+
+/** Encode @p response's header (payload travels separately). */
+std::string response_header(const Response& response);
+
+/** Parse a request header; false = malformed (BadHeader). */
+bool parse_request_header(const std::string& json, Request* out);
+
+/** Parse a response header; false = malformed. */
+bool parse_response_header(const std::string& json, Response* out);
+
+} // namespace rock::serve::protocol

@@ -191,6 +191,47 @@ TEST(FuzzMeta, DroppedVptrConstraintsAreCaughtByTypeinfOracle)
                                         "typeinf-consistent", config));
 }
 
+TEST(FuzzMeta, CollapsedBatchDedupIsCaughtByServeDifferential)
+{
+    // Deliberately collapse the daemon's wave-dedup key -- the
+    // request-aliasing bug class where two different images batched
+    // into one analysis wave are served one answer. The
+    // serve-differential oracle compares each daemon response
+    // against a direct reconstruct() of the submitted bytes, so the
+    // aliased response cannot hide.
+    fuzz::CaseConfig config;
+    config.hooks = fuzz::injection_by_name("drop-batch-dedup");
+
+    fuzz::FuzzOptions options;
+    options.seeds = 6;
+    options.first_seed = 1;
+    options.only = {"serve-differential"};
+    options.max_failures = 1;
+    options.shrink = false; // each case boots a real daemon
+    fuzz::FuzzReport report = fuzz::run_fuzz(options, config);
+
+    ASSERT_FALSE(report.failures.empty())
+        << "the serve-differential oracle missed an injected "
+           "dedup-aliasing bug";
+    const fuzz::FuzzFailure& failure = report.failures[0];
+    EXPECT_EQ(failure.oracle, "serve-differential");
+    EXPECT_FALSE(failure.detail.empty());
+    EXPECT_TRUE(fuzz::spec_fails_oracle(failure.spec,
+                                        "serve-differential", config));
+}
+
+TEST(FuzzMeta, ServeDifferentialHoldsWithoutInjection)
+{
+    fuzz::FuzzOptions options;
+    options.seeds = 2;
+    options.first_seed = 1;
+    options.only = {"serve-differential"};
+    fuzz::FuzzReport report = fuzz::run_fuzz(options);
+    ASSERT_TRUE(report.failures.empty())
+        << report.failures[0].oracle << ": "
+        << report.failures[0].detail;
+}
+
 TEST(FuzzCampaign, CoverageGuidedSelectionCoversMoreBlocks)
 {
     // At equal case count, picking each case out of a rockvm-executed

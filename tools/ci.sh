@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
-# CI gate for the repository, in three legs:
+# CI gate for the repository, in five legs:
 #
 #  1. tier1: the tier-1 verify line (ROADMAP.md): default build, full
 #     ctest suite, 200-seed rockfuzz campaign;
 #  2. sanitize: an ASan+UBSan build (-DROCK_SANITIZE=address,undefined)
 #     of the same suite -- including the explicit determinism_asan /
-#     determinism_ubsan / cfg_asan / cfg_ubsan entries -- plus a
-#     50-seed rockfuzz smoke under instrumentation;
+#     determinism_ubsan / cfg_asan / cfg_ubsan / serve_asan entries --
+#     plus a 50-seed rockfuzz smoke under instrumentation;
 #  3. vm: rockvm runs every built-in corpus image trap-free, then a
 #     50-seed coverage-guided rockfuzz campaign restricted to the
 #     vm-differential oracle (dynamic tracelets under rockvm are a
@@ -27,77 +27,58 @@
 #     through the artifact cache (docs/CACHING.md) must be >= 5x
 #     faster than the same process's cold run, bit-identical, with
 #     cache hits -- hardware-independent, never skipped. The warm
-#     JSONL is kept as an artifact (ROCK_CI_ARTIFACTS dir).
+#     JSONL is kept as an artifact (ROCK_CI_ARTIFACTS dir);
+#  5. serve: boots rockd on a unix socket, replays a duplicate-heavy
+#     trace of 2000-class submissions through rockctl with 4
+#     concurrent clients, then gates (a) bit-identity -- every served
+#     response must equal a cold `rockhier` run on the same image,
+#     (b) latency -- `rockstat --check --max-p50-ms/--max-p95-ms` on
+#     the daemon's rock-metrics-v1 latency histogram, and (c) cache
+#     economics -- `--min-hit-rate 0.5`: a duplicate-heavy trace that
+#     misses the artifact cache means the serving layer broke the
+#     warm path (docs/SERVING.md). The daemon metrics and per-request
+#     latency JSONL are kept as artifacts (ROCK_CI_ARTIFACTS dir).
+#
+# Leg hygiene: every leg runs under a hard `timeout` (a wedged daemon
+# or hung fuzz case fails the leg instead of stalling CI until the
+# job-level kill), and the script ends with a per-leg wall-time
+# summary so creeping legs are visible in the log before they become
+# timeouts.
 #
 # Usage:
 #   tools/ci.sh [--quick] [--only LEG]
 #     --quick      skip the sanitizer leg (fast local pre-push check)
-#     --only LEG   run a single leg: tier1 | sanitize | vm | perf
+#     --only LEG   run one leg: tier1 | sanitize | vm | perf | serve
 #   JOBS=N overrides build/test parallelism (default: nproc).
+#   ROCK_CI_LEG_TIMEOUT=SECS overrides every leg's time limit.
 set -euo pipefail
+SELF="$(cd "$(dirname "$0")" && pwd)/$(basename "$0")"
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-run_tier1=1
-run_sanitize=1
-run_vm=1
-run_perf=1
-while [ $# -gt 0 ]; do
-    case "$1" in
-      --quick)
-        run_sanitize=0
-        ;;
-      --only)
-        [ $# -ge 2 ] || { echo "ci.sh: --only needs a leg" >&2; exit 2; }
-        run_tier1=0 run_sanitize=0 run_vm=0 run_perf=0
-        case "$2" in
-          tier1)    run_tier1=1 ;;
-          sanitize) run_sanitize=1 ;;
-          vm)       run_vm=1 ;;
-          perf)     run_perf=1 ;;
-          *) echo "ci.sh: unknown leg '$2'" >&2; exit 2 ;;
-        esac
-        shift
-        ;;
-      *)
-        echo "usage: tools/ci.sh [--quick] [--only tier1|sanitize|vm|perf]" >&2
-        exit 2
-        ;;
-    esac
-    shift
-done
+# ---------------------------------------------------------------------------
+# Leg bodies. Each runs in a child invocation (`$0 --leg-body NAME`)
+# so the parent can wrap it in a hard `timeout` covering everything
+# the leg does, builds included.
+# ---------------------------------------------------------------------------
 
-# Fuzz repro hygiene: campaigns write repro files into a private
-# tempdir that is removed on success and printed (and kept) on
-# failure, instead of littering /tmp.
-repro_dir="$(mktemp -d "${TMPDIR:-/tmp}/rockfuzz-repro.XXXXXX")"
-cleanup() {
-    status=$?
-    if [ "$status" -ne 0 ] && [ -n "$(ls -A "$repro_dir" 2>/dev/null)" ]; then
-        echo "ci.sh: fuzz repro files kept in $repro_dir" >&2
-    else
-        rm -rf "$repro_dir"
-    fi
-}
-trap cleanup EXIT
-
-if [ "$run_tier1" -eq 1 ]; then
+leg_tier1() {
     echo "==> tier-1: build + tests + 200-seed fuzz"
     cmake -B build -S .
     cmake --build build -j "$JOBS"
     (cd build && ctest --output-on-failure -j "$JOBS")
-    ./build/tools/rockfuzz --seeds 200 --repro-dir "$repro_dir"
-fi
+    ./build/tools/rockfuzz --seeds 200 --repro-dir "$ROCK_CI_REPRO_DIR"
+}
 
-if [ "$run_sanitize" -eq 1 ]; then
+leg_sanitize() {
     echo "==> sanitizers: ASan+UBSan build + tests + 50-seed fuzz"
     cmake -B build-asan -S . -DROCK_SANITIZE=address,undefined
     cmake --build build-asan -j "$JOBS"
     (cd build-asan && ctest --output-on-failure -j "$JOBS")
-    ./build-asan/tools/rockfuzz --seeds 50 --repro-dir "$repro_dir"
-fi
+    ./build-asan/tools/rockfuzz --seeds 50 --repro-dir "$ROCK_CI_REPRO_DIR"
+}
 
-if [ "$run_vm" -eq 1 ]; then
+leg_vm() {
     echo "==> vm: rockvm builtins + 50-seed vm-differential smoke"
     # Reuses the tier-1 build tree (configuring it when --only vm
     # skipped tier1).
@@ -107,10 +88,10 @@ if [ "$run_vm" -eq 1 ]; then
     ./build/tools/rockvm --builtin --threads 0 > /dev/null
     # Coverage-guided differential campaign: dynamic ⊆ static.
     ./build/tools/rockfuzz --seeds 50 --oracle vm-differential \
-        --coverage-pool 4 --repro-dir "$repro_dir"
-fi
+        --coverage-pool 4 --repro-dir "$ROCK_CI_REPRO_DIR"
+}
 
-if [ "$run_perf" -eq 1 ]; then
+leg_perf() {
     echo "==> perf: pipeline_scaling + metrics gate vs committed baselines"
     # The perf leg reuses the tier-1 build tree (configuring it when
     # --only perf skipped tier1).
@@ -172,6 +153,172 @@ if [ "$run_perf" -eq 1 ]; then
         cp "$perf_dir/skype-warm.jsonl" "$ROCK_CI_ARTIFACTS/"
     fi
     rm -rf "$perf_dir"
+}
+
+leg_serve() {
+    echo "==> serve: rockd + duplicate-heavy replay + latency/hit-rate/identity gates"
+    # Reuses the tier-1 build tree (configuring it when --only serve
+    # skipped tier1).
+    cmake -B build -S .
+    cmake --build build -j "$JOBS" --target rockd rockctl rockc \
+        rockhier rockstat
+    serve_dir="$(mktemp -d "${TMPDIR:-/tmp}/rockserve.XXXXXX")"
+
+    # Three distinct 2000-class images (the skype_scale corpus shape),
+    # then a duplicate-heavy trace: 12 submissions, 3 unique -- the
+    # triage-fleet traffic pattern the daemon exists for. The trace is
+    # ordered so every concurrent window of 4 mixes duplicates with
+    # distinct images, exercising both wave dedup and the warm
+    # artifact-store path.
+    for s in 1 2 3; do
+        ./build/tools/rockc --synthetic 2000 --gen-seed "$s" \
+            -o "$serve_dir/img$s.vmi" > /dev/null
+    done
+    for s in 1 2 3 1 2 3 1 1 2 3 1 1; do
+        echo "$serve_dir/img$s.vmi"
+    done > "$serve_dir/trace.txt"
+
+    ./build/tools/rockd --socket "$serve_dir/rockd.sock" --threads 0 \
+        --metrics-json "$serve_dir/serve-metrics.json" \
+        2> "$serve_dir/rockd.log" &
+    rockd_pid=$!
+    for _ in $(seq 100); do
+        [ -S "$serve_dir/rockd.sock" ] && break
+        sleep 0.1
+    done
+    [ -S "$serve_dir/rockd.sock" ] || {
+        echo "ci.sh: rockd did not come up" >&2
+        cat "$serve_dir/rockd.log" >&2
+        exit 1
+    }
+
+    mkdir -p "$serve_dir/responses"
+    replay_status=0
+    ./build/tools/rockctl --socket "$serve_dir/rockd.sock" \
+        replay "$serve_dir/trace.txt" --clients 4 \
+        --out "$serve_dir/responses" \
+        --latency-jsonl "$serve_dir/latency.jsonl" || replay_status=$?
+    ./build/tools/rockctl --socket "$serve_dir/rockd.sock" shutdown \
+        > /dev/null || true
+    wait "$rockd_pid"
+
+    # Artifacts first, so a failing gate still ships its evidence.
+    if [ -n "${ROCK_CI_ARTIFACTS:-}" ]; then
+        mkdir -p "$ROCK_CI_ARTIFACTS"
+        cp "$serve_dir/serve-metrics.json" "$serve_dir/latency.jsonl" \
+            "$serve_dir/rockd.log" "$ROCK_CI_ARTIFACTS/" 2>/dev/null || true
+    fi
+    [ "$replay_status" -eq 0 ] || {
+        echo "ci.sh: rockctl replay failed" >&2
+        exit "$replay_status"
+    }
+
+    # Bit-identity gate: every served response equals a cold rockhier
+    # run of the same image in a fresh process.
+    for s in 1 2 3; do
+        ./build/tools/rockhier "$serve_dir/img$s.vmi" \
+            > "$serve_dir/cold$s.out"
+        cmp "$serve_dir/responses/img$s.vmi.out" "$serve_dir/cold$s.out"
+    done
+
+    # Latency + cache-economics gates on the daemon's own metrics.
+    # The latency bounds are order-of-magnitude detectors (a wedged
+    # batcher, a lost warm path), not scheduler-noise gates; the hit
+    # rate must clear 0.5 because 9 of 12 submissions were duplicates.
+    ./build/tools/rockstat --check "$serve_dir/serve-metrics.json" \
+        --max-p50-ms 60000 --max-p95-ms 100000 --min-hit-rate 0.5
+    rm -rf "$serve_dir"
+}
+
+# ---------------------------------------------------------------------------
+# Child dispatch: `$0 --leg-body NAME` runs one leg body and exits.
+# ---------------------------------------------------------------------------
+if [ "${1:-}" = "--leg-body" ]; then
+    [ $# -ge 2 ] || { echo "ci.sh: --leg-body needs a leg" >&2; exit 2; }
+    "leg_$2"
+    exit 0
 fi
+
+run_tier1=1
+run_sanitize=1
+run_vm=1
+run_perf=1
+run_serve=1
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --quick)
+        run_sanitize=0
+        ;;
+      --only)
+        [ $# -ge 2 ] || { echo "ci.sh: --only needs a leg" >&2; exit 2; }
+        run_tier1=0 run_sanitize=0 run_vm=0 run_perf=0 run_serve=0
+        case "$2" in
+          tier1)    run_tier1=1 ;;
+          sanitize) run_sanitize=1 ;;
+          vm)       run_vm=1 ;;
+          perf)     run_perf=1 ;;
+          serve)    run_serve=1 ;;
+          *) echo "ci.sh: unknown leg '$2'" >&2; exit 2 ;;
+        esac
+        shift
+        ;;
+      *)
+        echo "usage: tools/ci.sh [--quick] [--only tier1|sanitize|vm|perf|serve]" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+# Fuzz repro hygiene: campaigns write repro files into a private
+# tempdir that is removed on success and printed (and kept) on
+# failure, instead of littering /tmp. Exported so leg-body children
+# share it.
+export ROCK_CI_REPRO_DIR="${ROCK_CI_REPRO_DIR:-$(mktemp -d "${TMPDIR:-/tmp}/rockfuzz-repro.XXXXXX")}"
+leg_summary=""
+cleanup() {
+    status=$?
+    if [ "$status" -ne 0 ] && [ -n "$(ls -A "$ROCK_CI_REPRO_DIR" 2>/dev/null)" ]; then
+        echo "ci.sh: fuzz repro files kept in $ROCK_CI_REPRO_DIR" >&2
+    else
+        rm -rf "$ROCK_CI_REPRO_DIR"
+    fi
+    if [ -n "$leg_summary" ]; then
+        echo "==> ci.sh: leg wall times:$leg_summary"
+    fi
+}
+trap cleanup EXIT
+
+# Hard per-leg time limits (seconds): a wedged leg fails loudly here
+# instead of stalling until the CI job-level kill. The build-heavy
+# legs get the larger budget. ROCK_CI_LEG_TIMEOUT overrides all.
+leg_limit() {
+    case "$1" in
+      tier1|sanitize) echo "${ROCK_CI_LEG_TIMEOUT:-5400}" ;;
+      *)              echo "${ROCK_CI_LEG_TIMEOUT:-2700}" ;;
+    esac
+}
+
+run_leg() {
+    leg="$1"
+    limit="$(leg_limit "$leg")"
+    start="$(date +%s)"
+    leg_status=0
+    timeout --foreground "$limit" "$SELF" --leg-body "$leg" || leg_status=$?
+    elapsed=$(( $(date +%s) - start ))
+    leg_summary="$leg_summary $leg ${elapsed}s;"
+    if [ "$leg_status" -eq 124 ]; then
+        echo "ci.sh: leg '$leg' exceeded its ${limit}s time limit" >&2
+        exit 124
+    elif [ "$leg_status" -ne 0 ]; then
+        exit "$leg_status"
+    fi
+}
+
+if [ "$run_tier1" -eq 1 ];    then run_leg tier1;    fi
+if [ "$run_sanitize" -eq 1 ]; then run_leg sanitize; fi
+if [ "$run_vm" -eq 1 ];       then run_leg vm;       fi
+if [ "$run_perf" -eq 1 ];     then run_leg perf;     fi
+if [ "$run_serve" -eq 1 ];    then run_leg serve;    fi
 
 echo "==> ci.sh: all green"

@@ -9,9 +9,15 @@
  * Usage:
  *   rockc INPUT.toy -o out.vmi [options]
  *   rockc --benchmark NAME -o out.vmi [options]
+ *   rockc --synthetic N -o out.vmi [options]
  *   rockc --dump-source NAME            (print a benchmark as .toy)
  *
  * Options:
+ *   --synthetic N           generate an N-class corpus program (the
+ *                           skype_scale bench shape) instead of
+ *                           reading a source file
+ *   --gen-seed S            RNG seed for --synthetic (default 2018;
+ *                           same N + same S = bit-identical .vmi)
  *   --keep-symbols          do not strip the symbol table
  *   --rtti                  emit RTTI records
  *   --no-parent-ctor-calls  inline parent constructors (drop rule-3
@@ -22,12 +28,16 @@
  *   --no-fold               disable identical-function folding
  */
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include <algorithm>
+
 #include "bir/serialize.h"
 #include "corpus/benchmarks.h"
+#include "corpus/generator.h"
 #include "support/error.h"
 #include "toyc/compiler.h"
 #include "toyc/parser.h"
@@ -40,6 +50,7 @@ usage()
     std::fprintf(stderr,
                  "usage: rockc INPUT.toy -o out.vmi [options]\n"
                  "       rockc --benchmark NAME -o out.vmi [options]\n"
+                 "       rockc --synthetic N -o out.vmi [options]\n"
                  "       rockc --dump-source NAME\n");
     return 2;
 }
@@ -55,6 +66,8 @@ main(int argc, char** argv)
     std::string output;
     std::string benchmark;
     std::string dump_source;
+    int synthetic = 0;
+    unsigned gen_seed = 2018;
     toyc::CompileOptions options;
 
     for (int i = 1; i < argc; ++i) {
@@ -63,6 +76,11 @@ main(int argc, char** argv)
             output = argv[++i];
         } else if (arg == "--benchmark" && i + 1 < argc) {
             benchmark = argv[++i];
+        } else if (arg == "--synthetic" && i + 1 < argc) {
+            synthetic = std::atoi(argv[++i]);
+        } else if (arg == "--gen-seed" && i + 1 < argc) {
+            gen_seed = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--dump-source" && i + 1 < argc) {
             dump_source = argv[++i];
         } else if (arg == "--keep-symbols") {
@@ -96,7 +114,20 @@ main(int argc, char** argv)
         }
 
         toyc::Program program;
-        if (!benchmark.empty()) {
+        if (synthetic > 0) {
+            // Same shape as bench/skype_scale.cc so CI serve traffic
+            // exercises the large-binary path the bench measures.
+            corpus::GeneratorSpec spec;
+            spec.num_classes = synthetic;
+            spec.num_trees = std::max(4, synthetic / 40);
+            spec.max_depth = 6;
+            spec.max_children = 5;
+            spec.scenarios_per_class = 2;
+            spec.fold_noise_pairs = synthetic / 100;
+            spec.mi_prob = 0.05;
+            spec.seed = gen_seed;
+            program = corpus::generate_program(spec);
+        } else if (!benchmark.empty()) {
             corpus::BenchmarkSpec spec =
                 corpus::benchmark_by_name(benchmark);
             program = spec.program.program;

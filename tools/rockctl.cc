@@ -1,0 +1,346 @@
+/**
+ * @file
+ * rockctl -- control and traffic client for a running rockd.
+ *
+ * Structured as a multi-command driver (one verb per workflow, shared
+ * global flags), after the cabin exemplar:
+ *
+ *   rockctl [GLOBAL] submit IMAGE.vmi [--out FILE]
+ *   rockctl [GLOBAL] replay TRACE [--clients N] [--out DIR]
+ *                                 [--latency-jsonl FILE]
+ *   rockctl [GLOBAL] status
+ *   rockctl [GLOBAL] stats [--out FILE]
+ *   rockctl [GLOBAL] shutdown
+ *
+ * Global flags:
+ *   --socket PATH      daemon socket (required)
+ *   --timeout-ms N     per-response receive timeout (default 120000)
+ *
+ * `submit` sends one VMI image and prints the reconstructed
+ * hierarchy (bit-identical to `rockhier IMAGE.vmi`).
+ *
+ * `replay` drives a trace file -- one .vmi path per line, blank lines
+ * and `#` comments ignored, duplicates encouraged -- across
+ * `--clients` concurrent connections (round-robin), checks that every
+ * response for the same path is byte-identical, writes the first
+ * response per unique path to `--out DIR/<basename>.out`, optionally
+ * appends one JSONL record per request to `--latency-jsonl`, and
+ * prints client-side p50/p95 latency. Exit 1 on any daemon-reported
+ * error or identity mismatch.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "support/error.h"
+
+namespace {
+
+using namespace rock;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: rockctl --socket PATH [--timeout-ms N] COMMAND ...\n"
+        "  submit IMAGE.vmi [--out FILE]\n"
+        "  replay TRACE [--clients N] [--out DIR] "
+        "[--latency-jsonl FILE]\n"
+        "  status\n"
+        "  stats [--out FILE]\n"
+        "  shutdown\n");
+    return 2;
+}
+
+std::vector<std::uint8_t>
+read_file_bytes(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    support::check(static_cast<bool>(in),
+                   "rockctl: cannot open " + path);
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+void
+write_text(const std::string& path, const std::string& text)
+{
+    std::ofstream out(path, std::ios::binary);
+    support::check(static_cast<bool>(out),
+                   "rockctl: cannot write " + path);
+    out.write(text.data(),
+              static_cast<std::streamsize>(text.size()));
+}
+
+std::string
+basename_of(const std::string& path)
+{
+    std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path
+                                      : path.substr(slash + 1);
+}
+
+/** Nearest-rank percentile of a sorted sample. */
+double
+percentile(const std::vector<double>& sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
+    return sorted[rank - 1];
+}
+
+int
+cmd_submit(serve::Client& client, const std::string& image_path,
+           const std::string& out_path)
+{
+    serve::protocol::Response response =
+        client.submit(read_file_bytes(image_path));
+    if (!response.ok()) {
+        std::fprintf(stderr, "rockctl: submit failed: %s (%s)\n",
+                     response.error.c_str(),
+                     serve::protocol::code_name(response.code));
+        return 1;
+    }
+    std::string text(response.payload.begin(),
+                     response.payload.end());
+    if (out_path.empty())
+        std::fputs(text.c_str(), stdout);
+    else
+        write_text(out_path, text);
+    return 0;
+}
+
+struct ReplayShared {
+    std::mutex mutex;
+    // Per-path canonical response: the first one wins, every later
+    // duplicate must match it byte for byte.
+    std::map<std::string, std::string> canonical;
+    std::vector<double> latencies_ms;
+    std::string jsonl;
+    int failures = 0;
+};
+
+int
+cmd_replay(const std::string& socket_path, int timeout_ms,
+           const std::string& trace_path, int clients,
+           const std::string& out_dir,
+           const std::string& latency_jsonl)
+{
+    std::ifstream trace(trace_path);
+    if (!trace) {
+        std::fprintf(stderr, "rockctl: cannot open trace %s\n",
+                     trace_path.c_str());
+        return 1;
+    }
+    std::vector<std::string> paths;
+    std::string line;
+    while (std::getline(trace, line)) {
+        while (!line.empty() &&
+               (line.back() == '\r' || line.back() == ' '))
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        paths.push_back(line);
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr, "rockctl: empty trace %s\n",
+                     trace_path.c_str());
+        return 1;
+    }
+    // Read each unique image once up front so replay latency measures
+    // the daemon, not rockctl's disk reads.
+    std::map<std::string, std::vector<std::uint8_t>> images;
+    for (const std::string& p : paths)
+        if (!images.count(p))
+            images[p] = read_file_bytes(p);
+
+    clients = std::max(1, clients);
+    ReplayShared shared;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            serve::Client client(socket_path, timeout_ms);
+            // Round-robin: client c takes trace lines c, c+N, ...
+            for (std::size_t i = static_cast<std::size_t>(c);
+                 i < paths.size();
+                 i += static_cast<std::size_t>(clients)) {
+                const std::string& path = paths[i];
+                auto t0 = std::chrono::steady_clock::now();
+                serve::protocol::Response response;
+                try {
+                    response = client.submit(images[path]);
+                } catch (const std::exception& e) {
+                    std::lock_guard<std::mutex> lock(shared.mutex);
+                    ++shared.failures;
+                    std::fprintf(stderr, "rockctl: %s: %s\n",
+                                 path.c_str(), e.what());
+                    return; // connection is gone; stop this client
+                }
+                double ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+                std::lock_guard<std::mutex> lock(shared.mutex);
+                shared.latencies_ms.push_back(ms);
+                if (!latency_jsonl.empty())
+                    shared.jsonl +=
+                        "{\"path\":\"" + path +
+                        "\",\"client\":" + std::to_string(c) +
+                        ",\"ms\":" + std::to_string(ms) + "}\n";
+                if (!response.ok()) {
+                    ++shared.failures;
+                    std::fprintf(
+                        stderr, "rockctl: %s: %s (%s)\n",
+                        path.c_str(), response.error.c_str(),
+                        serve::protocol::code_name(response.code));
+                    continue;
+                }
+                std::string text(response.payload.begin(),
+                                 response.payload.end());
+                auto [it, fresh] =
+                    shared.canonical.emplace(path, text);
+                if (!fresh && it->second != text) {
+                    ++shared.failures;
+                    std::fprintf(stderr,
+                                 "rockctl: %s: response differs "
+                                 "from an earlier submission of the "
+                                 "same image\n",
+                                 path.c_str());
+                }
+            }
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+
+    if (!out_dir.empty())
+        for (const auto& [path, text] : shared.canonical)
+            write_text(out_dir + "/" + basename_of(path) + ".out",
+                       text);
+    if (!latency_jsonl.empty())
+        write_text(latency_jsonl, shared.jsonl);
+
+    std::sort(shared.latencies_ms.begin(),
+              shared.latencies_ms.end());
+    std::printf("rockctl: replay %zu requests (%zu unique images, "
+                "%d clients): p50 %.1f ms, p95 %.1f ms, "
+                "%d failures\n",
+                shared.latencies_ms.size(), shared.canonical.size(),
+                clients, percentile(shared.latencies_ms, 0.50),
+                percentile(shared.latencies_ms, 0.95),
+                shared.failures);
+    return shared.failures == 0 &&
+                   shared.latencies_ms.size() == paths.size()
+               ? 0
+               : 1;
+}
+
+int
+cmd_text_op(serve::Client& client, const std::string& op,
+            const std::string& out_path)
+{
+    serve::protocol::Response response = client.call(op);
+    if (!response.ok()) {
+        std::fprintf(stderr, "rockctl: %s failed: %s (%s)\n",
+                     op.c_str(), response.error.c_str(),
+                     serve::protocol::code_name(response.code));
+        return 1;
+    }
+    std::string text(response.payload.begin(),
+                     response.payload.end());
+    if (out_path.empty())
+        std::printf("%s\n", text.c_str());
+    else
+        write_text(out_path, text);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string socket_path;
+    int timeout_ms = 120000;
+    std::string command;
+    std::vector<std::string> rest;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (command.empty() && arg == "--socket" && i + 1 < argc)
+            socket_path = argv[++i];
+        else if (command.empty() && arg == "--timeout-ms" &&
+                 i + 1 < argc)
+            timeout_ms = std::atoi(argv[++i]);
+        else if (command.empty() && !arg.empty() && arg[0] == '-')
+            return usage();
+        else if (command.empty())
+            command = arg;
+        else
+            rest.push_back(arg);
+    }
+    if (socket_path.empty() || command.empty())
+        return usage();
+
+    // Per-command flags.
+    std::string positional;
+    std::string out_path;
+    std::string latency_jsonl;
+    int clients = 1;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+        if (rest[i] == "--out" && i + 1 < rest.size())
+            out_path = rest[++i];
+        else if (rest[i] == "--clients" && i + 1 < rest.size())
+            clients = std::atoi(rest[++i].c_str());
+        else if (rest[i] == "--latency-jsonl" && i + 1 < rest.size())
+            latency_jsonl = rest[++i];
+        else if (!rest[i].empty() && rest[i][0] == '-')
+            return usage();
+        else
+            positional = rest[i];
+    }
+
+    try {
+        if (command == "replay") {
+            if (positional.empty())
+                return usage();
+            return cmd_replay(socket_path, timeout_ms, positional,
+                              clients, out_path, latency_jsonl);
+        }
+        rock::serve::Client client(socket_path, timeout_ms);
+        if (command == "submit") {
+            if (positional.empty())
+                return usage();
+            return cmd_submit(client, positional, out_path);
+        }
+        if (command == "status")
+            return cmd_text_op(client, "status", out_path);
+        if (command == "stats")
+            return cmd_text_op(client, "stats", out_path);
+        if (command == "shutdown")
+            return cmd_text_op(client, "shutdown", out_path);
+        std::fprintf(stderr, "rockctl: unknown command '%s'\n",
+                     command.c_str());
+        return usage();
+    } catch (const rock::support::FatalError& e) {
+        std::fprintf(stderr, "rockctl: error: %s\n", e.what());
+        return 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "rockctl: error: %s\n", e.what());
+        return 1;
+    }
+}

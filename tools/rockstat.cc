@@ -36,11 +36,23 @@
  * thread count, so this gate is hardware-independent and never
  * skipped.
  *
+ * Serving gates (--max-p50-ms / --max-p95-ms / --min-hit-rate) point
+ * --check at a canonical metrics report instead (rockd
+ * --metrics-json): percentiles come from the
+ * serve.request_latency_ms histogram -- the smallest bucket upper
+ * bound whose cumulative count covers the quantile, infinity if the
+ * quantile lands in the overflow bucket -- and the hit rate is
+ * cache.hits / (cache.hits + cache.misses). Exit 2 when the report
+ * has no latency histogram (or an empty one): a misconfigured
+ * capture must not pass as a fast one.
+ *
  * Usage:
  *   rockstat --baseline BASE.json CURRENT.json [options]
  *   rockstat BASE.json CURRENT.json [options]
  *   rockstat --check RUN.json --min-speedup T:R [--min-speedup T:R]
  *            [--min-warm-speedup R]
+ *   rockstat --check METRICS.json [--max-p50-ms N] [--max-p95-ms N]
+ *            [--min-hit-rate R]
  *
  * Options (diff mode):
  *   --counter-tol R     relative drift allowed per counter (default 0
@@ -58,6 +70,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -140,6 +153,115 @@ gbench_to_bench_lines(const std::string& text)
         out += "}\n";
     }
     return out;
+}
+
+/** Serving-latency/hit-rate thresholds (--check on a metrics
+ *  report). Zero/negative = gate disabled. */
+struct ServeGates {
+    double max_p50_ms = 0.0;
+    double max_p95_ms = 0.0;
+    double min_hit_rate = -1.0;
+    bool any() const
+    {
+        return max_p50_ms > 0.0 || max_p95_ms > 0.0 ||
+               min_hit_rate >= 0.0;
+    }
+};
+
+/**
+ * Quantile @p q of a histogram snapshot: the upper bound of the
+ * first bucket at which the cumulative count reaches q * total.
+ * Overflow bucket = infinity (no finite bound covers the quantile,
+ * so any finite --max-*-ms gate fails -- by design).
+ */
+double
+histogram_quantile(const rock::obs::HistogramSnapshot& h, double q)
+{
+    double target = q * static_cast<double>(h.count);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+        cumulative += static_cast<double>(h.counts[i]);
+        if (cumulative >= target)
+            return h.bounds[i];
+    }
+    return std::numeric_limits<double>::infinity();
+}
+
+/**
+ * Gate a canonical metrics report on serving thresholds. Returns the
+ * process exit code directly: 0 pass, 1 gate breach, 2 when the
+ * report carries no usable serve.request_latency_ms histogram.
+ */
+int
+run_serve_check(const std::string& path, const ServeGates& gates)
+{
+    using rock::obs::MetricsReport;
+    std::string text = slurp(path);
+    if (!is_metrics_report(text)) {
+        std::fprintf(stderr,
+                     "rockstat: %s is not a rock-metrics-v1 report "
+                     "(serving gates need rockd --metrics-json "
+                     "output)\n",
+                     path.c_str());
+        return 2;
+    }
+    MetricsReport report = MetricsReport::from_json(text);
+
+    auto hist = report.histograms.find("serve.request_latency_ms");
+    if (hist == report.histograms.end() ||
+        hist->second.count == 0) {
+        std::fprintf(stderr,
+                     "rockstat: %s: no serve.request_latency_ms "
+                     "samples -- the daemon served no requests, or "
+                     "this is not a rockd capture\n",
+                     path.c_str());
+        return 2;
+    }
+
+    int failures = 0;
+    double p50 = histogram_quantile(hist->second, 0.50);
+    double p95 = histogram_quantile(hist->second, 0.95);
+    if (gates.max_p50_ms > 0.0 && !(p50 <= gates.max_p50_ms)) {
+        std::fprintf(stderr,
+                     "rockstat: FAIL %s: p50 latency %.1f ms, need "
+                     "<= %.1f ms\n",
+                     path.c_str(), p50, gates.max_p50_ms);
+        ++failures;
+    }
+    if (gates.max_p95_ms > 0.0 && !(p95 <= gates.max_p95_ms)) {
+        std::fprintf(stderr,
+                     "rockstat: FAIL %s: p95 latency %.1f ms, need "
+                     "<= %.1f ms\n",
+                     path.c_str(), p95, gates.max_p95_ms);
+        ++failures;
+    }
+
+    auto counter = [&](const char* name) -> double {
+        auto it = report.counters.find(name);
+        return it == report.counters.end()
+                   ? 0.0
+                   : static_cast<double>(it->second);
+    };
+    double hits = counter("cache.hits");
+    double misses = counter("cache.misses");
+    double rate =
+        hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+    if (gates.min_hit_rate >= 0.0 && rate < gates.min_hit_rate) {
+        std::fprintf(stderr,
+                     "rockstat: FAIL %s: cache hit rate %.3f "
+                     "(%.0f hits / %.0f lookups), need >= %.3f\n",
+                     path.c_str(), rate, hits, hits + misses,
+                     gates.min_hit_rate);
+        ++failures;
+    }
+
+    std::printf("rockstat: serve check %s: %llu request(s), p50 "
+                "%.1f ms, p95 %.1f ms, hit rate %.3f, "
+                "%d failure(s)\n",
+                path.c_str(),
+                static_cast<unsigned long long>(hist->second.count),
+                p50, p95, rate, failures);
+    return failures == 0 ? 0 : 1;
 }
 
 /** One --min-speedup T:R requirement. */
@@ -333,6 +455,7 @@ main(int argc, char** argv)
     std::string check_path;
     std::vector<SpeedupGate> gates;
     double min_warm_speedup = 0.0;
+    ServeGates serve_gates;
     DiffOptions options;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -359,6 +482,12 @@ main(int argc, char** argv)
                              argv[i]);
                 return 2;
             }
+        } else if (arg == "--max-p50-ms" && i + 1 < argc) {
+            serve_gates.max_p50_ms = std::atof(argv[++i]);
+        } else if (arg == "--max-p95-ms" && i + 1 < argc) {
+            serve_gates.max_p95_ms = std::atof(argv[++i]);
+        } else if (arg == "--min-hit-rate" && i + 1 < argc) {
+            serve_gates.min_hit_rate = std::atof(argv[++i]);
         } else if (arg == "--counter-tol" && i + 1 < argc) {
             options.counter_rel_tol = std::atof(argv[++i]);
         } else if (arg == "--time-tol" && i + 1 < argc) {
@@ -377,6 +506,25 @@ main(int argc, char** argv)
     }
 
     if (!check_path.empty()) {
+        if (serve_gates.any()) {
+            if (!files.empty() || !gates.empty() ||
+                min_warm_speedup > 0.0) {
+                std::fprintf(
+                    stderr,
+                    "usage: rockstat --check METRICS.json "
+                    "[--max-p50-ms N] [--max-p95-ms N] "
+                    "[--min-hit-rate R] (serving gates do not mix "
+                    "with bench gates)\n");
+                return 2;
+            }
+            try {
+                return run_serve_check(check_path, serve_gates);
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "rockstat: error: %s\n",
+                             e.what());
+                return 2;
+            }
+        }
         if (!files.empty() ||
             (gates.empty() && min_warm_speedup <= 0.0)) {
             std::fprintf(stderr,
@@ -398,7 +546,7 @@ main(int argc, char** argv)
     }
 
     if (files.size() != 2 || !gates.empty() ||
-        min_warm_speedup > 0.0) {
+        min_warm_speedup > 0.0 || serve_gates.any()) {
         std::fprintf(
             stderr,
             "usage: rockstat [--baseline] BASE.json CURRENT.json "
